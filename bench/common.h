@@ -1,0 +1,48 @@
+// Shared setup for the reproduction benches: the "flagship" synthetic
+// Internet and campaign every table/figure bench runs against, so numbers
+// are consistent across binaries (same seed, same world).
+#pragma once
+
+#include <iostream>
+#include <memory>
+
+#include "campaign/campaign.h"
+#include "gen/internet.h"
+
+namespace wormhole::bench {
+
+inline constexpr std::uint64_t kFlagshipSeed = 29;
+
+inline gen::InternetOptions FlagshipOptions() {
+  gen::InternetOptions options;
+  options.seed = kFlagshipSeed;
+  options.tier1_count = 3;
+  options.transit_count = 12;
+  options.stub_count = 40;
+  options.vp_count = 12;
+  return options;
+}
+
+struct FlagshipWorld {
+  std::unique_ptr<gen::SyntheticInternet> net;
+  campaign::CampaignResult result;
+};
+
+inline FlagshipWorld RunFlagshipCampaign(
+    campaign::CampaignOptions options = {}) {
+  FlagshipWorld world;
+  world.net = std::make_unique<gen::SyntheticInternet>(FlagshipOptions());
+  campaign::Campaign campaign(world.net->engine(),
+                              world.net->vantage_points(), options);
+  world.result = campaign.Run(world.net->AllLoopbacks());
+  return world;
+}
+
+inline void PrintHeader(const std::string& what, const std::string& paper) {
+  std::cout << "==========================================================\n"
+            << what << "\n(reproduces " << paper
+            << " of Vanaubel et al., IMC 2017)\n"
+            << "==========================================================\n";
+}
+
+}  // namespace wormhole::bench

@@ -1,0 +1,36 @@
+// Fig. 5: forward tunnel length distribution — number of hops to reach the
+// tunnel exit (revealed LSRs + 1), split by revelation technique.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace wormhole;
+  bench::PrintHeader("Forward Tunnel Length (FTL) by technique", "Fig. 5");
+
+  const auto world = bench::RunFlagshipCampaign();
+  const auto& result = world.result;
+
+  const auto dpr = result.TunnelLengths(reveal::RevelationMethod::kDpr);
+  const auto brpr = result.TunnelLengths(reveal::RevelationMethod::kBrpr);
+  const auto either =
+      result.TunnelLengths(reveal::RevelationMethod::kEither);
+  const auto all = result.AllTunnelLengths();
+
+  std::cout << analysis::RenderPdfComparison(
+      {{"DPR", &dpr}, {"BRPR", &brpr}, {"either", &either}, {"all", &all}},
+      2, all.empty() ? 8 : std::max(8, all.Max()));
+  std::cout << "\n"
+            << analysis::RenderPdf(all, 2,
+                                   all.empty() ? 8 : std::max(8, all.Max()),
+                                   "all revealed tunnels");
+  if (!all.empty()) {
+    std::cout << "median FTL: " << all.Median()
+              << "  max: " << all.Max() << "\n";
+  }
+  std::cout << "shape (paper): strongly decreasing, short tunnels dominate "
+               "(red-dot mass at length 2 = single-LSR tunnels where DPR and "
+               "BRPR are indistinguishable); very few exceed 12 hops.\n";
+  return 0;
+}

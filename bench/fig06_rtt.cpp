@@ -1,0 +1,93 @@
+// Fig. 6: RTT step decomposition. An invisible tunnel with slow interior
+// links shows up as one large RTT jump between the Ingress and Egress LER;
+// revealing the hops and measuring them directly decomposes the jump
+// across the interior.
+#include <iomanip>
+#include <iostream>
+
+#include "bench/common.h"
+#include "mpls/config.h"
+#include "probe/prober.h"
+#include "reveal/revelator.h"
+#include "sim/network.h"
+#include "topo/topology.h"
+
+int main() {
+  using namespace wormhole;
+  bench::PrintHeader("RTT correction with hop revelation", "Fig. 6");
+
+  // A transit AS with seven slow interior hops (the paper's AS3549 case
+  // showed a ~50 ms jump decomposed over 7 hops).
+  topo::Topology topology;
+  topology.AddAs(1, "src");
+  topology.AddAs(2, "slow-mpls");
+  topology.AddAs(3, "dst");
+  const auto gw = topology.AddRouter(1, "gw", topo::Vendor::kCiscoIos);
+  const auto in = topology.AddRouter(2, "in", topo::Vendor::kCiscoIos);
+  topo::RouterId previous = in;
+  for (int i = 0; i < 7; ++i) {
+    const auto m = topology.AddRouter(2, "lsr" + std::to_string(i),
+                                      topo::Vendor::kCiscoIos);
+    topology.AddLink(previous, m, {.delay_ms = 7.0});
+    previous = m;
+  }
+  const auto out = topology.AddRouter(2, "out", topo::Vendor::kCiscoIos);
+  topology.AddLink(previous, out, {.delay_ms = 7.0});
+  const auto dst = topology.AddRouter(3, "dst", topo::Vendor::kCiscoIos);
+  topology.AddLink(gw, in, {.delay_ms = 1.0});
+  topology.AddLink(out, dst, {.delay_ms = 1.0});
+  const auto vp = topology.AttachHost(gw, "VP");
+
+  mpls::MplsConfigMap configs(topology);
+  configs.EnableAs(2, {.ttl_propagate = false,
+                       .ldp_policy = mpls::LdpPolicy::kAllPrefixes});
+  sim::Network network(topology, configs,
+                       routing::BgpPolicy{.stub_ases = {1, 3}});
+  probe::Prober prober(network.engine(), vp);
+
+  // The monitoring view: one huge step between the LERs.
+  const auto invisible = prober.Traceroute(topology.router(dst).loopback);
+  std::cout << std::fixed << std::setprecision(1);
+  std::cout << "--- invisible trace (what a monitor sees) ---\n";
+  std::cout << "hop   RTT (ms)   step\n";
+  double previous_rtt = 0.0;
+  double jump = 0.0;
+  for (const auto& hop : invisible.hops) {
+    if (!hop.responded()) continue;
+    const double step = hop.rtt_ms - previous_rtt;
+    jump = std::max(jump, step);
+    std::cout << std::setw(3) << hop.probe_ttl << std::setw(11)
+              << hop.rtt_ms << std::setw(9) << step << "\n";
+    previous_rtt = hop.rtt_ms;
+  }
+
+  // Reveal the tunnel (BRPR here: all-prefix LDP), then measure each
+  // hidden hop directly — the paper's corrected curve.
+  const auto last3 = invisible.LastResponders(3);
+  reveal::Revelator revelator(prober);
+  const auto revelation = revelator.Reveal(last3[0], last3[1]);
+  std::cout << "\n--- after revelation (" << reveal::ToString(
+                   revelation.method)
+            << ", " << revelation.revealed.size()
+            << " hidden hops, pinged directly) ---\n";
+  std::cout << "hop            RTT (ms)   step\n";
+  previous_rtt = prober.Ping(last3[0]).rtt_ms;
+  std::cout << "  ingress" << std::setw(11) << previous_rtt << "\n";
+  std::vector<netbase::Ipv4Address> path = revelation.revealed;
+  path.push_back(revelation.egress);
+  int index = 1;
+  for (const auto hop : path) {
+    const auto ping = prober.Ping(hop);
+    if (!ping.responded) continue;
+    std::cout << std::setw(9) << ("+" + std::to_string(index++))
+              << std::setw(11) << ping.rtt_ms << std::setw(9)
+              << ping.rtt_ms - previous_rtt << "\n";
+    previous_rtt = ping.rtt_ms;
+  }
+
+  std::cout << "\ninvisible trace: one jump of " << jump
+            << " ms between the LERs; the revealed interior decomposes it "
+               "into ~14 ms per-hop steps\n(paper: a ~50 ms one-way jump "
+               "decomposed over 7 hops in AS3549).\n";
+  return 0;
+}

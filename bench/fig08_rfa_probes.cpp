@@ -1,0 +1,58 @@
+// Fig. 8: RFA computed from time-exceeded vs echo-reply replies of
+// <255,64> (Juniper) egress LERs. The 255-initial time-exceeded counts the
+// return tunnel (shift); the 64-initial echo-reply does not (centred).
+#include <iostream>
+
+#include <set>
+
+#include "analysis/report.h"
+#include "bench/common.h"
+#include "probe/trace.h"
+#include "reveal/frpla.h"
+
+int main() {
+  using namespace wormhole;
+  bench::PrintHeader(
+      "RFA from time-exceeded vs echo-reply (Juniper egresses)", "Fig. 8");
+
+  const auto world = bench::RunFlagshipCampaign();
+  const auto& result = world.result;
+
+  // The population: candidate egresses inside ASes where path revelation
+  // confirmed invisible tunnels (the paper's campaign targets exactly the
+  // suspicious clouds), with <255,64>-style (RTLA-usable) signatures.
+  std::set<topo::AsNumber> suspicious;
+  for (const auto& [pair, revelation] : result.revelations) {
+    if (revelation.succeeded()) {
+      suspicious.insert(world.net->topology().AsOfAddress(pair.egress));
+    }
+  }
+  netbase::IntDistribution te_rfa;
+  netbase::IntDistribution er_rfa;
+  for (const auto& record : result.candidates) {
+    if (!record.egress_echo_ttl) continue;
+    if (!suspicious.contains(record.asn)) continue;
+    // Only <255,64>-style responders (RTLA-usable) qualify.
+    if (!reveal::ObserveRtla(record.pair.egress, record.egress_return_ttl,
+                             *record.egress_echo_ttl)) {
+      continue;
+    }
+    te_rfa.Add(reveal::ReturnPathLength(record.egress_return_ttl) -
+               record.egress_forward_ttl);
+    er_rfa.Add(reveal::ReturnPathLength(*record.egress_echo_ttl) -
+               record.egress_forward_ttl);
+  }
+
+  std::cout << analysis::RenderPdfComparison(
+      {{"TimeExceeded", &te_rfa}, {"EchoReply", &er_rfa}}, -8, 12);
+  if (!te_rfa.empty() && !er_rfa.empty()) {
+    std::cout << "\nmedians: time-exceeded " << te_rfa.Median()
+              << ", echo-reply " << er_rfa.Median()
+              << "  (paper: 4 vs ~0-2 — the TE curve shifts positive, the "
+                 "ER curve stays near 0)\n";
+  } else {
+    std::cout << "\n(no Juniper egress candidates in this world — rerun "
+                 "with a different seed)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 9: (a) return tunnel length distribution as inferred by RTLA;
+// (b) tunnel asymmetry = RTL − FTL (revealed forward length), expected to
+// centre on 0 under near-symmetric routing.
+#include <iostream>
+
+#include <set>
+
+#include "analysis/report.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace wormhole;
+  bench::PrintHeader("RTLA: return tunnel length & tunnel asymmetry",
+                     "Fig. 9a/9b");
+
+  const auto world = bench::RunFlagshipCampaign();
+  const auto& result = world.result;
+
+  // RTL over candidates in ASes where path revelation confirmed invisible
+  // tunnels (the paper's suspicious-AS population).
+  std::set<topo::AsNumber> suspicious;
+  for (const auto& [pair, revelation] : result.revelations) {
+    if (revelation.succeeded()) {
+      suspicious.insert(world.net->topology().AsOfAddress(pair.egress));
+    }
+  }
+  netbase::IntDistribution rtl;
+  for (const auto& record : result.candidates) {
+    if (!record.egress_echo_ttl || !suspicious.contains(record.asn)) {
+      continue;
+    }
+    const auto obs =
+        reveal::ObserveRtla(record.pair.egress, record.egress_return_ttl,
+                            *record.egress_echo_ttl);
+    if (obs) rtl.Add(obs->return_tunnel_length());
+  }
+  std::cout << "--- (a) Return Tunnel Length (RTL) ---\n"
+            << analysis::RenderPdf(rtl, -4, 12, "RTL (RTLA inference)");
+  if (!rtl.empty()) {
+    std::cout << "median RTL: " << rtl.Median() << "\n";
+  }
+
+  netbase::IntDistribution asymmetry;
+  for (const auto& record : result.candidates) {
+    if (!record.revealed || !record.egress_echo_ttl) continue;
+    const auto obs =
+        reveal::ObserveRtla(record.pair.egress, record.egress_return_ttl,
+                            *record.egress_echo_ttl);
+    if (!obs) continue;
+    asymmetry.Add(obs->return_tunnel_length() - record.revealed_count);
+  }
+  std::cout << "\n--- (b) Tunnel asymmetry (RTL - FTL) ---\n"
+            << analysis::RenderPdf(asymmetry, -8, 8, "RTL - FTL");
+  if (!asymmetry.empty()) {
+    std::cout << "median asymmetry: " << asymmetry.Median()
+              << "  (paper: distribution ~normal centred on 0)\n";
+  }
+  std::cout << "shape (paper): RTL distribution mirrors the forward tunnel "
+               "lengths of Fig. 5; the RTL-FTL residual centres on 0, "
+               "validating RTLA against DPR/BRPR ground truth.\n";
+  return 0;
+}

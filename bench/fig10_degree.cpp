@@ -1,0 +1,60 @@
+// Fig. 10: node degree distribution before (tunnels invisible) and after
+// (revealed LSRs re-inserted) correction — overall and for the AS with the
+// strongest full-mesh artefact.
+#include <iostream>
+
+#include "analysis/correct.h"
+#include "analysis/report.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace wormhole;
+  bench::PrintHeader("Degree distribution: invisible vs visible",
+                     "Fig. 10a/10b");
+
+  const auto world = bench::RunFlagshipCampaign();
+  const auto& result = world.result;
+  const auto corrected = analysis::CorrectedCopy(
+      result.inferred, result.revelations,
+      campaign::TruthResolver(world.net->topology()),
+      world.net->topology());
+
+  const auto before = result.inferred.DegreeDistribution();
+  const auto after = corrected.DegreeDistribution();
+  std::cout << "--- (a) all ASes ---\n"
+            << analysis::RenderPdfComparison(
+                   {{"Invisible", &before}, {"Visible", &after}}, 1, 40);
+  std::cout << "\nmax degree: " << before.Max() << " -> " << after.Max()
+            << "\n";
+
+  // (b) the AS whose candidate nodes deflate the most.
+  topo::AsNumber worst = 0;
+  double worst_drop = 0.0;
+  for (const auto& [pair, revelation] : result.revelations) {
+    if (!revelation.succeeded()) continue;
+    const auto node = result.inferred.FindNode(pair.egress);
+    if (!node) continue;
+    const topo::AsNumber asn = result.inferred.node(*node).asn;
+    const auto b = result.inferred.DegreeDistribution(asn);
+    const auto a = corrected.DegreeDistribution(asn);
+    if (b.empty() || a.empty()) continue;
+    const double drop = b.Mean() - a.Mean();
+    if (drop > worst_drop) {
+      worst_drop = drop;
+      worst = asn;
+    }
+  }
+  if (worst != 0) {
+    const auto b = result.inferred.DegreeDistribution(worst);
+    const auto a = corrected.DegreeDistribution(worst);
+    std::cout << "\n--- (b) AS" << worst << " (largest mean-degree drop, "
+              << analysis::TextTable::Real(worst_drop, 2) << ") ---\n"
+              << analysis::RenderPdfComparison(
+                     {{"Invisible", &b}, {"Visible", &a}}, 1, 40);
+  }
+  std::cout << "\nshape (paper): the invisible curve carries artificial "
+               "high-degree peaks (full meshes of LERs, e.g. 23 for "
+               "AS3320); revelation removes them and mass moves to low "
+               "degrees.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Performance micro-benchmarks (google-benchmark): control-plane
+// convergence, data-plane forwarding throughput, probing and revelation
+// speed. These are not paper results — they document that the simulator
+// scales to campaign sizes.
+#include <benchmark/benchmark.h>
+
+#include "campaign/campaign.h"
+#include "gen/gns3.h"
+#include "gen/internet.h"
+#include "mpls/ldp.h"
+#include "probe/prober.h"
+#include "reveal/revelator.h"
+#include "routing/igp.h"
+
+namespace {
+
+using namespace wormhole;
+
+const gen::SyntheticInternet& SharedNet() {
+  static gen::SyntheticInternet* net =
+      new gen::SyntheticInternet({.seed = 42});
+  return *net;
+}
+
+void BM_SpfSingleSource(benchmark::State& state) {
+  const auto& net = SharedNet();
+  // The largest AS.
+  topo::AsNumber biggest = 0;
+  std::size_t best = 0;
+  for (const auto asn : net.topology().AsNumbers()) {
+    if (net.topology().as(asn).routers.size() > best) {
+      best = net.topology().as(asn).routers.size();
+      biggest = asn;
+    }
+  }
+  const auto source = net.topology().as(biggest).routers.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::ComputeSpf(net.topology(), source));
+  }
+  state.counters["routers_in_as"] = static_cast<double>(best);
+}
+BENCHMARK(BM_SpfSingleSource);
+
+void BM_FullControlPlaneConvergence(benchmark::State& state) {
+  gen::InternetOptions options;
+  options.seed = 42;
+  for (auto _ : state) {
+    gen::SyntheticInternet net(options);
+    benchmark::DoNotOptimize(net.topology().router_count());
+  }
+}
+BENCHMARK(BM_FullControlPlaneConvergence)->Unit(benchmark::kMillisecond);
+
+void BM_LdpDomainBuild(benchmark::State& state) {
+  gen::Gns3Testbed testbed({.scenario = gen::Gns3Scenario::kDefault});
+  for (auto _ : state) {
+    mpls::LdpTables tables(testbed.topology(), testbed.configs(),
+                           testbed.network().fibs());
+    benchmark::DoNotOptimize(tables.DomainOf(2));
+  }
+}
+BENCHMARK(BM_LdpDomainBuild);
+
+void BM_TracerouteThroughTunnel(benchmark::State& state) {
+  gen::Gns3Testbed testbed(
+      {.scenario = gen::Gns3Scenario::kBackwardRecursive});
+  probe::Prober prober(testbed.engine(), testbed.vantage_point());
+  const auto target = testbed.Address("CE2.left");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prober.Traceroute(target));
+  }
+  state.counters["probes/s"] = benchmark::Counter(
+      static_cast<double>(prober.probes_sent()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TracerouteThroughTunnel);
+
+void BM_PingAcrossInternet(benchmark::State& state) {
+  auto& net = const_cast<gen::SyntheticInternet&>(SharedNet());
+  probe::Prober prober(net.engine(), net.vantage_points().front());
+  const auto loopbacks = net.AllLoopbacks();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prober.Ping(loopbacks[i % loopbacks.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PingAcrossInternet);
+
+void BM_TunnelRevelation(benchmark::State& state) {
+  gen::Gns3Testbed testbed(
+      {.scenario = gen::Gns3Scenario::kBackwardRecursive});
+  probe::Prober prober(testbed.engine(), testbed.vantage_point());
+  const auto x = testbed.Address("PE1.left");
+  const auto y = testbed.Address("PE2.left");
+  for (auto _ : state) {
+    reveal::Revelator revelator(prober);
+    benchmark::DoNotOptimize(revelator.Reveal(x, y));
+  }
+}
+BENCHMARK(BM_TunnelRevelation);
+
+void BM_FullCampaign(benchmark::State& state) {
+  for (auto _ : state) {
+    gen::SyntheticInternet net({.seed = 42,
+                                .transit_count = 4,
+                                .stub_count = 10,
+                                .vp_count = 4});
+    campaign::Campaign campaign(net.engine(), net.vantage_points(), {});
+    benchmark::DoNotOptimize(campaign.Run(net.AllLoopbacks()));
+  }
+}
+BENCHMARK(BM_FullCampaign)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

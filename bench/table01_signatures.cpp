@@ -1,0 +1,49 @@
+// Table 1: router signatures <iTTL(time-exceeded), iTTL(echo-reply)> per
+// vendor, inferred purely from probing the emulation testbed.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "bench/common.h"
+#include "fingerprint/signature.h"
+#include "gen/gns3.h"
+#include "probe/prober.h"
+
+int main() {
+  using namespace wormhole;
+  bench::PrintHeader("Router signatures by vendor (probed, not assumed)",
+                     "Table 1");
+
+  analysis::TextTable table(
+      {"Router Signature", "Router Brand and OS", "probed routers"});
+
+  for (const auto vendor :
+       {topo::Vendor::kCiscoIos, topo::Vendor::kJuniperJunos,
+        topo::Vendor::kJuniperJunosE, topo::Vendor::kBrocade}) {
+    gen::Gns3Testbed testbed({.scenario = gen::Gns3Scenario::kDefault,
+                              .as2_vendor = vendor});
+    probe::Prober prober(testbed.engine(), testbed.vantage_point());
+    fingerprint::SignatureCollector collector;
+    const auto trace = prober.Traceroute(testbed.Address("CE2.left"));
+    int probed = 0;
+    std::optional<fingerprint::Signature> signature;
+    for (const auto& hop : trace.hops) {
+      if (!hop.address) continue;
+      if (testbed.topology().AsOfAddress(*hop.address) != 2) continue;
+      collector.RecordTimeExceeded(*hop.address, hop.reply_ip_ttl);
+      collector.EnsureEchoReply(prober, *hop.address);
+      if (const auto s = collector.SignatureOf(*hop.address)) {
+        signature = s;
+        ++probed;
+      }
+    }
+    table.AddRow({signature ? signature->ToString() : "?",
+                  signature ? std::string(fingerprint::ToString(
+                                  fingerprint::Classify(*signature)))
+                            : "?",
+                  analysis::TextTable::Num(static_cast<std::size_t>(probed))});
+  }
+  std::cout << table.ToString();
+  std::cout << "\npaper: <255,255> Cisco, <255,64> Juniper Junos, "
+               "<128,128> JunosE, <64,64> Brocade/Alcatel/Linux\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Table 2: visibility effects of the basic MPLS configurations — LDP
+// advertising policy × traceroute target × TTL propagation policy — each
+// cell measured on the Fig. 2 testbed (Juniper LERs for the gap column).
+#include <iostream>
+
+#include "analysis/report.h"
+#include "bench/common.h"
+#include "gen/gns3.h"
+#include "probe/prober.h"
+#include "reveal/frpla.h"
+#include "reveal/rtla.h"
+
+namespace {
+
+using namespace wormhole;
+
+struct Cell {
+  bool explicit_lsp = false;  // labels quoted
+  bool visible = false;       // interior hops appear
+  bool shift = false;         // FRPLA-positive RFA at the egress
+  bool gap = false;           // RTLA gap > 0 (needs <255,64> egress)
+};
+
+Cell Measure(mpls::LdpPolicy ldp, bool propagate, bool external,
+             topo::Vendor vendor) {
+  gen::Gns3Testbed testbed(
+      {.scenario = gen::Gns3Scenario::kDefault, .as2_vendor = vendor});
+  mpls::MplsConfigMap::AsOptions options;
+  options.ttl_propagate = propagate;
+  options.ldp_policy = ldp;
+  testbed.configs().EnableAs(2, options);
+  testbed.Reconverge();
+
+  probe::Prober prober(testbed.engine(), testbed.vantage_point());
+  const auto trace =
+      prober.Traceroute(testbed.Address(external ? "CE2.left" : "PE2.left"));
+
+  Cell cell;
+  cell.explicit_lsp = trace.HasExplicitMpls();
+  for (const char* lsr : {"P1.left", "P2.left", "P3.left"}) {
+    if (trace.HopOf(testbed.Address(lsr))) cell.visible = true;
+  }
+  // Egress = last AS2 time-exceeded hop.
+  const probe::Hop* egress = nullptr;
+  for (const auto& hop : trace.hops) {
+    if (hop.address &&
+        hop.reply_kind == netbase::PacketKind::kTimeExceeded &&
+        testbed.topology().AsOfAddress(*hop.address) == 2) {
+      egress = &hop;
+    }
+  }
+  if (egress != nullptr) {
+    const auto rfa = reveal::ObserveRfa(*egress);
+    cell.shift = rfa && rfa->rfa() > 0;
+    const auto ping = prober.Ping(*egress->address);
+    if (ping.responded) {
+      const auto rtla = reveal::ObserveRtla(
+          *egress->address, egress->reply_ip_ttl, ping.reply_ip_ttl);
+      cell.gap = rtla && rtla->return_tunnel_length() > 0;
+    }
+  }
+  return cell;
+}
+
+std::string Describe(const Cell& c) {
+  std::string out = c.explicit_lsp ? "explicit LSP"
+                    : c.visible    ? "route visible, no labels"
+                                   : "invisible LSP";
+  out += c.shift ? " | shift" : " | no shift";
+  out += c.gap ? " | gap" : " | no gap";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Visibility of basic MPLS configurations (measured cells)", "Table 2");
+  analysis::TextTable table(
+      {"LDP policy", "target", "ttl-propagate", "no-ttl-propagate (Cisco)",
+       "no-ttl-propagate (Juniper LER)"});
+  for (const auto ldp :
+       {mpls::LdpPolicy::kAllPrefixes, mpls::LdpPolicy::kLoopbacksOnly}) {
+    for (const bool external : {true, false}) {
+      const Cell propagate = Measure(ldp, true, external,
+                                     topo::Vendor::kCiscoIos);
+      const Cell cisco = Measure(ldp, false, external,
+                                 topo::Vendor::kCiscoIos);
+      const Cell juniper = Measure(ldp, false, external,
+                                   topo::Vendor::kJuniperJunos);
+      table.AddRow({ldp == mpls::LdpPolicy::kAllPrefixes
+                        ? "all internal prefixes"
+                        : "loopbacks only",
+                    external ? "external" : "internal",
+                    Describe(propagate), Describe(cisco),
+                    Describe(juniper)});
+    }
+  }
+  std::cout << table.ToString();
+  std::cout <<
+      "\npaper shape: ttl-propagate => explicit, no shift/gap;"
+      "\n  no-ttl-propagate + external => invisible + shift (FRPLA), gap only"
+      " for <255,64> LERs (RTLA);"
+      "\n  no-ttl-propagate + internal => last hop leaks (BRPR, all-prefix)"
+      " or full route leaks (DPR, loopback-only).\n";
+  return 0;
+}

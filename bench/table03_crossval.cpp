@@ -1,0 +1,57 @@
+// Table 3: cross-validation of DPR and BRPR on *explicit* tunnels — force
+// ttl-propagate on, harvest Ingress-Egress pairs with fully revealed LSR
+// content, re-run the revelation machinery, classify outcomes.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "bench/common.h"
+#include "campaign/crossval.h"
+
+int main() {
+  using namespace wormhole;
+  bench::PrintHeader("Cross-validation on explicit tunnels", "Table 3");
+
+  gen::SyntheticInternet net(bench::FlagshipOptions());
+  net.ForceTtlPropagation(true);
+
+  std::vector<probe::Prober> probers;
+  for (const auto vp : net.vantage_points()) {
+    probers.emplace_back(net.engine(), vp);
+  }
+  std::vector<probe::TraceResult> traces;
+  for (auto& prober : probers) {
+    for (const auto loopback : net.AllLoopbacks()) {
+      traces.push_back(prober.Traceroute(loopback, {.first_ttl = 2}));
+    }
+  }
+  const auto tunnels =
+      campaign::ExtractExplicitTunnels(traces, net.topology());
+  std::cout << "traces collected: " << traces.size()
+            << "   distinct Ingress-Egress pairs with revealed LSRs: "
+            << tunnels.size() << "\n\n";
+
+  const auto summary =
+      campaign::CrossValidateAll(probers, tunnels, {.first_ttl = 2});
+
+  const auto pct = [&](std::size_t v) {
+    return analysis::TextTable::Pct(
+        100.0 * static_cast<double>(v) /
+            static_cast<double>(std::max<std::size_t>(1, summary.validated())),
+        1);
+  };
+  analysis::TextTable table({"outcome", "share (%)", "paper (%)"});
+  table.AddRow({"BRPR or DPR fail", pct(summary.fail), "8"});
+  table.AddRow({"DPR successful", pct(summary.dpr), "57"});
+  table.AddRow({"BRPR successful", pct(summary.brpr), "3"});
+  table.AddRow({"hybrid DPR/BRPR", pct(summary.hybrid), "5"});
+  table.AddRow({"BRPR or DPR (1 LSR)", pct(summary.either), "26"});
+  std::cout << table.ToString();
+  std::cout << "\npairs whose re-run failed to rediscover the LERs: "
+            << summary.rerun_failed << " (paper: 9,407 of 14,771)\n";
+  std::cout << "shape: the vast majority validates; DPR dominates BRPR "
+               "whenever loopback-only LDP filtering is common; single-LSR "
+               "tunnels are ambiguous. Our synthetic vendor mix has more "
+               "all-prefix (Cisco-default) ASes than the real Internet, so "
+               "BRPR's share is higher than the paper's 3%.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table 5: MPLS deployment per AS — TTL-signature mix, hidden-hop discovery
+// technique mix, and the median hidden-hop estimates of FRPLA / RTLA vs the
+// actually revealed forward tunnel length (FTL).
+#include <iostream>
+
+#include "analysis/report.h"
+#include "analysis/tables.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace wormhole;
+  bench::PrintHeader("MPLS deployment per AS", "Table 5");
+
+  const auto world = bench::RunFlagshipCampaign();
+  const auto rows =
+      analysis::MakeDeploymentTable(world.result, world.net->topology());
+
+  analysis::TextTable table({"AS", "<255,255>", "<255,64>", "<64,64>",
+                             "other", "DPR%", "BRPR%", "either%", "hybrid%",
+                             "FRPLA", "RTLA", "FTL", "hardware truth"});
+  for (const auto& row : rows) {
+    table.AddRow({"AS" + std::to_string(row.asn),
+                  analysis::TextTable::Pct(row.pct_cisco, 0),
+                  analysis::TextTable::Pct(row.pct_junos, 0),
+                  analysis::TextTable::Pct(row.pct_6464, 0),
+                  analysis::TextTable::Pct(row.pct_other, 0),
+                  analysis::TextTable::Pct(row.pct_dpr, 0),
+                  analysis::TextTable::Pct(row.pct_brpr, 0),
+                  analysis::TextTable::Pct(row.pct_either, 0),
+                  analysis::TextTable::Pct(row.pct_hybrid, 0),
+                  analysis::TextTable::Opt(row.frpla_median),
+                  analysis::TextTable::Opt(row.rtla_median),
+                  analysis::TextTable::Opt(row.ftl_median),
+                  ToString(world.net->profile(row.asn).hardware)});
+  }
+  std::cout << table.ToString();
+  std::cout <<
+      "\nshape (paper): Cisco-heavy ASes lean BRPR, Juniper-heavy ones lean "
+      "DPR;\n  FRPLA medians sit near the true tunnel length (asymmetry "
+      "noise aside); RTLA, when applicable, matches FTL closely.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Table 6: applicability of the four measurement techniques per router
+// brand / LDP policy / popping mode — each cell verified by actually
+// running the technique on the testbed.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "bench/common.h"
+#include "gen/gns3.h"
+#include "probe/prober.h"
+#include "reveal/frpla.h"
+#include "reveal/revelator.h"
+#include "reveal/rtla.h"
+
+namespace {
+
+using namespace wormhole;
+
+struct Applicability {
+  bool frpla = false;
+  bool rtla = false;
+  bool dpr = false;
+  bool brpr = false;
+};
+
+Applicability Probe(topo::Vendor vendor, mpls::LdpPolicy ldp,
+                    mpls::Popping popping) {
+  gen::Gns3Testbed testbed(
+      {.scenario = gen::Gns3Scenario::kDefault, .as2_vendor = vendor});
+  mpls::MplsConfigMap::AsOptions options;
+  options.ttl_propagate = false;  // invisible tunnels: the paper's setting
+  options.ldp_policy = ldp;
+  options.popping = popping;
+  testbed.configs().EnableAs(2, options);
+  testbed.Reconverge();
+
+  probe::Prober prober(testbed.engine(), testbed.vantage_point());
+  const auto trace = prober.Traceroute(testbed.Address("CE2.left"));
+
+  Applicability a;
+  const probe::Hop* egress = nullptr;
+  for (const auto& hop : trace.hops) {
+    if (hop.address &&
+        hop.reply_kind == netbase::PacketKind::kTimeExceeded &&
+        testbed.topology().AsOfAddress(*hop.address) == 2) {
+      egress = &hop;
+    }
+  }
+  if (egress != nullptr) {
+    const auto rfa = reveal::ObserveRfa(*egress);
+    a.frpla = rfa && rfa->rfa() > 0;
+    const auto ping = prober.Ping(*egress->address);
+    if (ping.responded) {
+      const auto rtla = reveal::ObserveRtla(
+          *egress->address, egress->reply_ip_ttl, ping.reply_ip_ttl);
+      a.rtla = rtla && rtla->return_tunnel_length() > 0;
+    }
+    // Revelation between the hop before the egress and the egress.
+    const auto last3 = trace.LastResponders(3);
+    if (last3.size() >= 3) {
+      reveal::Revelator revelator(prober);
+      const auto result = revelator.Reveal(last3[0], last3[1]);
+      a.dpr = result.method == reveal::RevelationMethod::kDpr;
+      a.brpr = result.method == reveal::RevelationMethod::kBrpr;
+      if (result.method == reveal::RevelationMethod::kEither) {
+        a.dpr = a.brpr = true;
+      }
+    }
+  }
+  return a;
+}
+
+const char* Mark(bool v) { return v ? "X" : "-"; }
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Technique applicability per brand/configuration",
+                     "Table 6");
+  analysis::TextTable table({"Brand", "LDP", "Popping", "FRPLA", "RTLA",
+                             "DPR", "BRPR"});
+  struct Row {
+    topo::Vendor vendor;
+    const char* brand;
+    mpls::LdpPolicy ldp;
+    const char* ldp_name;
+    mpls::Popping popping;
+    const char* pop_name;
+  };
+  const Row rows[] = {
+      {topo::Vendor::kCiscoIos, "Cisco", mpls::LdpPolicy::kAllPrefixes,
+       "all prefixes", mpls::Popping::kPhp, "PHP"},
+      {topo::Vendor::kJuniperJunos, "Juniper",
+       mpls::LdpPolicy::kLoopbacksOnly, "loopback", mpls::Popping::kPhp,
+       "PHP"},
+      {topo::Vendor::kCiscoIos, "Cisco", mpls::LdpPolicy::kLoopbacksOnly,
+       "loopback", mpls::Popping::kPhp, "PHP"},
+      {topo::Vendor::kJuniperJunos, "Juniper",
+       mpls::LdpPolicy::kAllPrefixes, "all prefixes", mpls::Popping::kPhp,
+       "PHP"},
+      {topo::Vendor::kCiscoIos, "Cisco", mpls::LdpPolicy::kAllPrefixes,
+       "all prefixes", mpls::Popping::kUhp, "UHP"},
+  };
+  for (const Row& row : rows) {
+    const Applicability a = Probe(row.vendor, row.ldp, row.popping);
+    table.AddRow({row.brand, row.ldp_name, row.pop_name, Mark(a.frpla),
+                  Mark(a.rtla), Mark(a.dpr), Mark(a.brpr)});
+  }
+  std::cout << table.ToString();
+  std::cout << "\npaper Table 6: Cisco/all-prefixes/PHP -> FRPLA + BRPR;"
+               "\n  Juniper/loopback/PHP -> (FRPLA), RTLA, DPR, (BRPR);"
+               "\n  UHP -> nothing applies (totally invisible).\n";
+  return 0;
+}

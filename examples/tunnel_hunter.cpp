@@ -1,0 +1,116 @@
+// tunnel_hunter — the "modified traceroute" the paper's conclusion
+// envisions (Sec. 8 / Table 6): run a normal Paris traceroute, use FRPLA
+// and RTLA as *triggers* for invisible-tunnel suspicion at each hop pair,
+// and when a hop pair looks suspicious, fire DPR/BRPR to reveal the hidden
+// LSRs on the fly.
+#include <iomanip>
+#include <iostream>
+
+#include "gen/internet.h"
+#include "probe/prober.h"
+#include "reveal/frpla.h"
+#include "reveal/revelator.h"
+#include "reveal/rtla.h"
+#include "reveal/uhp_trigger.h"
+
+using namespace wormhole;
+
+namespace {
+
+std::string NameOf(const topo::Topology& topology, netbase::Ipv4Address a) {
+  const auto router = topology.FindRouterByAddress(a);
+  return router ? topology.router(*router).name : a.ToString();
+}
+
+void Hunt(gen::SyntheticInternet& net, probe::Prober& prober,
+          netbase::Ipv4Address target) {
+  const auto& topology = net.topology();
+  std::cout << "tracing " << NameOf(topology, target) << " ("
+            << target << ")\n";
+  const auto trace = prober.Traceroute(target, {.first_ttl = 2});
+
+  // Trigger 0 — UHP: a duplicated consecutive hop marks a *totally*
+  // invisible cloud nothing below can open.
+  for (const auto& suspicion : reveal::DetectUhpSuspicions(trace)) {
+    std::cout << "  !! UHP suspicion: " << NameOf(topology,
+                                                  suspicion.duplicate)
+              << " answered twice (TTL " << suspicion.first_ttl << "/"
+              << suspicion.first_ttl + 1 << ") — invisible UHP cloud"
+              << (suspicion.before
+                      ? " behind " + NameOf(topology, *suspicion.before)
+                      : std::string())
+              << "\n";
+  }
+
+  std::optional<netbase::Ipv4Address> previous;
+  for (const auto& hop : trace.hops) {
+    std::cout << "  " << std::setw(2) << hop.probe_ttl << "  ";
+    if (!hop.address) {
+      std::cout << "*\n";
+      previous.reset();
+      continue;
+    }
+    std::cout << std::left << std::setw(18) << NameOf(topology, *hop.address)
+              << std::right << " [" << hop.reply_ip_ttl << "]";
+
+    // Trigger 1 — FRPLA: does the return path look longer than the
+    // forward one by more than routing asymmetry should allow?
+    bool suspicious = false;
+    if (hop.reply_kind == netbase::PacketKind::kTimeExceeded) {
+      if (const auto rfa = reveal::ObserveRfa(hop); rfa && rfa->rfa() >= 2) {
+        std::cout << "  <- FRPLA trigger (RFA " << rfa->rfa() << ")";
+        suspicious = true;
+      }
+      // Trigger 2 — RTLA, when the responder is <255,64>.
+      const auto ping = prober.Ping(*hop.address);
+      if (ping.responded) {
+        const auto rtla = reveal::ObserveRtla(
+            *hop.address, hop.reply_ip_ttl, ping.reply_ip_ttl);
+        if (rtla && rtla->return_tunnel_length() >= 1) {
+          std::cout << "  <- RTLA trigger (return tunnel "
+                    << rtla->return_tunnel_length() << " LSRs)";
+          suspicious = true;
+        }
+      }
+    }
+    std::cout << "\n";
+
+    if (suspicious && previous) {
+      reveal::Revelator revelator(prober,
+                                  {.trace_options = {.first_ttl = 2}});
+      const auto result = revelator.Reveal(*previous, *hop.address);
+      if (result.succeeded()) {
+        std::cout << "      revealed via " << reveal::ToString(result.method)
+                  << ":";
+        for (const auto lsr : result.revealed) {
+          std::cout << "  " << NameOf(topology, lsr);
+        }
+        std::cout << "\n";
+      } else {
+        std::cout << "      revelation failed (UHP or no tunnel)\n";
+      }
+    }
+    previous = hop.address;
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  gen::SyntheticInternet net({.seed = 29});
+  probe::Prober prober(net.engine(), net.vantage_points().front());
+
+  // Hunt across a few far-away loopbacks: transit paths crossing the
+  // MPLS clouds.
+  int hunted = 0;
+  for (const auto& [asn, profile] : net.profiles()) {
+    if (profile.role != gen::AsRole::kStub || hunted >= 4) continue;
+    const auto target =
+        net.topology().router(profile.edge_routers.front()).loopback;
+    Hunt(net, prober, target);
+    ++hunted;
+  }
+  std::cout << "probes spent: " << prober.probes_sent() << "\n";
+  return 0;
+}

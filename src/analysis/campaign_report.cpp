@@ -1,0 +1,158 @@
+#include "analysis/campaign_report.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "analysis/correct.h"
+#include "analysis/metrics.h"
+#include "analysis/report.h"
+#include "analysis/tables.h"
+
+namespace wormhole::analysis {
+
+void WriteCampaignReport(std::ostream& os,
+                         const campaign::CampaignResult& result,
+                         const topo::Topology& topology,
+                         const ReportOptions& options) {
+  os << "# Invisible MPLS tunnel campaign report\n\n";
+  os << "| | |\n|---|---|\n";
+  os << "| probes sent | " << result.probes_sent << " |\n";
+  os << "| targeted traces | " << result.traces.size() << " |\n";
+  os << "| HDNs (threshold " << options.hdn_threshold << ") | "
+     << result.targets.hdns.size() << " |\n";
+  os << "| candidate Ingress-Egress pairs | " << result.revelations.size()
+     << " |\n";
+  os << "| tunnels revealed | " << result.revealed_count() << " |\n";
+  os << "| extra traces spent on revelation | " << result.revelation_traces
+     << " |\n\n";
+
+  const auto corrected =
+      CorrectedCopy(result.inferred, result.revelations,
+                    campaign::TruthResolver(topology), topology);
+
+  os << "## Graph correction\n\n";
+  const auto before = result.inferred.DegreeDistribution();
+  const auto after = corrected.DegreeDistribution();
+  os << "| metric | inferred | corrected |\n|---|---|---|\n";
+  if (!before.empty() && !after.empty()) {
+    os << "| max degree | " << before.Max() << " | " << after.Max()
+       << " |\n";
+    os << "| mean degree | " << TextTable::Real(before.Mean(), 2) << " | "
+       << TextTable::Real(after.Mean(), 2) << " |\n";
+  }
+  os << "| clustering | "
+     << TextTable::Real(AverageClustering(result.inferred), 3) << " | "
+     << TextTable::Real(AverageClustering(corrected), 3) << " |\n";
+  os << "| density | "
+     << TextTable::Real(GlobalDensity(result.inferred), 5) << " | "
+     << TextTable::Real(GlobalDensity(corrected), 5) << " |\n\n";
+
+  os << "## Discovery per AS (Table 4 style)\n\n```\n";
+  const auto discovery = MakeDiscoveryTable(result, corrected, topology,
+                                            options.hdn_threshold);
+  TextTable discovery_table({"AS", "HDNs", "I-E pairs", "%Rev.", "Raw LSPs",
+                             "#IPs LSRs", "Dens before", "Dens after"});
+  for (const auto& row : discovery) {
+    discovery_table.AddRow({"AS" + std::to_string(row.asn),
+                            TextTable::Num(row.hdns_itdk),
+                            TextTable::Num(row.ie_pairs),
+                            TextTable::Pct(row.pct_revealed),
+                            TextTable::Num(row.raw_lsps),
+                            TextTable::Num(row.lsr_ips),
+                            TextTable::Real(row.density_before),
+                            TextTable::Real(row.density_after)});
+  }
+  os << discovery_table.ToString() << "```\n\n";
+
+  os << "## Deployment per AS (Table 5 style)\n\n```\n";
+  TextTable deployment_table({"AS", "<255,255>", "<255,64>", "<64,64>",
+                              "DPR%", "BRPR%", "either%", "FRPLA", "RTLA",
+                              "FTL"});
+  for (const auto& row : MakeDeploymentTable(result, topology)) {
+    deployment_table.AddRow({"AS" + std::to_string(row.asn),
+                             TextTable::Pct(row.pct_cisco, 0),
+                             TextTable::Pct(row.pct_junos, 0),
+                             TextTable::Pct(row.pct_6464, 0),
+                             TextTable::Pct(row.pct_dpr, 0),
+                             TextTable::Pct(row.pct_brpr, 0),
+                             TextTable::Pct(row.pct_either, 0),
+                             TextTable::Opt(row.frpla_median),
+                             TextTable::Opt(row.rtla_median),
+                             TextTable::Opt(row.ftl_median)});
+  }
+  os << deployment_table.ToString() << "```\n\n";
+
+  if (!result.uhp_suspicions.empty()) {
+    os << "## UHP (duplicate-hop) suspicions\n\n";
+    for (const auto& [asn, count] : result.uhp_suspicions) {
+      os << "* AS" << asn << ": " << count << " traces\n";
+    }
+    os << "\n";
+  }
+
+  if (options.include_distributions) {
+    os << "## Headline distributions\n\n";
+    const auto ftl = result.AllTunnelLengths();
+    if (!ftl.empty()) {
+      os << "* forward tunnel length: median " << ftl.Median() << ", max "
+         << ftl.Max() << " (n=" << ftl.total() << ")\n";
+    }
+    const auto egress =
+        result.frpla.Combined(reveal::ResponderRole::kEgressRevealed);
+    const auto others = result.frpla.Combined(reveal::ResponderRole::kOther);
+    if (!egress.empty() && !others.empty()) {
+      os << "* RFA: egress-PR median " << egress.Median()
+         << " vs others median " << others.Median() << "\n";
+    }
+    const auto rtl = result.rtla.Combined();
+    if (!rtl.empty()) {
+      os << "* return tunnel length (RTLA): median " << rtl.Median()
+         << " (n=" << rtl.total() << ")\n";
+    }
+    if (!result.path_length_invisible.empty()) {
+      os << "* path length over tunnel-crossing traces: "
+         << TextTable::Real(result.path_length_invisible.Mean(), 2)
+         << " -> "
+         << TextTable::Real(result.path_length_visible.Mean(), 2)
+         << " after correction\n";
+    }
+  }
+}
+
+void WriteDistributionCsv(std::ostream& os,
+                          const netbase::IntDistribution& distribution) {
+  os << "value,count,pdf\n";
+  for (const auto& [value, count] : distribution.buckets()) {
+    os << value << ',' << count << ',' << distribution.Pdf(value) << '\n';
+  }
+}
+
+std::string WriteCampaignArtifacts(const std::string& directory,
+                                   const campaign::CampaignResult& result,
+                                   const topo::Topology& topology,
+                                   const ReportOptions& options) {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  const auto csv = [&](const std::string& name,
+                       const netbase::IntDistribution& d) {
+    std::ofstream out(fs::path(directory) / name);
+    WriteDistributionCsv(out, d);
+  };
+  csv("ftl.csv", result.AllTunnelLengths());
+  csv("rfa_egress.csv",
+      result.frpla.Combined(reveal::ResponderRole::kEgressRevealed));
+  csv("rfa_others.csv",
+      result.frpla.Combined(reveal::ResponderRole::kOther));
+  csv("rtl.csv", result.rtla.Combined());
+  csv("pathlen_invisible.csv", result.path_length_invisible);
+  csv("pathlen_visible.csv", result.path_length_visible);
+  csv("degree.csv", result.inferred.DegreeDistribution());
+
+  const fs::path report_path = fs::path(directory) / "report.md";
+  std::ofstream report(report_path);
+  WriteCampaignReport(report, result, topology, options);
+  return report_path.string();
+}
+
+}  // namespace wormhole::analysis

@@ -1,0 +1,39 @@
+// One-call campaign reporting: a self-contained markdown report plus
+// plot-ready CSV series from a CampaignResult — what a downstream user
+// wants after running the pipeline on their own topology.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "campaign/campaign.h"
+
+namespace wormhole::analysis {
+
+struct ReportOptions {
+  std::size_t hdn_threshold = 8;
+  /// Ground-truth annotations are included when the topology is the
+  /// generated one (they are derived from the address space only).
+  bool include_distributions = true;
+};
+
+/// Writes a markdown report: campaign summary, per-AS discovery and
+/// deployment tables, headline distributions and UHP suspicions.
+void WriteCampaignReport(std::ostream& os,
+                         const campaign::CampaignResult& result,
+                         const topo::Topology& topology,
+                         const ReportOptions& options = {});
+
+/// Writes one distribution as CSV ("value,count,pdf\n" rows).
+void WriteDistributionCsv(std::ostream& os,
+                          const netbase::IntDistribution& distribution);
+
+/// Writes report.md plus ftl.csv / rfa_egress.csv / rfa_others.csv /
+/// rtl.csv / pathlen_invisible.csv / pathlen_visible.csv / degree.csv
+/// into `directory` (created if missing). Returns the report path.
+std::string WriteCampaignArtifacts(const std::string& directory,
+                                   const campaign::CampaignResult& result,
+                                   const topo::Topology& topology,
+                                   const ReportOptions& options = {});
+
+}  // namespace wormhole::analysis

@@ -1,0 +1,59 @@
+#include "analysis/correct.h"
+
+namespace wormhole::analysis {
+
+CorrectionStats ApplyRevelations(
+    topo::ItdkDataset& dataset,
+    const std::map<campaign::EndpointPair, reveal::RevelationResult>&
+        revelations,
+    const campaign::AliasResolver& resolver,
+    const topo::Topology& topology) {
+  CorrectionStats stats;
+  for (const auto& [pair, revelation] : revelations) {
+    if (!revelation.succeeded()) continue;
+    const auto ingress = dataset.FindNode(pair.ingress);
+    const auto egress = dataset.FindNode(pair.egress);
+    if (!ingress || !egress) continue;
+
+    ++stats.tunnels_applied;
+    if (dataset.HasLink(*ingress, *egress)) {
+      dataset.RemoveLink(*ingress, *egress);
+      ++stats.false_links_removed;
+    }
+
+    topo::NodeId previous = *ingress;
+    for (const netbase::Ipv4Address address : revelation.revealed) {
+      const netbase::Ipv4Address key = resolver(address);
+      const bool existed = dataset.FindNode(key).has_value();
+      const topo::NodeId node = dataset.NodeOf(key);
+      dataset.AddAlias(node, address);
+      if (dataset.node(node).asn == 0) {
+        dataset.SetAs(node, topology.AsOfAddress(address));
+      }
+      existed ? ++stats.addresses_mapped : ++stats.addresses_new;
+      if (!dataset.HasLink(previous, node)) {
+        dataset.AddLink(previous, node);
+        ++stats.links_added;
+      }
+      previous = node;
+    }
+    if (!dataset.HasLink(previous, *egress)) {
+      dataset.AddLink(previous, *egress);
+      ++stats.links_added;
+    }
+  }
+  return stats;
+}
+
+topo::ItdkDataset CorrectedCopy(
+    const topo::ItdkDataset& dataset,
+    const std::map<campaign::EndpointPair, reveal::RevelationResult>&
+        revelations,
+    const campaign::AliasResolver& resolver,
+    const topo::Topology& topology) {
+  topo::ItdkDataset copy = dataset;
+  ApplyRevelations(copy, revelations, resolver, topology);
+  return copy;
+}
+
+}  // namespace wormhole::analysis

@@ -1,0 +1,40 @@
+// Correcting an inferred router-level dataset with revelation results
+// (paper Sec. 7): for every revealed tunnel, the false Ingress—Egress link
+// is replaced by the chain Ingress—H1—…—Hn—Egress, deflating node degrees
+// and graph density back towards reality.
+#pragma once
+
+#include <map>
+
+#include "campaign/campaign.h"
+#include "topo/itdk.h"
+
+namespace wormhole::analysis {
+
+struct CorrectionStats {
+  std::size_t tunnels_applied = 0;
+  std::size_t false_links_removed = 0;
+  std::size_t links_added = 0;
+  std::size_t addresses_mapped = 0;   ///< revealed IPs mapped to known nodes
+  std::size_t addresses_new = 0;      ///< revealed IPs needing new nodes
+};
+
+/// Applies all successful revelations to `dataset` in place. Revealed
+/// addresses are alias-resolved with `resolver` (the paper maps 97% of them
+/// into ITDK nodes; with the truth resolver we map whatever the topology
+/// knows).
+CorrectionStats ApplyRevelations(
+    topo::ItdkDataset& dataset,
+    const std::map<campaign::EndpointPair, reveal::RevelationResult>&
+        revelations,
+    const campaign::AliasResolver& resolver,
+    const topo::Topology& topology);
+
+/// Convenience: copy + correct.
+topo::ItdkDataset CorrectedCopy(
+    const topo::ItdkDataset& dataset,
+    const std::map<campaign::EndpointPair, reveal::RevelationResult>&
+        revelations,
+    const campaign::AliasResolver& resolver, const topo::Topology& topology);
+
+}  // namespace wormhole::analysis

@@ -1,0 +1,90 @@
+#include "analysis/metrics.h"
+
+#include <cmath>
+#include <deque>
+
+namespace wormhole::analysis {
+
+double LocalClustering(const topo::ItdkDataset& dataset, topo::NodeId node) {
+  const auto& neighbors = dataset.NeighborsOf(node);
+  const std::size_t k = neighbors.size();
+  if (k < 2) return 0.0;
+  std::size_t closed = 0;
+  for (auto it = neighbors.begin(); it != neighbors.end(); ++it) {
+    auto jt = it;
+    for (++jt; jt != neighbors.end(); ++jt) {
+      if (dataset.HasLink(*it, *jt)) ++closed;
+    }
+  }
+  return 2.0 * static_cast<double>(closed) /
+         (static_cast<double>(k) * static_cast<double>(k - 1));
+}
+
+double AverageClustering(const topo::ItdkDataset& dataset) {
+  if (dataset.node_count() == 0) return 0.0;
+  double sum = 0.0;
+  for (const topo::ItdkNode& node : dataset.nodes()) {
+    sum += LocalClustering(dataset, node.id);
+  }
+  return sum / static_cast<double>(dataset.node_count());
+}
+
+double GlobalDensity(const topo::ItdkDataset& dataset) {
+  const double v = static_cast<double>(dataset.node_count());
+  if (v < 2.0) return 0.0;
+  return 2.0 * static_cast<double>(dataset.link_count()) / (v * (v - 1.0));
+}
+
+netbase::IntDistribution ShortestPathLengths(const topo::ItdkDataset& dataset,
+                                             topo::NodeId source) {
+  netbase::IntDistribution lengths;
+  std::vector<int> distance(dataset.node_count(), -1);
+  std::deque<topo::NodeId> queue{source};
+  distance[source] = 0;
+  while (!queue.empty()) {
+    const topo::NodeId u = queue.front();
+    queue.pop_front();
+    for (const topo::NodeId v : dataset.NeighborsOf(u)) {
+      if (distance[v] != -1) continue;
+      distance[v] = distance[u] + 1;
+      lengths.Add(distance[v]);
+      queue.push_back(v);
+    }
+  }
+  return lengths;
+}
+
+PathStats SampledPathStats(const topo::ItdkDataset& dataset,
+                           std::size_t sample_count) {
+  PathStats stats;
+  const std::size_t n = dataset.node_count();
+  if (n == 0) return stats;
+  const std::size_t samples =
+      sample_count == 0 ? n : std::min(sample_count, n);
+  const std::size_t stride = std::max<std::size_t>(1, n / samples);
+  for (std::size_t source = 0; source < n; source += stride) {
+    stats.lengths.Merge(
+        ShortestPathLengths(dataset, static_cast<topo::NodeId>(source)));
+  }
+  if (!stats.lengths.empty()) {
+    stats.mean = stats.lengths.Mean();
+    stats.diameter = stats.lengths.Max();
+  }
+  return stats;
+}
+
+double FitPowerLawAlpha(const netbase::IntDistribution& d, int x_min) {
+  double log_sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& [value, count] : d.buckets()) {
+    if (value < x_min) continue;
+    log_sum += static_cast<double>(count) *
+               std::log(static_cast<double>(value) /
+                        (static_cast<double>(x_min) - 0.5));
+    n += count;
+  }
+  if (n < 2 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+}  // namespace wormhole::analysis

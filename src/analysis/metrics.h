@@ -1,0 +1,45 @@
+// Additional graph metrics the paper names as biased by invisible tunnels
+// (Sec. 1 / Sec. 7): clustering coefficient, density, and shortest-path
+// statistics over ITDK-like datasets.
+#pragma once
+
+#include "netbase/stats.h"
+#include "topo/itdk.h"
+
+namespace wormhole::analysis {
+
+/// Local clustering coefficient of one node: fraction of its neighbor
+/// pairs that are themselves adjacent (0 for degree < 2).
+double LocalClustering(const topo::ItdkDataset& dataset, topo::NodeId node);
+
+/// Average local clustering coefficient over all nodes (Watts–Strogatz).
+/// Invisible tunnels inflate this: a full mesh of LERs has coefficient 1.
+double AverageClustering(const topo::ItdkDataset& dataset);
+
+/// Graph density over the whole dataset (2E / V(V-1)).
+double GlobalDensity(const topo::ItdkDataset& dataset);
+
+/// BFS shortest-path-length distribution from `source` to every reachable
+/// node (unit link weights).
+netbase::IntDistribution ShortestPathLengths(const topo::ItdkDataset& dataset,
+                                             topo::NodeId source);
+
+/// Sampled all-pairs shortest path statistics: runs BFS from
+/// `sample_count` evenly spaced sources (or all when 0).
+struct PathStats {
+  double mean = 0.0;
+  int diameter = 0;  ///< longest shortest path observed
+  netbase::IntDistribution lengths;
+};
+PathStats SampledPathStats(const topo::ItdkDataset& dataset,
+                           std::size_t sample_count = 0);
+
+/// Discrete maximum-likelihood estimate of a power-law exponent alpha for
+/// P(X = k) ∝ k^-alpha over samples >= x_min (Clauset-Shalizi-Newman's
+/// continuous approximation: alpha = 1 + n / Σ ln(x_i / (x_min - 0.5))).
+/// Returns 0 when fewer than 2 qualifying samples exist. Degree
+/// distributions of traceroute-inferred graphs famously fit alpha ≈ 2-3
+/// (Faloutsos et al., the paper's Fig. 1 reference).
+double FitPowerLawAlpha(const netbase::IntDistribution& d, int x_min = 1);
+
+}  // namespace wormhole::analysis

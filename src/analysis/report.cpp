@@ -1,0 +1,117 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace wormhole::analysis {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = headers_.size() > 0 ? 2 * (headers_.size() - 1) : 0;
+  for (const std::size_t w : widths) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::Num(std::size_t v) { return std::to_string(v); }
+std::string TextTable::Num(int v) { return std::to_string(v); }
+
+std::string TextTable::Pct(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string TextTable::Real(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string TextTable::Opt(const std::optional<int>& v) {
+  return v ? std::to_string(*v) : "-";
+}
+
+namespace {
+
+std::string Sparkline(double fraction) {
+  const int width = 40;
+  const int filled = static_cast<int>(fraction * width + 0.5);
+  return std::string(static_cast<std::size_t>(std::clamp(filled, 0, width)),
+                     '#');
+}
+
+double ClampedPdf(const netbase::IntDistribution& d, int v, int min_value,
+                  int max_value) {
+  if (d.empty()) return 0.0;
+  double p = d.Pdf(v);
+  if (v == min_value) p = d.Cdf(v);                 // mass below folds in
+  if (v == max_value) p = 1.0 - d.Cdf(v - 1);       // mass above folds in
+  return p;
+}
+
+}  // namespace
+
+std::string RenderPdf(const netbase::IntDistribution& d, int min_value,
+                      int max_value, const std::string& label) {
+  std::ostringstream os;
+  os << "# " << label << " (n=" << d.total() << ")\n";
+  os << std::fixed << std::setprecision(4);
+  for (int v = min_value; v <= max_value; ++v) {
+    const double p = ClampedPdf(d, v, min_value, max_value);
+    os << std::setw(5) << v << "  " << p << "  " << Sparkline(p) << '\n';
+  }
+  return os.str();
+}
+
+std::string RenderPdfComparison(
+    const std::vector<std::pair<std::string, const netbase::IntDistribution*>>&
+        series,
+    int min_value, int max_value) {
+  std::ostringstream os;
+  std::vector<int> widths;
+  os << std::setw(5) << "x";
+  for (const auto& [label, d] : series) {
+    const std::string header = label + "(n=" + std::to_string(d->total()) +
+                               ")";
+    widths.push_back(std::max<int>(10, static_cast<int>(header.size())));
+    os << "  " << std::setw(widths.back()) << header;
+  }
+  os << '\n' << std::fixed << std::setprecision(4);
+  for (int v = min_value; v <= max_value; ++v) {
+    os << std::setw(5) << v;
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      os << "  " << std::setw(widths[s])
+         << ClampedPdf(*series[s].second, v, min_value, max_value);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace wormhole::analysis

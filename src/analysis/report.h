@@ -1,0 +1,44 @@
+// Plain-text report rendering: aligned tables and PDF series for the bench
+// binaries that regenerate the paper's tables and figures.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/stats.h"
+
+namespace wormhole::analysis {
+
+/// Minimal fixed-width table builder.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  [[nodiscard]] std::string ToString() const;
+
+  // Cell helpers.
+  static std::string Num(std::size_t v);
+  static std::string Num(int v);
+  static std::string Pct(double v, int decimals = 1);
+  static std::string Real(double v, int decimals = 3);
+  static std::string Opt(const std::optional<int>& v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a PDF as "value  probability" rows plus a text sparkline, for
+/// figure benches. Buckets outside [min,max] are clamped into the ends.
+std::string RenderPdf(const netbase::IntDistribution& d, int min_value,
+                      int max_value, const std::string& label);
+
+/// Renders several distributions side by side over a shared support.
+std::string RenderPdfComparison(
+    const std::vector<std::pair<std::string, const netbase::IntDistribution*>>&
+        series,
+    int min_value, int max_value);
+
+}  // namespace wormhole::analysis

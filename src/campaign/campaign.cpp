@@ -1,0 +1,255 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <set>
+
+namespace wormhole::campaign {
+
+using netbase::PacketKind;
+
+std::size_t CampaignResult::revealed_count() const {
+  std::size_t count = 0;
+  for (const auto& [pair, revelation] : revelations) {
+    if (revelation.succeeded()) ++count;
+  }
+  return count;
+}
+
+netbase::IntDistribution CampaignResult::TunnelLengths(
+    reveal::RevelationMethod method) const {
+  netbase::IntDistribution d;
+  for (const auto& [pair, revelation] : revelations) {
+    if (revelation.method == method) d.Add(revelation.tunnel_length());
+  }
+  return d;
+}
+
+netbase::IntDistribution CampaignResult::AllTunnelLengths() const {
+  netbase::IntDistribution d;
+  for (const auto& [pair, revelation] : revelations) {
+    if (revelation.succeeded()) d.Add(revelation.tunnel_length());
+  }
+  return d;
+}
+
+Campaign::Campaign(sim::Engine& engine,
+                   std::vector<netbase::Ipv4Address> vps,
+                   CampaignOptions options)
+    : engine_(&engine), options_(options) {
+  probers_.reserve(vps.size());
+  for (const netbase::Ipv4Address vp : vps) {
+    probers_.emplace_back(engine, vp);
+  }
+  if (probers_.empty()) {
+    throw std::invalid_argument("Campaign: no vantage points");
+  }
+}
+
+std::vector<probe::TraceResult> Campaign::RunDiscovery(
+    const std::vector<netbase::Ipv4Address>& targets) {
+  std::vector<probe::TraceResult> traces;
+  traces.reserve(targets.size());
+  const auto shards = ShardTargets(targets, probers_.size());
+  for (std::size_t vp = 0; vp < probers_.size(); ++vp) {
+    for (const netbase::Ipv4Address target : shards[vp]) {
+      traces.push_back(
+          probers_[vp].Traceroute(target, options_.trace_options));
+    }
+  }
+  return traces;
+}
+
+CampaignResult Campaign::Run(
+    const std::vector<netbase::Ipv4Address>& discovery_targets) {
+  CampaignResult result;
+  const topo::Topology& topology = engine_->topology();
+  const AliasResolver resolver = TruthResolver(topology);
+
+  // Phase 0: plain discovery campaign; infer the (biased) dataset.
+  const auto discovery = RunDiscovery(discovery_targets);
+  result.inferred = BuildDataset(discovery, resolver, topology);
+
+  // Phase 1: HDN-guided probing.
+  result.targets = SelectTargets(result.inferred, options_.hdn_threshold);
+  auto shards = options_.shard_targets
+                    ? ShardTargets(result.targets.all, probers_.size())
+                    : std::vector<std::vector<netbase::Ipv4Address>>(
+                          probers_.size(), result.targets.all);
+
+  std::vector<std::optional<EndpointPair>> trace_pair;
+  for (std::size_t vp = 0; vp < probers_.size(); ++vp) {
+    for (const netbase::Ipv4Address target : shards[vp]) {
+      probe::TraceResult trace =
+          probers_[vp].Traceroute(target, options_.trace_options);
+      AddTraceToDataset(result.inferred, trace, resolver, topology);
+      trace_pair.push_back(AnalyzeTrace(trace, result, probers_[vp]));
+      result.traces.push_back(std::move(trace));
+    }
+  }
+
+  ClassifyFrpla(result);
+
+  // Fig. 11 material: observed vs revelation-corrected path lengths, over
+  // the traces that crossed a suspected tunnel (the paper's campaign is
+  // exactly that population — transit paths through suspicious ASes).
+  for (std::size_t i = 0; i < result.traces.size(); ++i) {
+    if (!trace_pair[i]) continue;
+    const int observed = result.traces[i].LastRespondingTtl();
+    if (observed == 0) continue;
+    result.path_length_invisible.Add(observed);
+    int corrected = observed;
+    const auto it = result.revelations.find(*trace_pair[i]);
+    if (it != result.revelations.end() && it->second.succeeded()) {
+      corrected += static_cast<int>(it->second.revealed.size());
+    }
+    result.path_length_visible.Add(corrected);
+  }
+
+  for (const probe::Prober& prober : probers_) {
+    result.probes_sent += prober.probes_sent();
+  }
+  return result;
+}
+
+std::optional<EndpointPair> Campaign::AnalyzeTrace(
+    const probe::TraceResult& trace, CampaignResult& result,
+    probe::Prober& prober) {
+  // UHP signatures: attribute each duplicate-hop suspicion to the AS of
+  // the hop before it (the suspected Ingress LER of the invisible cloud).
+  for (const auto& suspicion : reveal::DetectUhpSuspicions(trace)) {
+    if (!suspicion.before) continue;
+    const auto node = result.inferred.FindNode(*suspicion.before);
+    const topo::AsNumber asn =
+        node ? result.inferred.node(*node).asn
+             : engine_->topology().AsOfAddress(*suspicion.before);
+    if (asn != 0) ++result.uhp_suspicions[asn];
+  }
+
+  // Fingerprinting: the time-exceeded half comes for free from the trace;
+  // the echo-reply half needs one ping per new address.
+  for (const probe::Hop& hop : trace.hops) {
+    if (!hop.address) continue;
+    if (hop.reply_kind == PacketKind::kTimeExceeded) {
+      result.signatures.RecordTimeExceeded(*hop.address, hop.reply_ip_ttl);
+    } else if (hop.reply_kind == PacketKind::kEchoReply) {
+      result.signatures.RecordEchoReply(*hop.address, hop.reply_ip_ttl);
+    }
+    if (options_.fingerprint) {
+      result.signatures.EnsureEchoReply(prober, *hop.address);
+    }
+  }
+
+  // Candidate endpoints: the trace must have reached D with ... X, Y, D and
+  // X, Y apparently adjacent in the same AS (paper Sec. 4).
+  if (!trace.reached) return std::nullopt;
+  const auto last3 = trace.LastResponders(3);
+  if (last3.size() < 3) return std::nullopt;
+  const netbase::Ipv4Address x = last3[0];
+  const netbase::Ipv4Address y = last3[1];
+
+  const auto nx = result.inferred.FindNode(x);
+  const auto ny = result.inferred.FindNode(y);
+  if (!nx || !ny || *nx == *ny) return std::nullopt;
+  const topo::AsNumber asn = result.inferred.node(*ny).asn;
+  if (asn == 0 || result.inferred.node(*nx).asn != asn) return std::nullopt;
+
+  const auto hop_x = trace.HopOf(x);
+  const auto hop_y = trace.HopOf(y);
+  if (!hop_x || !hop_y || *hop_y != *hop_x + 1) return std::nullopt;
+
+  if (options_.require_hdn_endpoints) {
+    const auto is_hdn = [&](topo::NodeId node) {
+      return std::find(result.targets.hdns.begin(),
+                       result.targets.hdns.end(),
+                       node) != result.targets.hdns.end();
+    };
+    if (!is_hdn(*nx) || !is_hdn(*ny)) return std::nullopt;
+  }
+
+  const EndpointPair pair{x, y};
+  auto it = result.revelations.find(pair);
+  if (it == result.revelations.end()) {
+    reveal::Revelator revelator(prober,
+                                {.trace_options = options_.trace_options});
+    reveal::RevelationResult revelation = revelator.Reveal(x, y);
+    result.revelation_traces +=
+        static_cast<std::uint64_t>(revelation.traces_used);
+    it = result.revelations.emplace(pair, std::move(revelation)).first;
+  }
+
+  CandidateRecord record;
+  record.pair = pair;
+  record.asn = asn;
+  const probe::Hop& egress_hop =
+      trace.hops.at(static_cast<std::size_t>(*hop_y) -
+                    static_cast<std::size_t>(trace.hops[0].probe_ttl));
+  record.egress_forward_ttl = egress_hop.probe_ttl;
+  record.egress_return_ttl = egress_hop.reply_ip_ttl;
+  const probe::PingResult ping = prober.Ping(y);
+  if (ping.responded) record.egress_echo_ttl = ping.reply_ip_ttl;
+  record.revealed = it->second.succeeded();
+  record.revealed_count = static_cast<int>(it->second.revealed.size());
+  result.candidates.push_back(record);
+
+  // RTLA applies when the egress has a <255,64>-style signature.
+  if (record.egress_echo_ttl) {
+    const auto observation = reveal::ObserveRtla(
+        y, record.egress_return_ttl, *record.egress_echo_ttl);
+    if (observation) result.rtla.Add(asn, *observation);
+  }
+  return pair;
+}
+
+void Campaign::ClassifyFrpla(CampaignResult& result) const {
+  std::set<netbase::Ipv4Address> ingresses;
+  std::set<netbase::Ipv4Address> egresses;
+  for (const auto& [pair, revelation] : result.revelations) {
+    ingresses.insert(pair.ingress);
+    egresses.insert(pair.egress);
+  }
+
+  // Egress RFA samples come from the traces in which the address actually
+  // acted as a tunnel egress (the candidate observations). A trace aimed
+  // *at* the same PE follows a route that hides nothing, so counting every
+  // appearance would wash the shift out.
+  for (const CandidateRecord& record : result.candidates) {
+    RfaSampleFromCandidate(record, result);
+  }
+
+  for (const probe::TraceResult& trace : result.traces) {
+    for (const probe::Hop& hop : trace.hops) {
+      if (!hop.address) continue;
+      if (hop.reply_kind != PacketKind::kTimeExceeded) continue;
+      if (egresses.contains(*hop.address)) continue;  // handled above
+      const auto observation = reveal::ObserveRfa(hop);
+      if (!observation) continue;
+      const auto node = result.inferred.FindNode(*hop.address);
+      if (!node) continue;
+      const topo::AsNumber asn = result.inferred.node(*node).asn;
+      if (asn == 0) continue;
+
+      const reveal::ResponderRole role =
+          ingresses.contains(*hop.address)
+              ? reveal::ResponderRole::kIngress
+              : reveal::ResponderRole::kOther;
+      result.frpla.Add(asn, role, *observation);
+    }
+  }
+}
+
+void Campaign::RfaSampleFromCandidate(const CandidateRecord& record,
+                                      CampaignResult& result) {
+  reveal::RfaObservation observation;
+  observation.responder = record.pair.egress;
+  observation.forward_length = record.egress_forward_ttl;
+  observation.return_length =
+      reveal::ReturnPathLength(record.egress_return_ttl);
+  result.frpla.Add(record.asn,
+                   record.revealed
+                       ? reveal::ResponderRole::kEgressRevealed
+                       : reveal::ResponderRole::kEgressHidden,
+                   observation);
+}
+
+}  // namespace wormhole::campaign

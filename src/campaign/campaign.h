@@ -1,0 +1,118 @@
+// The full measurement campaign (paper Sec. 4): plain discovery traces →
+// inferred dataset → HDN detection → targeted probing around HDNs →
+// candidate Ingress/Egress extraction → revelation (DPR/BRPR) →
+// fingerprinting + FRPLA + RTLA analyses.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "campaign/dataset.h"
+#include "campaign/targets.h"
+#include "fingerprint/signature.h"
+#include "netbase/stats.h"
+#include "probe/prober.h"
+#include "reveal/frpla.h"
+#include "reveal/revelator.h"
+#include "reveal/rtla.h"
+#include "reveal/uhp_trigger.h"
+#include "sim/engine.h"
+
+namespace wormhole::campaign {
+
+struct EndpointPair {
+  netbase::Ipv4Address ingress;
+  netbase::Ipv4Address egress;
+  friend auto operator<=>(const EndpointPair&, const EndpointPair&) = default;
+};
+
+struct CampaignOptions {
+  /// Degree threshold tagging High Degree Nodes (the paper uses 128 at
+  /// Internet scale; scaled to our synthetic size).
+  std::size_t hdn_threshold = 8;
+  /// Probing options; the paper's scamper starts at TTL 2.
+  probe::TraceOptions trace_options{.first_ttl = 2};
+  /// Require both candidate endpoints to be HDN nodes (paper Sec. 4); relax
+  /// for small topologies.
+  bool require_hdn_endpoints = true;
+  /// Ping every new address for the echo-reply half of its signature.
+  bool fingerprint = true;
+  /// Split phase-one targets across VPs (the paper's five teams probed
+  /// disjoint destination shards). Default off: every VP probes every
+  /// HDN-area target, which maximises the number of (ingress, egress)
+  /// views per suspicious AS — the discovery phase stays sharded either
+  /// way.
+  bool shard_targets = false;
+};
+
+/// Everything the campaign measured. Figures/tables are derived from this.
+struct CandidateRecord {
+  EndpointPair pair;
+  topo::AsNumber asn = 0;  ///< AS of the suspected tunnel
+  int egress_forward_ttl = 0;   ///< probe TTL the egress answered at
+  int egress_return_ttl = 0;    ///< raw time-exceeded reply TTL
+  std::optional<int> egress_echo_ttl;  ///< raw echo-reply TTL (ping)
+  bool revealed = false;
+  int revealed_count = 0;
+};
+
+struct CampaignResult {
+  /// Phase-one traces (the targeted ones used for analysis).
+  std::vector<probe::TraceResult> traces;
+  /// Dataset inferred from ALL traces (discovery + targeted).
+  topo::ItdkDataset inferred;
+  TargetSets targets;
+  std::map<EndpointPair, reveal::RevelationResult> revelations;
+  std::vector<CandidateRecord> candidates;
+  fingerprint::SignatureCollector signatures;
+  reveal::FrplaAnalysis frpla;
+  reveal::RtlaAnalysis rtla;
+  /// Trace path lengths before (tunnels hidden) / after (revealed hops
+  /// added back) — Fig. 11.
+  netbase::IntDistribution path_length_invisible;
+  netbase::IntDistribution path_length_visible;
+  /// Duplicate-hop (UHP) suspicions per AS of the suspected ingress — the
+  /// only signal a totally invisible cloud leaves behind.
+  std::map<topo::AsNumber, std::size_t> uhp_suspicions;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t revelation_traces = 0;
+
+  /// Successful revelations only.
+  [[nodiscard]] std::size_t revealed_count() const;
+  /// Forward-tunnel-length distribution per method (Fig. 5). Length is the
+  /// hop count to the egress: revealed LSRs + 1.
+  [[nodiscard]] netbase::IntDistribution TunnelLengths(
+      reveal::RevelationMethod method) const;
+  [[nodiscard]] netbase::IntDistribution AllTunnelLengths() const;
+};
+
+class Campaign {
+ public:
+  /// One prober per vantage point is created on `engine`.
+  Campaign(sim::Engine& engine, std::vector<netbase::Ipv4Address> vps,
+           CampaignOptions options = {});
+
+  /// Runs the whole pipeline. `discovery_targets` seeds the plain campaign
+  /// that builds the inferred dataset (typically every router loopback).
+  CampaignResult Run(const std::vector<netbase::Ipv4Address>&
+                         discovery_targets);
+
+  /// Phase-zero only: the plain campaign + inferred dataset (Fig. 1).
+  std::vector<probe::TraceResult> RunDiscovery(
+      const std::vector<netbase::Ipv4Address>& targets);
+
+ private:
+  /// Returns the candidate endpoint pair extracted from the trace, if any.
+  std::optional<EndpointPair> AnalyzeTrace(const probe::TraceResult& trace,
+                                           CampaignResult& result,
+                                           probe::Prober& prober);
+  void ClassifyFrpla(CampaignResult& result) const;
+  static void RfaSampleFromCandidate(const CandidateRecord& record,
+                                     CampaignResult& result);
+
+  sim::Engine* engine_;
+  std::vector<probe::Prober> probers_;
+  CampaignOptions options_;
+};
+
+}  // namespace wormhole::campaign

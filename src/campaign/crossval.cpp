@@ -1,0 +1,206 @@
+#include "campaign/crossval.h"
+
+#include "reveal/revelator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace wormhole::campaign {
+
+const char* ToString(CrossValOutcome outcome) {
+  switch (outcome) {
+    case CrossValOutcome::kRerunFailed: return "rerun failed";
+    case CrossValOutcome::kFail: return "BRPR or DPR fail";
+    case CrossValOutcome::kDpr: return "DPR successful";
+    case CrossValOutcome::kBrpr: return "BRPR successful";
+    case CrossValOutcome::kHybrid: return "hybrid DPR/BRPR";
+    case CrossValOutcome::kEither: return "BRPR or DPR";
+  }
+  return "?";
+}
+
+void CrossValSummary::Count(CrossValOutcome outcome) {
+  ++pairs_total;
+  switch (outcome) {
+    case CrossValOutcome::kRerunFailed: ++rerun_failed; break;
+    case CrossValOutcome::kFail: ++fail; break;
+    case CrossValOutcome::kDpr: ++dpr; break;
+    case CrossValOutcome::kBrpr: ++brpr; break;
+    case CrossValOutcome::kHybrid: ++hybrid; break;
+    case CrossValOutcome::kEither: ++either; break;
+  }
+}
+
+std::vector<ExplicitTunnel> ExtractExplicitTunnels(
+    const std::vector<probe::TraceResult>& traces,
+    const topo::Topology& topology) {
+  std::vector<ExplicitTunnel> tunnels;
+  std::set<std::pair<netbase::Ipv4Address, netbase::Ipv4Address>> seen;
+
+  for (const probe::TraceResult& trace : traces) {
+    for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+      if (!trace.hops[i].has_labels()) continue;
+      // Found the start of a labelled run; it must be preceded by a
+      // responding unlabelled hop (the Ingress LER).
+      if (i == 0 || !trace.hops[i - 1].address ||
+          trace.hops[i - 1].has_labels()) {
+        continue;
+      }
+      std::size_t j = i;
+      ExplicitTunnel tunnel;
+      bool clean = true;
+      while (j < trace.hops.size() && trace.hops[j].has_labels()) {
+        if (!trace.hops[j].address) {
+          clean = false;  // anonymous LSR: content not fully revealed
+          break;
+        }
+        tunnel.lsrs.push_back(*trace.hops[j].address);
+        ++j;
+      }
+      if (!clean || j >= trace.hops.size() || !trace.hops[j].address) {
+        continue;
+      }
+      // The tunnel must be *transited*: the egress hop has to be a
+      // time-exceeded reply, whose source is the PHP-revealed incoming
+      // interface that BRPR re-targets. A final echo-reply hop answers
+      // from the probed address itself (e.g. a loopback), for which any
+      // retrace rides the LSP end to end and reveals nothing.
+      if (trace.hops[j].reply_kind != netbase::PacketKind::kTimeExceeded) {
+        continue;
+      }
+      tunnel.ingress = *trace.hops[i - 1].address;
+      tunnel.egress = *trace.hops[j].address;
+      tunnel.observer = trace.source;
+
+      // Both LERs must sit in the same AS (paper requirement).
+      const topo::AsNumber asn = topology.AsOfAddress(tunnel.ingress);
+      if (asn == 0 || topology.AsOfAddress(tunnel.egress) != asn) continue;
+      tunnel.asn = asn;
+      if (seen.emplace(tunnel.ingress, tunnel.egress).second) {
+        tunnels.push_back(std::move(tunnel));
+      }
+    }
+  }
+  return tunnels;
+}
+
+namespace {
+
+struct WindowHop {
+  netbase::Ipv4Address address;
+  bool labeled = false;
+};
+
+/// Responding hops strictly between `after` and `before`; nullopt when
+/// either endpoint is missing (or an anonymous hop hides the window).
+std::optional<std::vector<WindowHop>> Window(const probe::TraceResult& trace,
+                                             netbase::Ipv4Address after,
+                                             netbase::Ipv4Address before) {
+  std::vector<WindowHop> out;
+  bool in_window = false;
+  for (const probe::Hop& hop : trace.hops) {
+    if (!hop.address) {
+      if (in_window) return std::nullopt;
+      continue;
+    }
+    if (*hop.address == after) {
+      in_window = true;
+      out.clear();
+      continue;
+    }
+    if (*hop.address == before) {
+      if (!in_window) return std::nullopt;
+      return out;
+    }
+    if (in_window) out.push_back({*hop.address, hop.has_labels()});
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+CrossValOutcome CrossValidate(probe::Prober& prober,
+                              const ExplicitTunnel& tunnel,
+                              const probe::TraceOptions& options) {
+  const std::set<netbase::Ipv4Address> truth(tunnel.lsrs.begin(),
+                                             tunnel.lsrs.end());
+  std::set<netbase::Ipv4Address> revealed_label_free;
+  std::vector<int> batch_sizes;
+
+  netbase::Ipv4Address target = tunnel.egress;
+  for (int depth = 0; depth < 24; ++depth) {
+    const probe::TraceResult trace = prober.Traceroute(target, options);
+    const auto window = Window(trace, tunnel.ingress, target);
+    if (!window) {
+      // The very first re-trace must re-discover both LERs.
+      if (depth == 0) return CrossValOutcome::kRerunFailed;
+      break;
+    }
+
+    // Only label-free hops count as revealed. A hop that showed up
+    // *labelled* in an earlier step is still fair game: each backward
+    // recursion step moves the PHP pop point one hop closer to the
+    // ingress, freeing exactly the hop BRPR is after.
+    std::vector<netbase::Ipv4Address> batch;
+    for (const WindowHop& hop : *window) {
+      if (hop.labeled) continue;
+      if (hop.address == tunnel.ingress || hop.address == tunnel.egress) {
+        continue;
+      }
+      if (revealed_label_free.contains(hop.address)) continue;
+      batch.push_back(hop.address);
+    }
+    if (batch.empty()) break;
+    revealed_label_free.insert(batch.begin(), batch.end());
+    batch_sizes.push_back(static_cast<int>(batch.size()));
+    target = batch.front();
+  }
+
+  // Success follows the paper's criterion: the re-run must recover the
+  // hidden path label-free. ECMP may expose a parallel path with distinct
+  // addresses — still a success (Sec. 3.3, fn. 11) — so we compare hop
+  // *counts*, tolerating one hop of equal-cost path-length wobble.
+  const auto revealed_count =
+      static_cast<std::ptrdiff_t>(revealed_label_free.size());
+  const auto truth_count = static_cast<std::ptrdiff_t>(truth.size());
+  if (revealed_count < truth_count - 1 || revealed_count > truth_count + 1 ||
+      revealed_count == 0) {
+    return CrossValOutcome::kFail;
+  }
+
+  switch (reveal::ClassifyBatches(batch_sizes)) {
+    case reveal::RevelationMethod::kEither:
+      return CrossValOutcome::kEither;
+    case reveal::RevelationMethod::kDpr:
+      return CrossValOutcome::kDpr;
+    case reveal::RevelationMethod::kBrpr:
+      return CrossValOutcome::kBrpr;
+    case reveal::RevelationMethod::kHybrid:
+      return CrossValOutcome::kHybrid;
+    case reveal::RevelationMethod::kNone:
+      break;
+  }
+  return CrossValOutcome::kFail;
+}
+
+CrossValSummary CrossValidateAll(std::vector<probe::Prober>& probers,
+                                 const std::vector<ExplicitTunnel>& tunnels,
+                                 const probe::TraceOptions& options) {
+  CrossValSummary summary;
+  for (std::size_t i = 0; i < tunnels.size(); ++i) {
+    // Prefer the vantage point that observed the tunnel; fall back to
+    // round-robin when it is not among the probers.
+    probe::Prober* prober = &probers[i % probers.size()];
+    for (probe::Prober& candidate : probers) {
+      if (candidate.vantage_point() == tunnels[i].observer) {
+        prober = &candidate;
+        break;
+      }
+    }
+    summary.Count(CrossValidate(*prober, tunnels[i], options));
+  }
+  return summary;
+}
+
+}  // namespace wormhole::campaign

@@ -1,0 +1,75 @@
+// Cross-validation of DPR and BRPR on *explicit* tunnels (paper Sec. 3.3,
+// Table 3): collect traces over a network with ttl-propagate enabled so
+// tunnels show up with RFC 4950 labels, extract Ingress–Egress LER pairs
+// with their fully revealed LSR content, then re-run the revelation
+// machinery against them and check it finds the same hops — using the
+// paper's success criteria:
+//   * DPR succeeds if targeting the Egress yields the same hop count
+//     between Ingress and Egress with ALL labels gone;
+//   * BRPR succeeds if at every recursion step the hop revealed before the
+//     target carries no label.
+#pragma once
+
+#include <vector>
+
+#include "probe/prober.h"
+#include "topo/topology.h"
+
+namespace wormhole::campaign {
+
+/// One explicit tunnel observed in a trace.
+struct ExplicitTunnel {
+  netbase::Ipv4Address ingress;
+  netbase::Ipv4Address egress;
+  /// The labelled LSR hops between them, in forward order.
+  std::vector<netbase::Ipv4Address> lsrs;
+  topo::AsNumber asn = 0;
+  /// Vantage point whose trace exposed the tunnel; re-validation probes
+  /// from the same place (like the paper's per-team re-runs).
+  netbase::Ipv4Address observer;
+};
+
+/// Scans traces for maximal runs of label-quoting hops whose surrounding
+/// hops are in the same AS; anonymous hops disqualify a run (the paper
+/// requires the LSP content fully revealed).
+std::vector<ExplicitTunnel> ExtractExplicitTunnels(
+    const std::vector<probe::TraceResult>& traces,
+    const topo::Topology& topology);
+
+enum class CrossValOutcome : std::uint8_t {
+  kRerunFailed,  ///< ingress or egress not re-discovered at all
+  kFail,         ///< re-discovered but neither technique validated
+  kDpr,
+  kBrpr,
+  kHybrid,
+  kEither,       ///< single-LSR tunnel: methods indistinguishable
+};
+const char* ToString(CrossValOutcome outcome);
+
+struct CrossValSummary {
+  std::size_t pairs_total = 0;
+  std::size_t rerun_failed = 0;
+  std::size_t fail = 0;
+  std::size_t dpr = 0;
+  std::size_t brpr = 0;
+  std::size_t hybrid = 0;
+  std::size_t either = 0;
+
+  [[nodiscard]] std::size_t validated() const {
+    return pairs_total - rerun_failed;
+  }
+  void Count(CrossValOutcome outcome);
+};
+
+/// Re-validates one explicit tunnel with fresh probing (label-aware).
+CrossValOutcome CrossValidate(probe::Prober& prober,
+                              const ExplicitTunnel& tunnel,
+                              const probe::TraceOptions& options = {});
+
+/// Convenience: extract + re-validate everything, spreading pairs over the
+/// available probers round-robin.
+CrossValSummary CrossValidateAll(std::vector<probe::Prober>& probers,
+                                 const std::vector<ExplicitTunnel>& tunnels,
+                                 const probe::TraceOptions& options = {});
+
+}  // namespace wormhole::campaign

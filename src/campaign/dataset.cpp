@@ -1,0 +1,69 @@
+#include "campaign/dataset.h"
+
+namespace wormhole::campaign {
+
+AliasResolver TruthResolver(const topo::Topology& topology) {
+  return [&topology](netbase::Ipv4Address address) {
+    const auto router = topology.FindRouterByAddress(address);
+    return router ? topology.router(*router).loopback : address;
+  };
+}
+
+AliasResolver InterfaceResolver() {
+  return [](netbase::Ipv4Address address) { return address; };
+}
+
+AliasResolver NoisyResolver(const topo::Topology& topology,
+                            double miss_rate, std::uint64_t seed) {
+  return [&topology, miss_rate, seed](netbase::Ipv4Address address) {
+    // splitmix64 over (address, seed): a stable per-address coin.
+    std::uint64_t h = (std::uint64_t{address.value()} << 32) ^ seed;
+    h += 0x9E3779B97F4A7C15ull;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    h ^= h >> 31;
+    const double draw =
+        static_cast<double>(h >> 11) / static_cast<double>(1ull << 53);
+    if (draw < miss_rate) return address;  // alias missed
+    const auto router = topology.FindRouterByAddress(address);
+    return router ? topology.router(*router).loopback : address;
+  };
+}
+
+void AddTraceToDataset(topo::ItdkDataset& dataset,
+                       const probe::TraceResult& trace,
+                       const AliasResolver& resolver,
+                       const topo::Topology& topology) {
+  topo::NodeId previous = topo::kNoNode;
+  int previous_ttl = 0;
+  for (const probe::Hop& hop : trace.hops) {
+    if (!hop.address || hop.address->is_private()) {
+      // A silent hop breaks adjacency (no link across the gap).
+      if (!hop.address) previous = topo::kNoNode;
+      continue;
+    }
+    const netbase::Ipv4Address key = resolver(*hop.address);
+    const topo::NodeId node = dataset.NodeOf(key);
+    dataset.AddAlias(node, *hop.address);
+    if (dataset.node(node).asn == 0) {
+      dataset.SetAs(node, topology.AsOfAddress(*hop.address));
+    }
+    if (previous != topo::kNoNode && hop.probe_ttl == previous_ttl + 1) {
+      dataset.AddLink(previous, node);
+    }
+    previous = node;
+    previous_ttl = hop.probe_ttl;
+  }
+}
+
+topo::ItdkDataset BuildDataset(const std::vector<probe::TraceResult>& traces,
+                               const AliasResolver& resolver,
+                               const topo::Topology& topology) {
+  topo::ItdkDataset dataset;
+  for (const probe::TraceResult& trace : traces) {
+    AddTraceToDataset(dataset, trace, resolver, topology);
+  }
+  return dataset;
+}
+
+}  // namespace wormhole::campaign

@@ -1,0 +1,52 @@
+// Building an ITDK-like router-level dataset out of traceroute output.
+//
+// Consecutive responding hops of a trace become links between their
+// (alias-resolved) nodes — which is precisely how invisible MPLS tunnels
+// poison real-world datasets: the Ingress and Egress LER appear adjacent
+// and entry points grow into high-degree nodes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "probe/trace.h"
+#include "topo/itdk.h"
+#include "topo/topology.h"
+
+namespace wormhole::campaign {
+
+/// Maps an address to its alias-group key (e.g. the owning router's
+/// loopback). Addresses mapping to the same key form one node.
+using AliasResolver =
+    std::function<netbase::Ipv4Address(netbase::Ipv4Address)>;
+
+/// Perfect alias resolution from ground truth: every address of a router
+/// maps to its loopback. (The paper leans on CAIDA's alias resolution; we
+/// substitute the truth, so dataset distortions come from *tunnels only*.)
+AliasResolver TruthResolver(const topo::Topology& topology);
+
+/// No alias resolution at all: every interface is its own node (the raw
+/// IP-level graph before any MIDAR/kapar-style processing).
+AliasResolver InterfaceResolver();
+
+/// Imperfect alias resolution: like TruthResolver, but each address
+/// independently fails to be merged with probability `miss_rate`
+/// (deterministic per address for a given seed). Models alias-resolution
+/// incompleteness in real ITDK-style datasets.
+AliasResolver NoisyResolver(const topo::Topology& topology,
+                            double miss_rate, std::uint64_t seed);
+
+/// Adds one trace's inferred links/nodes to `dataset`. Private addresses
+/// are pruned (the paper's ITDK cleanup); hops separated by a timeout do
+/// not produce a link.
+void AddTraceToDataset(topo::ItdkDataset& dataset,
+                       const probe::TraceResult& trace,
+                       const AliasResolver& resolver,
+                       const topo::Topology& topology);
+
+/// Builds a dataset from a whole batch of traces.
+topo::ItdkDataset BuildDataset(const std::vector<probe::TraceResult>& traces,
+                               const AliasResolver& resolver,
+                               const topo::Topology& topology);
+
+}  // namespace wormhole::campaign

@@ -1,0 +1,77 @@
+#include "fingerprint/signature.h"
+
+#include "probe/trace.h"
+
+namespace wormhole::fingerprint {
+
+const char* ToString(SignatureClass cls) {
+  switch (cls) {
+    case SignatureClass::kCisco: return "Cisco (IOS, IOS XR)";
+    case SignatureClass::kJuniperJunos: return "Juniper (Junos)";
+    case SignatureClass::kJuniperJunosE: return "Juniper (JunosE)";
+    case SignatureClass::kBrocadeLinux: return "Brocade, Alcatel, Linux";
+    case SignatureClass::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+SignatureClass Classify(const Signature& signature) {
+  if (signature.time_exceeded_initial == 255) {
+    if (signature.echo_reply_initial == 255) return SignatureClass::kCisco;
+    if (signature.echo_reply_initial == 64) {
+      return SignatureClass::kJuniperJunos;
+    }
+  }
+  if (signature.time_exceeded_initial == 128 &&
+      signature.echo_reply_initial == 128) {
+    return SignatureClass::kJuniperJunosE;
+  }
+  if (signature.time_exceeded_initial == 64 &&
+      signature.echo_reply_initial == 64) {
+    return SignatureClass::kBrocadeLinux;
+  }
+  return SignatureClass::kUnknown;
+}
+
+bool UsableForRtla(const Signature& signature) {
+  return signature.echo_reply_initial != 0 &&
+         signature.time_exceeded_initial != 0 &&
+         signature.echo_reply_initial < signature.time_exceeded_initial;
+}
+
+void SignatureCollector::RecordTimeExceeded(netbase::Ipv4Address address,
+                                            int reply_ip_ttl) {
+  partial_[address].time_exceeded_initial =
+      probe::InferInitialTtl(reply_ip_ttl);
+}
+
+void SignatureCollector::RecordEchoReply(netbase::Ipv4Address address,
+                                         int reply_ip_ttl) {
+  partial_[address].echo_reply_initial = probe::InferInitialTtl(reply_ip_ttl);
+}
+
+void SignatureCollector::EnsureEchoReply(probe::Prober& prober,
+                                         netbase::Ipv4Address address) {
+  const auto it = partial_.find(address);
+  if (it != partial_.end() && it->second.echo_reply_initial != 0) return;
+  const probe::PingResult result = prober.Ping(address);
+  if (result.responded) RecordEchoReply(address, result.reply_ip_ttl);
+}
+
+std::optional<Signature> SignatureCollector::SignatureOf(
+    netbase::Ipv4Address address) const {
+  const auto it = partial_.find(address);
+  if (it == partial_.end() || it->second.time_exceeded_initial == 0 ||
+      it->second.echo_reply_initial == 0) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+SignatureClass SignatureCollector::ClassOf(
+    netbase::Ipv4Address address) const {
+  const auto signature = SignatureOf(address);
+  return signature ? Classify(*signature) : SignatureClass::kUnknown;
+}
+
+}  // namespace wormhole::fingerprint

@@ -1,0 +1,78 @@
+// TTL-based router fingerprinting [Vanaubel et al., IMC 2013] — paper
+// Sec. 2.3 / Table 1.
+//
+// A router's pair-signature is <iTTL(time-exceeded), iTTL(echo-reply)>,
+// each initial TTL inferred by rounding the received TTL up to the nearest
+// of {64, 128, 255}. The signature classes map to vendors:
+//   <255,255> Cisco (IOS, IOS XR)   <255,64> Juniper (Junos)
+//   <128,128> Juniper (JunosE)      <64,64>  Brocade/Alcatel/Linux
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "netbase/ipv4.h"
+#include "probe/prober.h"
+
+namespace wormhole::fingerprint {
+
+struct Signature {
+  int time_exceeded_initial = 0;
+  int echo_reply_initial = 0;
+
+  friend auto operator<=>(const Signature&, const Signature&) = default;
+
+  [[nodiscard]] std::string ToString() const {
+    return "<" + std::to_string(time_exceeded_initial) + "," +
+           std::to_string(echo_reply_initial) + ">";
+  }
+};
+
+/// Vendor classes distinguishable by pair-signature.
+enum class SignatureClass : std::uint8_t {
+  kCisco,          ///< <255,255>
+  kJuniperJunos,   ///< <255,64>
+  kJuniperJunosE,  ///< <128,128>
+  kBrocadeLinux,   ///< <64,64>
+  kUnknown,
+};
+
+const char* ToString(SignatureClass cls);
+
+/// Maps a signature to its class (Table 1).
+SignatureClass Classify(const Signature& signature);
+
+/// True when the signature behaves like Juniper Junos for RTLA purposes
+/// (the echo-reply initial TTL is strictly below the time-exceeded one).
+bool UsableForRtla(const Signature& signature);
+
+/// Collects signatures of addresses seen in traces: the time-exceeded
+/// initial TTL comes from the trace hop, the echo-reply one from a
+/// dedicated ping. Caches per address.
+class SignatureCollector {
+ public:
+  /// Records a time-exceeded reply TTL observed for `address`.
+  void RecordTimeExceeded(netbase::Ipv4Address address, int reply_ip_ttl);
+  /// Records an echo-reply TTL observed for `address`.
+  void RecordEchoReply(netbase::Ipv4Address address, int reply_ip_ttl);
+
+  /// Probes `address` with `prober` (ping) if no echo-reply seen yet.
+  void EnsureEchoReply(probe::Prober& prober, netbase::Ipv4Address address);
+
+  /// The pair-signature of `address`, if both halves were observed.
+  [[nodiscard]] std::optional<Signature> SignatureOf(
+      netbase::Ipv4Address address) const;
+  [[nodiscard]] SignatureClass ClassOf(netbase::Ipv4Address address) const;
+
+  [[nodiscard]] const std::map<netbase::Ipv4Address, Signature>& table()
+      const {
+    return partial_;
+  }
+
+ private:
+  // initial TTLs; 0 = not yet observed.
+  std::map<netbase::Ipv4Address, Signature> partial_;
+};
+
+}  // namespace wormhole::fingerprint

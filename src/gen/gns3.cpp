@@ -1,0 +1,112 @@
+#include "gen/gns3.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace wormhole::gen {
+
+namespace {
+
+using topo::RouterId;
+using topo::Vendor;
+
+}  // namespace
+
+const char* ToString(Gns3Scenario scenario) {
+  switch (scenario) {
+    case Gns3Scenario::kDefault: return "Default";
+    case Gns3Scenario::kBackwardRecursive: return "Backward Recursive";
+    case Gns3Scenario::kExplicitRoute: return "Explicit Route";
+    case Gns3Scenario::kTotallyInvisible: return "Totally Invisible";
+  }
+  return "?";
+}
+
+Gns3Testbed::Gns3Testbed(const Gns3Options& options) : configs_(topology_) {
+  topology_.AddAs(1, "AS1");
+  topology_.AddAs(2, "AS2");
+  topology_.AddAs(3, "AS3");
+
+  const RouterId ce1 = topology_.AddRouter(1, "CE1", Vendor::kCiscoIos);
+  const RouterId pe1 = topology_.AddRouter(2, "PE1", options.as2_vendor);
+  const RouterId p1 = topology_.AddRouter(2, "P1", options.as2_vendor);
+  const RouterId p2 = topology_.AddRouter(2, "P2", options.as2_vendor);
+  const RouterId p3 = topology_.AddRouter(2, "P3", options.as2_vendor);
+  const RouterId pe2 = topology_.AddRouter(2, "PE2", options.as2_vendor);
+  const RouterId ce2 = topology_.AddRouter(3, "CE2", Vendor::kCiscoIos);
+
+  vp_ = topology_.AttachHost(ce1, "VP");
+  topology_.RenameInterface(topology_.FindHost(vp_)->stub_interface,
+                            "CE1.left");
+
+  const std::array<RouterId, 7> chain{ce1, pe1, p1, p2, p3, pe2, ce2};
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const topo::LinkId link = topology_.AddLink(chain[i], chain[i + 1]);
+    topology_.RenameInterface(
+        topology_.EndOn(link, chain[i]).id,
+        topology_.router(chain[i]).name + ".right");
+    topology_.RenameInterface(
+        topology_.EndOn(link, chain[i + 1]).id,
+        topology_.router(chain[i + 1]).name + ".left");
+  }
+
+  mpls::MplsConfigMap::AsOptions as2;
+  switch (options.scenario) {
+    case Gns3Scenario::kDefault:
+      as2.ttl_propagate = true;
+      as2.ldp_policy = mpls::LdpPolicy::kAllPrefixes;
+      break;
+    case Gns3Scenario::kBackwardRecursive:
+      as2.ttl_propagate = false;
+      as2.ldp_policy = mpls::LdpPolicy::kAllPrefixes;
+      break;
+    case Gns3Scenario::kExplicitRoute:
+      as2.ttl_propagate = false;
+      as2.ldp_policy = mpls::LdpPolicy::kLoopbacksOnly;
+      break;
+    case Gns3Scenario::kTotallyInvisible:
+      as2.ttl_propagate = false;
+      as2.popping = mpls::Popping::kUhp;
+      as2.ldp_policy = mpls::LdpPolicy::kAllPrefixes;
+      break;
+  }
+  configs_.EnableAs(2, as2);
+
+  Reconverge();
+}
+
+void Gns3Testbed::Reconverge() {
+  routing::BgpPolicy policy;
+  policy.stub_ases = {1, 3};
+  network_ = std::make_unique<sim::Network>(topology_, configs_, policy);
+}
+
+netbase::Ipv4Address Gns3Testbed::Address(const std::string& name) const {
+  if (name == "VP") return vp_;
+  for (const topo::Interface& iface : topology_.interfaces()) {
+    if (iface.name == name) return iface.address;
+  }
+  // Router name or "<router>.lo": the loopback.
+  std::string router_name = name;
+  if (const auto dot = name.rfind(".lo");
+      dot != std::string::npos && dot + 3 == name.size()) {
+    router_name = name.substr(0, dot);
+  }
+  if (const auto rid = topology_.FindRouterByName(router_name)) {
+    return topology_.router(*rid).loopback;
+  }
+  throw std::invalid_argument("Gns3Testbed: unknown name " + name);
+}
+
+std::string Gns3Testbed::NameOf(netbase::Ipv4Address address) const {
+  if (address == vp_) return "VP";
+  if (const auto iid = topology_.FindInterfaceByAddress(address)) {
+    return topology_.interface(*iid).name;
+  }
+  if (const auto rid = topology_.FindRouterByAddress(address)) {
+    return topology_.router(*rid).name + ".lo";
+  }
+  return address.ToString();
+}
+
+}  // namespace wormhole::gen

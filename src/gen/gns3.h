@@ -1,0 +1,69 @@
+// The paper's GNS3 emulation testbed (Fig. 2): three ASes in a chain,
+//
+//   VP -- CE1 | PE1 -- P1 -- P2 -- P3 -- PE2 | CE2
+//       (AS1)  (          AS2, MPLS        )  (AS3)
+//
+// with the four configuration scenarios of Sec. 3.3. Interfaces are named
+// "X.left"/"X.right" like the paper so bench/fig04_emulation can print the
+// exact paris-traceroute outputs of Fig. 4.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mpls/config.h"
+#include "netbase/ipv4.h"
+#include "sim/network.h"
+#include "topo/topology.h"
+
+namespace wormhole::gen {
+
+/// The four scenarios of paper Sec. 3.3 / Fig. 4.
+enum class Gns3Scenario : std::uint8_t {
+  kDefault,            ///< ttl-propagate, PHP, all prefixes: explicit tunnel
+  kBackwardRecursive,  ///< no-ttl-propagate, PHP, all prefixes: BRPR case
+  kExplicitRoute,      ///< no-ttl-propagate, PHP, loopbacks only: DPR case
+  kTotallyInvisible,   ///< no-ttl-propagate, UHP: nothing is revealable
+};
+
+const char* ToString(Gns3Scenario scenario);
+
+struct Gns3Options {
+  Gns3Scenario scenario = Gns3Scenario::kDefault;
+  /// Hardware of the AS2 routers (the paper also ran a Juniper testbed).
+  topo::Vendor as2_vendor = topo::Vendor::kCiscoIos;
+};
+
+/// The built testbed. Non-movable: `configs` and `network` reference
+/// `topology` in place.
+class Gns3Testbed {
+ public:
+  explicit Gns3Testbed(const Gns3Options& options);
+  Gns3Testbed(const Gns3Testbed&) = delete;
+  Gns3Testbed& operator=(const Gns3Testbed&) = delete;
+
+  [[nodiscard]] const topo::Topology& topology() const { return topology_; }
+  [[nodiscard]] const mpls::MplsConfigMap& configs() const { return configs_; }
+  [[nodiscard]] mpls::MplsConfigMap& configs() { return configs_; }
+  [[nodiscard]] sim::Network& network() { return *network_; }
+  [[nodiscard]] sim::Engine& engine() { return network_->engine(); }
+  [[nodiscard]] netbase::Ipv4Address vantage_point() const { return vp_; }
+
+  /// Address of a named interface ("PE2.left", "CE2.left", ...) or router
+  /// loopback ("P2.lo" / bare router name).
+  [[nodiscard]] netbase::Ipv4Address Address(const std::string& name) const;
+  /// Reverse: human name of an address ("P3.left"), or the dotted quad.
+  [[nodiscard]] std::string NameOf(netbase::Ipv4Address address) const;
+
+  /// Recomputes the control plane after config changes (tests tweak
+  /// individual routers).
+  void Reconverge();
+
+ private:
+  topo::Topology topology_;
+  mpls::MplsConfigMap configs_;
+  netbase::Ipv4Address vp_;
+  std::unique_ptr<sim::Network> network_;
+};
+
+}  // namespace wormhole::gen

@@ -1,0 +1,292 @@
+#include "gen/internet.h"
+
+#include <algorithm>
+#include <string>
+
+namespace wormhole::gen {
+
+namespace {
+
+using netbase::Rng;
+using topo::AsNumber;
+using topo::RouterId;
+using topo::Vendor;
+
+constexpr AsNumber kTier1Base = 100;
+constexpr AsNumber kTransitBase = 200;
+constexpr AsNumber kStubBase = 1000;
+
+int Jitter(int base, Rng& rng) {
+  const int spread = std::max(1, base / 4);
+  return std::max(1, base + rng.UniformInt(-spread, spread));
+}
+
+Vendor DrawVendor(HardwareProfile profile, bool is_core, Rng& rng) {
+  switch (profile) {
+    case HardwareProfile::kCisco:
+      return rng.Chance(0.2) ? Vendor::kCiscoIosXr : Vendor::kCiscoIos;
+    case HardwareProfile::kJuniper:
+      return Vendor::kJuniperJunos;
+    case HardwareProfile::kMixed:
+      // The paper's AS3549 pattern: Juniper at the edge, <64,64> cores.
+      if (is_core) return Vendor::kBrocade;
+      return rng.Chance(0.7) ? Vendor::kJuniperJunos : Vendor::kCiscoIos;
+    case HardwareProfile::kOther:
+      return rng.Chance(0.5) ? Vendor::kJuniperJunosE : Vendor::kBrocade;
+  }
+  return Vendor::kCiscoIos;
+}
+
+}  // namespace
+
+const char* ToString(AsRole role) {
+  switch (role) {
+    case AsRole::kTier1: return "tier-1";
+    case AsRole::kTransit: return "transit";
+    case AsRole::kStub: return "stub";
+  }
+  return "?";
+}
+
+const char* ToString(HardwareProfile profile) {
+  switch (profile) {
+    case HardwareProfile::kCisco: return "Cisco";
+    case HardwareProfile::kJuniper: return "Juniper";
+    case HardwareProfile::kMixed: return "mixed";
+    case HardwareProfile::kOther: return "other";
+  }
+  return "?";
+}
+
+SyntheticInternet::SyntheticInternet(const InternetOptions& options)
+    : configs_(topology_) {
+  Rng rng(options.seed);
+  BuildAsLevel(options, rng);
+  Reconverge();
+}
+
+void SyntheticInternet::BuildRouterLevel(AsProfile& profile, int router_count,
+                                         Rng& rng) {
+  const AsNumber asn = profile.asn;
+  const std::string prefix = "AS" + std::to_string(asn) + "_";
+
+  if (profile.role == AsRole::kStub) {
+    // A handful of routers in a chain, possibly closed into a cycle.
+    std::vector<RouterId> routers;
+    for (int i = 0; i < router_count; ++i) {
+      routers.push_back(topology_.AddRouter(
+          asn, prefix + "r" + std::to_string(i),
+          rng.Chance(0.7) ? Vendor::kCiscoIos : Vendor::kLinux));
+    }
+    for (std::size_t i = 0; i + 1 < routers.size(); ++i) {
+      topology_.AddLink(routers[i], routers[i + 1],
+                        {.delay_ms = rng.UniformReal(0.5, 2.0)});
+    }
+    if (routers.size() > 2 && rng.Chance(0.4)) {
+      topology_.AddLink(routers.front(), routers.back(),
+                        {.delay_ms = rng.UniformReal(0.5, 2.0)});
+    }
+    profile.edge_routers = routers;
+    return;
+  }
+
+  // PoP structure: one core router per PoP, edges attached to their core.
+  // Uniform ring metrics keep equal-cost paths hop-balanced (like real
+  // ISP metric plans); a deep ring yields multi-LSR tunnel interiors.
+  const int pops = std::max(3, router_count / 5);
+  for (int p = 0; p < pops; ++p) {
+    profile.core_routers.push_back(topology_.AddRouter(
+        asn, prefix + "core" + std::to_string(p),
+        DrawVendor(profile.hardware, /*is_core=*/true, rng)));
+  }
+  // Core ring (metro/long-haul delays) ...
+  for (int p = 0; p < pops; ++p) {
+    topology_.AddLink(profile.core_routers[p],
+                      profile.core_routers[(p + 1) % pops],
+                      {.igp_metric = 1,
+                       .delay_ms = rng.UniformReal(2.0, 15.0)});
+  }
+  // ... plus a few long chords that shorten far pairs without creating
+  // unequal-hop equal-cost ties on short ones.
+  for (int c = 0; c < pops / 3; ++c) {
+    const int a = rng.UniformInt(0, pops - 1);
+    const int b = rng.UniformInt(0, pops - 1);
+    const int ring_gap = std::min(std::abs(a - b),
+                                  pops - std::abs(a - b));
+    if (ring_gap < 4) continue;
+    topology_.AddLink(profile.core_routers[a], profile.core_routers[b],
+                      {.igp_metric = 2,
+                       .delay_ms = rng.UniformReal(4.0, 20.0)});
+  }
+  // Edge PEs round-robin across PoPs.
+  const int edge_count = std::max(2, router_count - pops);
+  for (int e = 0; e < edge_count; ++e) {
+    const RouterId pe = topology_.AddRouter(
+        asn, prefix + "pe" + std::to_string(e),
+        DrawVendor(profile.hardware, /*is_core=*/false, rng));
+    profile.edge_routers.push_back(pe);
+    const RouterId home_core = profile.core_routers[e % pops];
+    topology_.AddLink(pe, home_core,
+                      {.delay_ms = rng.UniformReal(0.5, 2.0)});
+    if (rng.Chance(0.3) && pops > 1) {
+      // Dual-homed PE: a second core uplink (creates ECMP).
+      const RouterId other =
+          profile.core_routers[(e + 1 + rng.UniformInt(0, pops - 2)) % pops];
+      if (other != home_core) {
+        topology_.AddLink(pe, other,
+                          {.delay_ms = rng.UniformReal(0.5, 2.0)});
+      }
+    }
+  }
+}
+
+void SyntheticInternet::BuildAsLevel(const InternetOptions& options,
+                                     Rng& rng) {
+  const auto draw_hardware = [&]() {
+    const std::vector<double> weights{
+        options.cisco_weight, options.juniper_weight, options.mixed_weight,
+        options.other_weight};
+    return static_cast<HardwareProfile>(rng.WeightedIndex(weights));
+  };
+
+  const auto make_as = [&](AsNumber asn, AsRole role, int routers) {
+    topology_.AddAs(asn, std::string(ToString(role)) + "-" +
+                             std::to_string(asn));
+    AsProfile profile;
+    profile.asn = asn;
+    profile.role = role;
+    profile.hardware = draw_hardware();
+    BuildRouterLevel(profile, routers, rng);
+    if (role != AsRole::kStub && rng.Chance(options.mpls_probability)) {
+      profile.mpls = true;
+      profile.ttl_propagate =
+          !rng.Chance(options.no_ttl_propagate_probability);
+      profile.popping = rng.Chance(options.uhp_probability)
+                            ? mpls::Popping::kUhp
+                            : mpls::Popping::kPhp;
+      mpls::MplsConfigMap::AsOptions as_options;
+      as_options.ttl_propagate = profile.ttl_propagate;
+      as_options.popping = profile.popping;
+      configs_.EnableAs(asn, as_options);
+    }
+    // Failure injection: anonymous routers and ICMP rate limiting.
+    for (const topo::RouterId rid : topology_.as(asn).routers) {
+      if (options.anonymous_router_probability > 0.0 &&
+          rng.Chance(options.anonymous_router_probability)) {
+        configs_.Mutable(rid).icmp_silent = true;
+      }
+      if (options.icmp_loss > 0.0) {
+        configs_.Mutable(rid).icmp_loss = options.icmp_loss;
+      }
+    }
+    profiles_.emplace(asn, std::move(profile));
+    return asn;
+  };
+
+  std::vector<AsNumber> tier1s;
+  for (int i = 0; i < options.tier1_count; ++i) {
+    tier1s.push_back(make_as(kTier1Base + i, AsRole::kTier1,
+                             Jitter(options.tier1_routers, rng)));
+  }
+  std::vector<AsNumber> transits;
+  for (int i = 0; i < options.transit_count; ++i) {
+    transits.push_back(make_as(kTransitBase + i, AsRole::kTransit,
+                               Jitter(options.transit_routers, rng)));
+  }
+  std::vector<AsNumber> stubs;
+  for (int i = 0; i < options.stub_count; ++i) {
+    stubs.push_back(make_as(kStubBase + i, AsRole::kStub,
+                            Jitter(options.stub_routers, rng)));
+    bgp_policy_.stub_ases.insert(stubs.back());
+  }
+
+  const auto random_edge = [&](AsNumber asn) {
+    const auto& edges = profiles_.at(asn).edge_routers;
+    return edges[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int>(edges.size()) - 1))];
+  };
+  const auto peer = [&](AsNumber a, AsNumber b) {
+    topology_.AddLink(random_edge(a), random_edge(b),
+                      {.delay_ms = rng.UniformReal(3.0, 15.0)});
+  };
+
+  // Tier-1 full mesh with parallel links at distinct PEs.
+  for (std::size_t i = 0; i < tier1s.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1s.size(); ++j) {
+      peer(tier1s[i], tier1s[j]);
+      peer(tier1s[i], tier1s[j]);
+    }
+  }
+  // Transits: two Tier-1 uplinks (distinct), occasional lateral peering.
+  for (const AsNumber t : transits) {
+    const int up1 = rng.UniformInt(0, static_cast<int>(tier1s.size()) - 1);
+    int up2 = rng.UniformInt(0, static_cast<int>(tier1s.size()) - 1);
+    if (up2 == up1) up2 = (up2 + 1) % static_cast<int>(tier1s.size());
+    peer(t, tier1s[static_cast<std::size_t>(up1)]);
+    peer(t, tier1s[static_cast<std::size_t>(up1)]);  // parallel uplink
+    peer(t, tier1s[static_cast<std::size_t>(up2)]);
+    if (rng.Chance(0.35) && transits.size() > 1) {
+      AsNumber other = t;
+      while (other == t) {
+        other = transits[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<int>(transits.size()) - 1))];
+      }
+      peer(t, other);
+    }
+  }
+  // Stubs: one or two providers, mostly transits.
+  for (const AsNumber s : stubs) {
+    const auto provider = [&]() {
+      if (rng.Chance(0.8)) {
+        return transits[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<int>(transits.size()) - 1))];
+      }
+      return tier1s[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int>(tier1s.size()) - 1))];
+    };
+    const AsNumber p1 = provider();
+    peer(s, p1);
+    if (rng.Chance(0.4)) {
+      const AsNumber p2 = provider();
+      if (p2 != p1) peer(s, p2);
+    }
+  }
+
+  // Vantage points: hosts in distinct stub ASes spread over the draw order.
+  std::vector<AsNumber> vp_stubs = stubs;
+  std::shuffle(vp_stubs.begin(), vp_stubs.end(), rng.engine());
+  const int vps = std::min<int>(options.vp_count,
+                                static_cast<int>(vp_stubs.size()));
+  for (int i = 0; i < vps; ++i) {
+    const auto& routers = profiles_.at(vp_stubs[static_cast<std::size_t>(i)])
+                              .edge_routers;
+    vantage_points_.push_back(topology_.AttachHost(
+        routers.front(), "VP" + std::to_string(i)));
+  }
+}
+
+void SyntheticInternet::Reconverge() {
+  network_ = std::make_unique<sim::Network>(topology_, configs_, bgp_policy_);
+}
+
+std::vector<netbase::Ipv4Address> SyntheticInternet::AllLoopbacks() const {
+  std::vector<netbase::Ipv4Address> out;
+  out.reserve(topology_.router_count());
+  for (const topo::Router& router : topology_.routers()) {
+    out.push_back(router.loopback);
+  }
+  return out;
+}
+
+void SyntheticInternet::ForceTtlPropagation(bool propagate_everywhere) {
+  for (const auto& [asn, profile] : profiles_) {
+    if (!profile.mpls) continue;
+    for (const RouterId rid : topology_.as(asn).routers) {
+      configs_.Mutable(rid).ttl_propagate =
+          propagate_everywhere ? true : profile.ttl_propagate;
+    }
+  }
+  Reconverge();
+}
+
+}  // namespace wormhole::gen

@@ -1,0 +1,139 @@
+// Synthetic multi-AS Internet generator — the stand-in for the paper's
+// measurement environment (PlanetLab vantage points probing the real
+// Internet guided by CAIDA ITDK).
+//
+// Structure: a few fully-meshed Tier-1 ASes, a layer of transit ASes
+// multi-homed to them, and stub ASes hanging off the transits. Each transit
+// or Tier-1 AS has a PoP-structured router-level topology (core ring +
+// chords, edge PE routers per PoP); inter-AS links attach at the PEs —
+// which is why entry PEs of MPLS clouds turn into high-degree nodes once
+// interior hops are hidden.
+//
+// The per-AS MPLS deployment (enabled? no-ttl-propagate? UHP? hardware mix?)
+// is drawn from the paper's operator-survey proportions (Sec. 1-2), and the
+// full ground truth is kept per AS so campaign inferences can be scored
+// against reality.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gen/survey.h"
+#include "mpls/config.h"
+#include "netbase/rng.h"
+#include "routing/bgp.h"
+#include "sim/network.h"
+#include "topo/topology.h"
+
+namespace wormhole::gen {
+
+enum class AsRole : std::uint8_t { kTier1, kTransit, kStub };
+const char* ToString(AsRole role);
+
+/// Hardware deployment profile of an AS (drives Table 5's signature mix).
+enum class HardwareProfile : std::uint8_t {
+  kCisco,    ///< all <255,255>
+  kJuniper,  ///< all <255,64>
+  kMixed,    ///< Juniper edges, <64,64> cores (the paper's AS3549 pattern)
+  kOther,    ///< JunosE/Brocade boxes
+};
+const char* ToString(HardwareProfile profile);
+
+/// Ground truth about one generated AS.
+struct AsProfile {
+  topo::AsNumber asn = 0;
+  AsRole role = AsRole::kStub;
+  HardwareProfile hardware = HardwareProfile::kCisco;
+  bool mpls = false;
+  bool ttl_propagate = true;
+  mpls::Popping popping = mpls::Popping::kPhp;
+  std::vector<topo::RouterId> core_routers;
+  std::vector<topo::RouterId> edge_routers;
+
+  [[nodiscard]] bool invisible_tunnels() const {
+    return mpls && !ttl_propagate;
+  }
+};
+
+struct InternetOptions {
+  std::uint64_t seed = 1;
+
+  int tier1_count = 3;
+  int transit_count = 10;
+  int stub_count = 36;
+  /// Routers per AS by role (jittered ±25%).
+  int tier1_routers = 44;
+  int transit_routers = 24;
+  int stub_routers = 3;
+  /// Vantage-point hosts, placed in distinct stub ASes.
+  int vp_count = 12;
+
+  // Survey-driven deployment probabilities (applied to transit/Tier-1 ASes;
+  // stubs never run MPLS here). Sources: gen/survey.h.
+  double mpls_probability = survey::kMplsDeployment;
+  /// P(no-ttl-propagate | MPLS) — the share of *invisible* clouds.
+  double no_ttl_propagate_probability = survey::kNoTtlPropagate;
+  /// P(UHP | MPLS).
+  double uhp_probability = survey::kUhp;
+  // Hardware mix (normalised): survey says 58% Cisco / 28% Juniper with
+  // 25% of operators mixing vendors.
+  double cisco_weight = 0.45;
+  double juniper_weight = 0.22;
+  double mixed_weight = 0.25;
+  double other_weight = 0.08;
+
+  // --- failure injection ---------------------------------------------------
+  /// Fraction of routers that never answer probes (anonymous routers).
+  double anonymous_router_probability = 0.0;
+  /// Per-reply ICMP loss probability on every router (rate limiting).
+  double icmp_loss = 0.0;
+};
+
+class SyntheticInternet {
+ public:
+  explicit SyntheticInternet(const InternetOptions& options = {});
+  SyntheticInternet(const SyntheticInternet&) = delete;
+  SyntheticInternet& operator=(const SyntheticInternet&) = delete;
+
+  [[nodiscard]] const topo::Topology& topology() const { return topology_; }
+  [[nodiscard]] const mpls::MplsConfigMap& configs() const { return configs_; }
+  [[nodiscard]] sim::Network& network() { return *network_; }
+  [[nodiscard]] sim::Engine& engine() { return network_->engine(); }
+  [[nodiscard]] const routing::BgpPolicy& bgp_policy() const {
+    return bgp_policy_;
+  }
+  [[nodiscard]] const std::vector<netbase::Ipv4Address>& vantage_points()
+      const {
+    return vantage_points_;
+  }
+  [[nodiscard]] const std::map<topo::AsNumber, AsProfile>& profiles() const {
+    return profiles_;
+  }
+  [[nodiscard]] const AsProfile& profile(topo::AsNumber asn) const {
+    return profiles_.at(asn);
+  }
+
+  /// Every router loopback — the default plain-campaign target list.
+  [[nodiscard]] std::vector<netbase::Ipv4Address> AllLoopbacks() const;
+
+  /// Rebuilds the control plane with TTL propagation forced ON everywhere
+  /// (for the Table 3 cross-validation on *explicit* tunnels). Call
+  /// RestoreConfiguredPropagation() to go back.
+  void ForceTtlPropagation(bool propagate_everywhere);
+
+ private:
+  void BuildAsLevel(const InternetOptions& options, netbase::Rng& rng);
+  void BuildRouterLevel(AsProfile& profile, int router_count,
+                        netbase::Rng& rng);
+  void Reconverge();
+
+  topo::Topology topology_;
+  mpls::MplsConfigMap configs_;
+  routing::BgpPolicy bgp_policy_;
+  std::map<topo::AsNumber, AsProfile> profiles_;
+  std::vector<netbase::Ipv4Address> vantage_points_;
+  std::unique_ptr<sim::Network> network_;
+};
+
+}  // namespace wormhole::gen

@@ -1,0 +1,180 @@
+#include "gen/router_config.h"
+
+#include <sstream>
+
+namespace wormhole::gen {
+
+namespace {
+
+using mpls::LdpPolicy;
+using mpls::MplsConfig;
+using mpls::Popping;
+using topo::Interface;
+using topo::Router;
+using topo::RouterId;
+using topo::Topology;
+
+std::string SubnetMask(int prefix_length) {
+  const std::uint32_t mask =
+      prefix_length == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_length);
+  return netbase::Ipv4Address(mask).ToString();
+}
+
+/// Is this router a border (has an inter-AS link)?
+bool IsBorder(const Topology& topology, RouterId router) {
+  for (const topo::InterfaceId iid : topology.router(router).interfaces) {
+    const Interface& iface = topology.interface(iid);
+    if (iface.link != topo::kNoLink && !topology.IsInternalLink(iface.link)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string CiscoStyleConfig(const Topology& topology,
+                             const mpls::MplsConfigMap& configs,
+                             RouterId router_id) {
+  const Router& router = topology.router(router_id);
+  const MplsConfig& config = configs.For(router_id);
+  std::ostringstream os;
+
+  os << "hostname " << router.name << "\n!\n";
+  if (config.enabled && !config.ttl_propagate) {
+    os << "no mpls ip propagate-ttl\n";
+  }
+  if (config.enabled && config.ldp_policy == LdpPolicy::kLoopbacksOnly) {
+    os << "mpls ldp label allocate global host-routes\n";
+  }
+  if (config.enabled && config.popping == Popping::kUhp) {
+    os << "mpls ldp explicit-null\n";
+  }
+  os << "!\ninterface Loopback0\n ip address " << router.loopback
+     << " 255.255.255.255\n!\n";
+
+  int index = 0;
+  for (const topo::InterfaceId iid : router.interfaces) {
+    const Interface& iface = topology.interface(iid);
+    os << "interface GigabitEthernet0/" << index++ << "\n"
+       << " description " << iface.name << "\n"
+       << " ip address " << iface.address << ' '
+       << SubnetMask(iface.subnet.length()) << "\n";
+    const bool internal =
+        iface.link == topo::kNoLink || topology.IsInternalLink(iface.link);
+    if (config.enabled && internal) os << " mpls ip\n";
+    os << " no shutdown\n!\n";
+  }
+
+  // IGP: OSPF over every connected prefix (eBGP link subnets excluded,
+  // matching the simulated control plane).
+  os << "router ospf 1\n router-id " << router.loopback << "\n";
+  os << " network " << router.loopback << " 0.0.0.0 area 0\n";
+  for (const topo::InterfaceId iid : router.interfaces) {
+    const Interface& iface = topology.interface(iid);
+    if (iface.link != topo::kNoLink && !topology.IsInternalLink(iface.link)) {
+      continue;
+    }
+    os << " network " << iface.subnet.address() << ' '
+       << netbase::Ipv4Address(~(
+              ~std::uint32_t{0} << (32 - iface.subnet.length())))
+       << " area 0\n";
+  }
+  os << "!\n";
+
+  // BGP on border routers: eBGP to each external neighbor, iBGP
+  // next-hop-self implied by the simulated model.
+  if (IsBorder(topology, router_id)) {
+    os << "router bgp " << router.asn << "\n bgp router-id "
+       << router.loopback << "\n";
+    for (const topo::InterfaceId iid : router.interfaces) {
+      const Interface& iface = topology.interface(iid);
+      if (iface.link == topo::kNoLink ||
+          topology.IsInternalLink(iface.link)) {
+        continue;
+      }
+      const Interface& peer = topology.OtherEnd(iface.link, router_id);
+      os << " neighbor " << peer.address << " remote-as "
+         << topology.router(peer.router).asn << "\n";
+    }
+    const auto& block = topology.as(router.asn).block;
+    os << " network " << block.address() << " mask "
+       << SubnetMask(block.length()) << "\n!\n";
+  }
+  return os.str();
+}
+
+std::string JunosStyleConfig(const Topology& topology,
+                             const mpls::MplsConfigMap& configs,
+                             RouterId router_id) {
+  const Router& router = topology.router(router_id);
+  const MplsConfig& config = configs.For(router_id);
+  std::ostringstream os;
+
+  os << "set system host-name " << router.name << "\n";
+  os << "set interfaces lo0 unit 0 family inet address " << router.loopback
+     << "/32\n";
+  int index = 0;
+  for (const topo::InterfaceId iid : router.interfaces) {
+    const Interface& iface = topology.interface(iid);
+    const std::string name = "ge-0/0/" + std::to_string(index++);
+    os << "set interfaces " << name << " unit 0 family inet address "
+       << iface.address << '/' << iface.subnet.length() << "\n";
+    const bool internal =
+        iface.link == topo::kNoLink || topology.IsInternalLink(iface.link);
+    if (config.enabled && internal) {
+      os << "set interfaces " << name << " unit 0 family mpls\n"
+         << "set protocols ldp interface " << name << "\n"
+         << "set protocols mpls interface " << name << "\n";
+    }
+    if (internal) {
+      os << "set protocols ospf area 0.0.0.0 interface " << name << "\n";
+    }
+  }
+  if (config.enabled && !config.ttl_propagate) {
+    os << "set protocols mpls no-propagate-ttl\n";
+  }
+  if (config.enabled && config.popping == Popping::kUhp) {
+    os << "set protocols ldp explicit-null\n";
+  }
+  if (config.enabled && config.ldp_policy == LdpPolicy::kAllPrefixes) {
+    // Junos defaults to loopback-only; advertising everything needs an
+    // egress policy.
+    os << "set protocols ldp egress-policy advertise-all-igp\n";
+  }
+  if (IsBorder(topology, router_id)) {
+    for (const topo::InterfaceId iid : router.interfaces) {
+      const Interface& iface = topology.interface(iid);
+      if (iface.link == topo::kNoLink ||
+          topology.IsInternalLink(iface.link)) {
+        continue;
+      }
+      const Interface& peer = topology.OtherEnd(iface.link, router_id);
+      os << "set protocols bgp group ebgp neighbor " << peer.address
+         << " peer-as " << topology.router(peer.router).asn << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string TestbedConfigs(const Topology& topology,
+                           const mpls::MplsConfigMap& configs) {
+  std::ostringstream os;
+  for (const Router& router : topology.routers()) {
+    os << "!=== " << router.name << " (" << ToString(router.vendor)
+       << ") ===\n";
+    switch (router.vendor) {
+      case topo::Vendor::kJuniperJunos:
+      case topo::Vendor::kJuniperJunosE:
+        os << JunosStyleConfig(topology, configs, router.id);
+        break;
+      default:
+        os << CiscoStyleConfig(topology, configs, router.id);
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wormhole::gen

@@ -1,0 +1,35 @@
+// Router configuration emitter — the repo's analogue of the GNS3
+// configuration scripts the paper publishes alongside its dataset: for any
+// Topology + MplsConfigMap, renders per-router IOS-style (or Junos-style)
+// configuration text that would produce the simulated behaviour on real
+// hardware. Useful both as documentation of what each scenario *means* and
+// for replaying a generated world in an actual emulator.
+#pragma once
+
+#include <string>
+
+#include "mpls/config.h"
+#include "topo/topology.h"
+
+namespace wormhole::gen {
+
+/// IOS-style configuration for one router: hostname, loopback and physical
+/// interfaces (with `mpls ip` where enabled), OSPF over the AS's prefixes,
+/// BGP for border routers, and the MPLS knobs of the paper's scenarios
+/// (`no mpls ip propagate-ttl`, `mpls ldp label allocate global
+/// host-routes`, `mpls ldp explicit-null`).
+std::string CiscoStyleConfig(const topo::Topology& topology,
+                             const mpls::MplsConfigMap& configs,
+                             topo::RouterId router);
+
+/// Junos-style configuration for the same router (set-command format).
+std::string JunosStyleConfig(const topo::Topology& topology,
+                             const mpls::MplsConfigMap& configs,
+                             topo::RouterId router);
+
+/// Emits the whole testbed: one config blob per router, in vendor-matching
+/// syntax, separated by banner comments.
+std::string TestbedConfigs(const topo::Topology& topology,
+                           const mpls::MplsConfigMap& configs);
+
+}  // namespace wormhole::gen

@@ -1,0 +1,29 @@
+// The paper's operator survey (Aug 28 – Sep 12, 2017; 50 answers from Stub
+// to Tier-1 ISPs via direct contact and NANOG). These constants
+// parameterise the synthetic Internet generator and document where the
+// default `InternetOptions` probabilities come from.
+#pragma once
+
+namespace wormhole::gen::survey {
+
+/// Share of surveyed operators deploying MPLS at all.
+inline constexpr double kMplsDeployment = 0.87;
+
+/// Label distribution (among MPLS deployers).
+inline constexpr double kLdpOnly = 0.50;
+inline constexpr double kLdpPlusRsvpTe = 0.42;
+inline constexpr double kRsvpTeOnly = 0.08;
+
+/// Share of operators using the no-ttl-propagate option — the invisible
+/// tunnel population.
+inline constexpr double kNoTtlPropagate = 0.48;
+
+/// Share of operators deploying Ultimate Hop Popping.
+inline constexpr double kUhp = 0.10;
+
+/// Hardware (multi-select in the survey: mixes overlap the brands).
+inline constexpr double kCisco = 0.58;
+inline constexpr double kJuniper = 0.28;
+inline constexpr double kMixedVendors = 0.25;
+
+}  // namespace wormhole::gen::survey

@@ -1,0 +1,139 @@
+#include "io/tracefile.h"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wormhole::io {
+
+namespace {
+
+using netbase::PacketKind;
+
+char KindCode(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kTimeExceeded: return 'x';
+    case PacketKind::kEchoReply: return 'e';
+    case PacketKind::kDestinationUnreachable: return 'u';
+    case PacketKind::kEchoRequest: break;
+  }
+  return '?';
+}
+
+PacketKind KindFromCode(char code) {
+  switch (code) {
+    case 'x': return PacketKind::kTimeExceeded;
+    case 'e': return PacketKind::kEchoReply;
+    case 'u': return PacketKind::kDestinationUnreachable;
+    default:
+      throw std::runtime_error(std::string("bad reply kind code: ") + code);
+  }
+}
+
+netbase::Ipv4Address ParseAddress(const std::string& text) {
+  const auto address = netbase::Ipv4Address::Parse(text);
+  if (!address) throw std::runtime_error("bad address: " + text);
+  return *address;
+}
+
+}  // namespace
+
+void WriteTrace(std::ostream& os, const probe::TraceResult& trace) {
+  os << "T " << trace.source << ' ' << trace.target << ' ' << trace.flow_id
+     << ' ' << (trace.reached ? 1 : 0) << ' ' << (trace.unreachable ? 1 : 0)
+     << '\n';
+  for (const probe::Hop& hop : trace.hops) {
+    os << "H " << hop.probe_ttl << ' ';
+    if (hop.address) {
+      os << *hop.address << ' ' << KindCode(hop.reply_kind) << ' '
+         << hop.reply_ip_ttl << ' ' << std::fixed << std::setprecision(3)
+         << hop.rtt_ms;
+      for (const auto& lse : hop.labels) {
+        os << " L" << lse.label << ':' << static_cast<int>(lse.ttl);
+      }
+    } else {
+      os << '*';
+    }
+    os << '\n';
+  }
+  os << ".\n";
+}
+
+void WriteTraces(std::ostream& os,
+                 const std::vector<probe::TraceResult>& traces) {
+  os << "# wormhole tracefile v1, " << traces.size() << " traces\n";
+  for (const probe::TraceResult& trace : traces) WriteTrace(os, trace);
+}
+
+std::vector<probe::TraceResult> ReadTraces(std::istream& is) {
+  std::vector<probe::TraceResult> traces;
+  probe::TraceResult current;
+  bool in_trace = false;
+  std::string line;
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+
+    if (tag == "T") {
+      if (in_trace) throw std::runtime_error("nested trace record");
+      std::string src, dst;
+      int reached = 0;
+      int unreachable = 0;
+      current = probe::TraceResult{};
+      ss >> src >> dst >> current.flow_id >> reached >> unreachable;
+      if (!ss) throw std::runtime_error("malformed T record: " + line);
+      current.source = ParseAddress(src);
+      current.target = ParseAddress(dst);
+      current.reached = reached != 0;
+      current.unreachable = unreachable != 0;
+      in_trace = true;
+    } else if (tag == "H") {
+      if (!in_trace) throw std::runtime_error("H record outside trace");
+      probe::Hop hop;
+      std::string addr;
+      ss >> hop.probe_ttl >> addr;
+      if (!ss) throw std::runtime_error("malformed H record: " + line);
+      if (addr != "*") {
+        hop.address = ParseAddress(addr);
+        std::string kind;
+        ss >> kind >> hop.reply_ip_ttl >> hop.rtt_ms;
+        if (!ss || kind.size() != 1) {
+          throw std::runtime_error("malformed H record: " + line);
+        }
+        hop.reply_kind = KindFromCode(kind[0]);
+        std::string label_text;
+        while (ss >> label_text) {
+          if (label_text.empty() || label_text[0] != 'L') {
+            throw std::runtime_error("bad label field: " + label_text);
+          }
+          const auto colon = label_text.find(':');
+          if (colon == std::string::npos) {
+            throw std::runtime_error("bad label field: " + label_text);
+          }
+          netbase::LabelStackEntry lse;
+          lse.label = static_cast<std::uint32_t>(
+              std::stoul(label_text.substr(1, colon - 1)));
+          lse.ttl = static_cast<std::uint8_t>(
+              std::stoi(label_text.substr(colon + 1)));
+          hop.labels.push_back(lse);
+        }
+      }
+      current.hops.push_back(std::move(hop));
+    } else if (tag == ".") {
+      if (!in_trace) throw std::runtime_error("stray trace terminator");
+      traces.push_back(std::move(current));
+      in_trace = false;
+    } else {
+      throw std::runtime_error("unknown record tag: " + tag);
+    }
+  }
+  if (in_trace) throw std::runtime_error("unterminated trace record");
+  return traces;
+}
+
+}  // namespace wormhole::io

@@ -1,0 +1,107 @@
+#include "mpls/ldp.h"
+
+#include <algorithm>
+
+namespace wormhole::mpls {
+
+namespace {
+
+bool PolicyAllows(const MplsConfig& config, const Prefix& fec) {
+  switch (config.ldp_policy) {
+    case LdpPolicy::kAllPrefixes:
+      return true;
+    case LdpPolicy::kLoopbacksOnly:
+      return fec.is_host();
+  }
+  return false;
+}
+
+}  // namespace
+
+LdpDomain::LdpDomain(const topo::Topology& topology,
+                     const MplsConfigMap& configs, topo::AsNumber asn,
+                     const std::vector<routing::Fib>& fibs)
+    : asn_(asn) {
+  // Candidate FECs: every internal prefix of the AS. Which of them a router
+  // actually binds is filtered per router below.
+  std::vector<Prefix> candidate_fecs = topology.InternalPrefixes(asn);
+  std::sort(candidate_fecs.begin(), candidate_fecs.end());
+
+  for (const topo::RouterId rid : topology.as(asn).routers) {
+    const MplsConfig& config = configs.For(rid);
+    if (!config.enabled) continue;
+
+    RouterTables tables;
+    std::uint32_t next_label = netbase::kFirstUnreservedLabel;
+
+    for (const Prefix& fec : candidate_fecs) {
+      if (!PolicyAllows(config, fec)) continue;
+      const routing::FibEntry* route = fibs.at(rid).LookupExact(fec);
+      if (route == nullptr) continue;  // not in this router's RIB
+
+      Binding binding;
+      if (route->source == routing::RouteSource::kConnected) {
+        // Egress LER for this FEC: request PHP (implicit null) or UHP
+        // (explicit null) from the upstream neighbor.
+        binding.kind = config.popping == Popping::kUhp
+                           ? BindingKind::kExplicitNull
+                           : BindingKind::kImplicitNull;
+      } else {
+        binding.kind = BindingKind::kLabel;
+        binding.label = next_label++;
+        tables.label_to_fec.emplace(binding.label, fec);
+      }
+      tables.bindings.emplace(fec, binding);
+    }
+    tables_.emplace(rid, std::move(tables));
+  }
+}
+
+std::optional<Binding> LdpDomain::BindingOf(RouterId advertiser,
+                                            const Prefix& fec) const {
+  const auto router_it = tables_.find(advertiser);
+  if (router_it == tables_.end()) return std::nullopt;
+  const auto it = router_it->second.bindings.find(fec);
+  if (it == router_it->second.bindings.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Prefix> LdpDomain::FecOfLabel(RouterId router,
+                                            std::uint32_t label) const {
+  const auto router_it = tables_.find(router);
+  if (router_it == tables_.end()) return std::nullopt;
+  const auto it = router_it->second.label_to_fec.find(label);
+  if (it == router_it->second.label_to_fec.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Prefix> LdpDomain::FecsOf(RouterId router) const {
+  std::vector<Prefix> out;
+  const auto router_it = tables_.find(router);
+  if (router_it == tables_.end()) return out;
+  out.reserve(router_it->second.bindings.size());
+  for (const auto& [fec, binding] : router_it->second.bindings) {
+    out.push_back(fec);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+LdpTables::LdpTables(const topo::Topology& topology,
+                     const MplsConfigMap& configs,
+                     const std::vector<routing::Fib>& fibs) {
+  for (const topo::AsNumber asn : topology.AsNumbers()) {
+    const bool any_enabled = std::any_of(
+        topology.as(asn).routers.begin(), topology.as(asn).routers.end(),
+        [&](topo::RouterId rid) { return configs.For(rid).enabled; });
+    if (!any_enabled) continue;
+    domains_.emplace(asn, LdpDomain(topology, configs, asn, fibs));
+  }
+}
+
+const LdpDomain* LdpTables::DomainOf(topo::AsNumber asn) const {
+  const auto it = domains_.find(asn);
+  return it == domains_.end() ? nullptr : &it->second;
+}
+
+}  // namespace wormhole::mpls

@@ -1,0 +1,89 @@
+// LDP (RFC 5036) in converged form.
+//
+// We do not simulate session establishment; we compute the steady state the
+// protocol converges to: for every MPLS-enabled router and every FEC its
+// policy allows, a label binding advertised to all neighbors (downstream
+// unsolicited, liberal retention — a router advertises the *same* label for
+// a FEC to every neighbor, as the paper notes in Sec. 2.1).
+//
+// A router that reaches a FEC over a directly connected interface is an
+// Egress LER for it and advertises implicit-null (PHP) or explicit-null
+// (UHP), which is what places the pop at the penultimate hop.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mpls/config.h"
+#include "netbase/ipv4.h"
+#include "netbase/label.h"
+#include "routing/fib.h"
+#include "topo/topology.h"
+
+namespace wormhole::mpls {
+
+using netbase::Prefix;
+using topo::RouterId;
+
+enum class BindingKind : std::uint8_t {
+  kLabel,         ///< ordinary label: upstream swaps to it
+  kImplicitNull,  ///< label 3: upstream pops (PHP)
+  kExplicitNull,  ///< label 0: upstream swaps to 0; egress pops (UHP)
+};
+
+struct Binding {
+  BindingKind kind = BindingKind::kLabel;
+  std::uint32_t label = 0;  ///< meaningful for kLabel only
+
+  friend bool operator==(const Binding&, const Binding&) = default;
+};
+
+/// The converged label state of one MPLS-enabled AS.
+class LdpDomain {
+ public:
+  /// Computes bindings for every enabled router of `asn`. `fibs` must
+  /// already contain the IGP routes (FECs are taken from the RIB).
+  LdpDomain(const topo::Topology& topology, const MplsConfigMap& configs,
+            topo::AsNumber asn, const std::vector<routing::Fib>& fibs);
+
+  /// The binding `advertiser` distributes for `fec`; nullopt when the
+  /// router does not advertise that FEC (policy filter / not in RIB /
+  /// MPLS disabled).
+  [[nodiscard]] std::optional<Binding> BindingOf(RouterId advertiser,
+                                                 const Prefix& fec) const;
+
+  /// Reverse lookup: which FEC does `label` select on `router`?
+  [[nodiscard]] std::optional<Prefix> FecOfLabel(RouterId router,
+                                                 std::uint32_t label) const;
+
+  /// All FECs `router` advertises (tests / reports).
+  [[nodiscard]] std::vector<Prefix> FecsOf(RouterId router) const;
+
+  [[nodiscard]] topo::AsNumber asn() const { return asn_; }
+
+ private:
+  struct RouterTables {
+    std::unordered_map<Prefix, Binding> bindings;
+    std::unordered_map<std::uint32_t, Prefix> label_to_fec;
+  };
+
+  topo::AsNumber asn_ = 0;
+  std::unordered_map<RouterId, RouterTables> tables_;
+};
+
+/// All LDP domains of a topology, keyed by AS. ASes without any MPLS-enabled
+/// router get no domain.
+class LdpTables {
+ public:
+  LdpTables() = default;
+  LdpTables(const topo::Topology& topology, const MplsConfigMap& configs,
+            const std::vector<routing::Fib>& fibs);
+
+  [[nodiscard]] const LdpDomain* DomainOf(topo::AsNumber asn) const;
+
+ private:
+  std::unordered_map<topo::AsNumber, LdpDomain> domains_;
+};
+
+}  // namespace wormhole::mpls

@@ -1,0 +1,112 @@
+#include "mpls/rsvp_te.h"
+
+#include <stdexcept>
+
+namespace wormhole::mpls {
+
+namespace {
+
+topo::LinkId LinkBetween(const topo::Topology& topology, topo::RouterId a,
+                         topo::RouterId b) {
+  for (const auto& [neighbor, link] : topology.Neighbors(a)) {
+    if (neighbor == b) return link;
+  }
+  throw std::invalid_argument("TE path hop " + topology.router(a).name +
+                              " -> " + topology.router(b).name +
+                              " is not a physical adjacency");
+}
+
+}  // namespace
+
+std::size_t TeDatabase::AddTunnel(const topo::Topology& topology,
+                                  const TeTunnelSpec& spec) {
+  if (spec.path.size() < 2) {
+    throw std::invalid_argument("TE path needs at least ingress and egress");
+  }
+  const topo::AsNumber asn = topology.router(spec.path.front()).asn;
+  for (const topo::RouterId rid : spec.path) {
+    if (topology.router(rid).asn != asn) {
+      throw std::invalid_argument("TE path crosses AS boundaries");
+    }
+  }
+  // Validate the whole ERO up front so a bad spec cannot leave partial
+  // forwarding state behind.
+  for (std::size_t i = 0; i + 1 < spec.path.size(); ++i) {
+    (void)LinkBetween(topology, spec.path[i], spec.path[i + 1]);
+  }
+
+  // Per-hop labels: label[i] carries the packet from path[i] to path[i+1].
+  // Under PHP the penultimate hop pops; under UHP it swaps to explicit
+  // null. A two-router tunnel under PHP degenerates to unlabelled
+  // forwarding (pop at push).
+  const std::size_t hops = spec.path.size() - 1;
+  std::vector<std::uint32_t> labels(hops, 0);
+  for (std::size_t i = 0; i < hops; ++i) labels[i] = next_label_++;
+
+  for (std::size_t i = 1; i < hops; ++i) {
+    const topo::RouterId router = spec.path[i];
+    const topo::RouterId next = spec.path[i + 1];
+    TeLabelOp op;
+    op.link = LinkBetween(topology, router, next);
+    op.next = next;
+    if (i + 1 == spec.path.size() - 1) {
+      // Penultimate hop.
+      op.kind = spec.popping == Popping::kUhp
+                    ? TeLabelOp::Kind::kSwapExplicitNull
+                    : TeLabelOp::Kind::kPop;
+    } else {
+      op.kind = TeLabelOp::Kind::kSwap;
+      op.out_label = labels[i];
+    }
+    label_ops_[router].emplace(labels[i - 1], op);
+  }
+
+  // Steering at the ingress.
+  const topo::RouterId ingress = spec.path.front();
+  const topo::RouterId first_hop = spec.path[1];
+  for (const netbase::Prefix& prefix : spec.steered_prefixes) {
+    TeSteering steering;
+    steering.prefix = prefix;
+    steering.link = LinkBetween(topology, ingress, first_hop);
+    steering.next = first_hop;
+    if (hops == 1) {
+      // One-hop tunnel: PHP pops at push; UHP still imposes explicit null.
+      if (spec.popping == Popping::kUhp) {
+        steering.label = static_cast<std::uint32_t>(
+            netbase::ReservedLabel::kIpv4ExplicitNull);
+      } else {
+        steering.labeled = false;
+      }
+    } else {
+      steering.label = labels[0];
+    }
+    steering_[ingress].push_back(steering);
+  }
+  return tunnels_++;
+}
+
+std::optional<TeLabelOp> TeDatabase::OpFor(topo::RouterId router,
+                                           std::uint32_t label) const {
+  const auto router_it = label_ops_.find(router);
+  if (router_it == label_ops_.end()) return std::nullopt;
+  const auto it = router_it->second.find(label);
+  if (it == router_it->second.end()) return std::nullopt;
+  return it->second;
+}
+
+const TeSteering* TeDatabase::SteeringFor(topo::RouterId router,
+                                          netbase::Ipv4Address dst) const {
+  const auto it = steering_.find(router);
+  if (it == steering_.end()) return nullptr;
+  const TeSteering* best = nullptr;
+  for (const TeSteering& steering : it->second) {
+    if (!steering.prefix.Contains(dst)) continue;
+    if (best == nullptr ||
+        steering.prefix.length() > best->prefix.length()) {
+      best = &steering;
+    }
+  }
+  return best;
+}
+
+}  // namespace wormhole::mpls

@@ -1,0 +1,88 @@
+// RSVP-TE (RFC 3209) in converged form: operator-pinned explicit-route
+// LSPs. Unlike LDP tunnels (congruent with the IGP), a TE tunnel follows
+// its ERO — which may diverge from the shortest path — and the ingress
+// steers selected prefixes into it. The paper's survey: 42% of operators
+// run RSVP-TE alongside LDP; UHP is "generally used only when the operator
+// implements sophisticated traffic engineering".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mpls/config.h"
+#include "netbase/ipv4.h"
+#include "netbase/label.h"
+#include "topo/topology.h"
+
+namespace wormhole::mpls {
+
+/// TE labels live far above the LDP allocation range so the two label
+/// spaces can never collide on a router.
+constexpr std::uint32_t kTeLabelBase = 100000;
+
+struct TeTunnelSpec {
+  /// Full router path, ingress first, egress last; consecutive routers
+  /// must be physically adjacent.
+  std::vector<topo::RouterId> path;
+  Popping popping = Popping::kPhp;
+  /// Prefixes the ingress steers into the tunnel.
+  std::vector<netbase::Prefix> steered_prefixes;
+};
+
+/// What a router does with a TE in-label / with steered traffic.
+struct TeLabelOp {
+  topo::LinkId link = topo::kNoLink;
+  topo::RouterId next = topo::kNoRouter;
+  enum class Kind : std::uint8_t {
+    kSwap,              ///< swap to out_label
+    kPop,               ///< PHP pop (min rule applies)
+    kSwapExplicitNull,  ///< UHP: swap to explicit-null for the egress
+  } kind = Kind::kSwap;
+  std::uint32_t out_label = 0;
+};
+
+struct TeSteering {
+  netbase::Prefix prefix;
+  topo::LinkId link = topo::kNoLink;
+  topo::RouterId next = topo::kNoRouter;
+  /// First label of the tunnel; 0 means the tunnel is one hop (pop-at-push:
+  /// traffic goes unlabelled straight to the egress).
+  std::uint32_t label = 0;
+  bool labeled = true;
+};
+
+/// The converged TE forwarding state of a topology.
+class TeDatabase {
+ public:
+  TeDatabase() = default;
+
+  /// Validates the ERO (adjacency, length >= 2, single AS) and installs
+  /// the tunnel's label forwarding entries. Returns the tunnel id.
+  /// Throws std::invalid_argument on a bad spec.
+  std::size_t AddTunnel(const topo::Topology& topology,
+                        const TeTunnelSpec& spec);
+
+  /// The label operation for `label` at `router`; nullopt if unknown.
+  [[nodiscard]] std::optional<TeLabelOp> OpFor(topo::RouterId router,
+                                               std::uint32_t label) const;
+
+  /// The steering entry at `router` covering `dst` (most specific wins);
+  /// nullptr when no tunnel captures it.
+  [[nodiscard]] const TeSteering* SteeringFor(topo::RouterId router,
+                                              netbase::Ipv4Address dst) const;
+
+  [[nodiscard]] std::size_t tunnel_count() const { return tunnels_; }
+  [[nodiscard]] bool empty() const { return tunnels_ == 0; }
+
+ private:
+  std::size_t tunnels_ = 0;
+  std::uint32_t next_label_ = kTeLabelBase;
+  std::unordered_map<topo::RouterId,
+                     std::unordered_map<std::uint32_t, TeLabelOp>>
+      label_ops_;
+  std::unordered_map<topo::RouterId, std::vector<TeSteering>> steering_;
+};
+
+}  // namespace wormhole::mpls

@@ -1,0 +1,54 @@
+#include "mpls/segment_routing.h"
+
+#include <stdexcept>
+
+namespace wormhole::mpls {
+
+void SrDatabase::EnableAs(const topo::Topology& topology,
+                          topo::AsNumber asn) {
+  for (const topo::RouterId rid : topology.as(asn).routers) {
+    enabled_[rid] = true;
+  }
+}
+
+void SrDatabase::AddPolicy(const topo::Topology& topology,
+                           const SrPolicy& policy) {
+  if (policy.waypoints.empty()) {
+    throw std::invalid_argument("SR policy needs at least one waypoint");
+  }
+  if (!Enabled(policy.ingress)) {
+    throw std::invalid_argument("SR policy ingress is not SR-enabled");
+  }
+  const topo::AsNumber asn = topology.router(policy.ingress).asn;
+  for (const topo::RouterId waypoint : policy.waypoints) {
+    if (!Enabled(waypoint) || topology.router(waypoint).asn != asn) {
+      throw std::invalid_argument(
+          "SR waypoint outside the ingress's SR domain");
+    }
+  }
+  policies_[policy.ingress].push_back(policy);
+}
+
+std::optional<topo::RouterId> SrDatabase::RouterOfSid(
+    std::uint32_t label) const {
+  if (label < kSrgbBase) return std::nullopt;
+  const topo::RouterId router = label - kSrgbBase;
+  if (!enabled_.contains(router)) return std::nullopt;
+  return router;
+}
+
+const SrPolicy* SrDatabase::PolicyFor(topo::RouterId router,
+                                      netbase::Ipv4Address dst) const {
+  const auto it = policies_.find(router);
+  if (it == policies_.end()) return nullptr;
+  const SrPolicy* best = nullptr;
+  for (const SrPolicy& policy : it->second) {
+    if (!policy.prefix.Contains(dst)) continue;
+    if (best == nullptr || policy.prefix.length() > best->prefix.length()) {
+      best = &policy;
+    }
+  }
+  return best;
+}
+
+}  // namespace wormhole::mpls

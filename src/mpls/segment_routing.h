@@ -1,0 +1,69 @@
+// SR-MPLS (Segment Routing) in converged form — the "other labeling
+// protocol" one surveyed operator runs (paper Sec. 2.1 fn. 4): no LDP or
+// RSVP-TE signalling; the ingress imposes a *stack* of global node-SID
+// labels and each segment endpoint consumes its own SID, with ordinary IGP
+// forwarding between waypoints.
+//
+// Model: SRGB-global node SIDs, label = kSrgbBase + router id. A router
+// holding a packet whose top SID is its own pops it (min-TTL rule, like a
+// PHP pop of the segment) and continues with the inner label or the IP
+// header; otherwise it label-switches towards the SID's router along the
+// IGP shortest path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "topo/topology.h"
+
+namespace wormhole::mpls {
+
+/// Base of the global SRGB; far above the LDP and RSVP-TE label spaces.
+constexpr std::uint32_t kSrgbBase = 400000;
+
+inline std::uint32_t NodeSid(topo::RouterId router) {
+  return kSrgbBase + router;
+}
+
+/// An SR steering policy at one ingress: traffic to `prefix` gets the SID
+/// list of `waypoints` (visited in order; the last is the policy endpoint).
+struct SrPolicy {
+  topo::RouterId ingress = topo::kNoRouter;
+  netbase::Prefix prefix;
+  std::vector<topo::RouterId> waypoints;
+};
+
+class SrDatabase {
+ public:
+  SrDatabase() = default;
+
+  /// Enables SR for every router of an AS (they recognise node SIDs).
+  void EnableAs(const topo::Topology& topology, topo::AsNumber asn);
+
+  /// Installs a steering policy. All waypoints must be SR-enabled routers
+  /// of the ingress's AS; throws std::invalid_argument otherwise.
+  void AddPolicy(const topo::Topology& topology, const SrPolicy& policy);
+
+  [[nodiscard]] bool Enabled(topo::RouterId router) const {
+    return enabled_.contains(router);
+  }
+
+  /// Which router does this label name, if it is a node SID known here?
+  [[nodiscard]] std::optional<topo::RouterId> RouterOfSid(
+      std::uint32_t label) const;
+
+  /// The steering policy at `router` covering `dst` (most specific wins).
+  [[nodiscard]] const SrPolicy* PolicyFor(topo::RouterId router,
+                                          netbase::Ipv4Address dst) const;
+
+  [[nodiscard]] bool empty() const { return policies_.empty(); }
+
+ private:
+  std::unordered_map<topo::RouterId, bool> enabled_;
+  std::unordered_map<topo::RouterId, std::vector<SrPolicy>> policies_;
+};
+
+}  // namespace wormhole::mpls

@@ -1,0 +1,77 @@
+#include "netbase/ipv4.h"
+
+#include <array>
+#include <charconv>
+#include <ostream>
+
+namespace wormhole::netbase {
+
+namespace {
+
+// Parses one decimal octet out of [first, last); advances first past it.
+std::optional<std::uint8_t> ParseOctet(const char*& first, const char* last) {
+  unsigned value = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr == first || value > 255) return std::nullopt;
+  first = ptr;
+  return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  const char* first = text.data();
+  const char* const last = text.data() + text.size();
+  std::array<std::uint8_t, 4> octets{};
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (first == last || *first != '.') return std::nullopt;
+      ++first;
+    }
+    const auto octet = ParseOctet(first, last);
+    if (!octet) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = *octet;
+  }
+  if (first != last) return std::nullopt;
+  return Ipv4Address(octets[0], octets[1], octets[2], octets[3]);
+}
+
+std::string Ipv4Address::ToString() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((value_ >> shift) & 0xFF);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address address) {
+  return os << address.ToString();
+}
+
+std::optional<Prefix> Prefix::Parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto address = Ipv4Address::Parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  int length = -1;
+  const auto [ptr, ec] = std::from_chars(
+      len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() ||
+      length < 0 || length > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*address, length);
+}
+
+std::string Prefix::ToString() const {
+  return address_.ToString() + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix) {
+  return os << prefix.ToString();
+}
+
+}  // namespace wormhole::netbase

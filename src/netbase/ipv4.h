@@ -1,0 +1,125 @@
+// IPv4 addresses and prefixes.
+//
+// The whole simulator works on plain 32-bit host-order addresses; textual
+// dotted-quad form is only used at the I/O boundary (tests, reports, dataset
+// files), following the Core Guidelines advice to keep messy conversions at
+// the edges (P.11).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace wormhole::netbase {
+
+/// A single IPv4 address, stored in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("10.0.0.1"); returns nullopt on any
+  /// syntactic error (out-of-range octet, missing dot, trailing junk).
+  static std::optional<Ipv4Address> Parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_unspecified() const { return value_ == 0; }
+
+  /// True for addresses in the RFC1918 private ranges. The campaign code
+  /// prunes these from ITDK-like datasets exactly as the paper does.
+  [[nodiscard]] constexpr bool is_private() const {
+    const std::uint32_t v = value_;
+    return (v >> 24) == 10 ||                         // 10.0.0.0/8
+           (v >> 20) == 0xAC1 ||                      // 172.16.0.0/12
+           (v >> 16) == 0xC0A8;                       // 192.168.0.0/16
+  }
+
+  [[nodiscard]] std::string ToString() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address address);
+
+/// An IPv4 prefix (address + mask length), normalised so that host bits are
+/// always zero. Used as the FEC key for LDP and as the RIB key for the IGP.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  /// Builds a prefix, zeroing any host bits of `address`.
+  constexpr Prefix(Ipv4Address address, int length)
+      : address_(Mask(address.value(), length)), length_(length) {}
+
+  /// Parses "a.b.c.d/len"; returns nullopt on error.
+  static std::optional<Prefix> Parse(std::string_view text);
+
+  /// The /32 prefix of a single address (loopback FECs).
+  static constexpr Prefix Host(Ipv4Address address) {
+    return Prefix(address, 32);
+  }
+
+  [[nodiscard]] constexpr Ipv4Address address() const { return address_; }
+  [[nodiscard]] constexpr int length() const { return length_; }
+  [[nodiscard]] constexpr bool is_host() const { return length_ == 32; }
+
+  [[nodiscard]] constexpr bool Contains(Ipv4Address a) const {
+    return Mask(a.value(), length_) == address_.value();
+  }
+  [[nodiscard]] constexpr bool Contains(const Prefix& other) const {
+    return other.length_ >= length_ && Contains(other.address_);
+  }
+
+  /// Number of addresses covered (2^(32-len)); saturates for /0.
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// The n-th address inside the prefix (n < size()).
+  [[nodiscard]] constexpr Ipv4Address At(std::uint32_t n) const {
+    return Ipv4Address(address_.value() + n);
+  }
+
+  [[nodiscard]] std::string ToString() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  static constexpr std::uint32_t Mask(std::uint32_t v, int length) {
+    return length <= 0 ? 0
+                       : v & (~std::uint32_t{0} << (32 - length));
+  }
+
+  Ipv4Address address_;
+  int length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix);
+
+}  // namespace wormhole::netbase
+
+template <>
+struct std::hash<wormhole::netbase::Ipv4Address> {
+  std::size_t operator()(wormhole::netbase::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<wormhole::netbase::Prefix> {
+  std::size_t operator()(const wormhole::netbase::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.address().value()} << 8) |
+        static_cast<std::uint64_t>(p.length()));
+  }
+};

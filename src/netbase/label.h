@@ -1,0 +1,46 @@
+// MPLS label stack entries (RFC 3032).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wormhole::netbase {
+
+/// Reserved MPLS label values (RFC 3032 §2.1).
+enum class ReservedLabel : std::uint32_t {
+  kIpv4ExplicitNull = 0,  ///< advertised by an Egress LER requesting UHP
+  kRouterAlert = 1,
+  kIpv6ExplicitNull = 2,
+  kImplicitNull = 3,      ///< advertised by an Egress LER requesting PHP
+};
+
+constexpr std::uint32_t kFirstUnreservedLabel = 16;
+constexpr std::uint32_t kMaxLabel = (1u << 20) - 1;
+
+/// One label stack entry: 20-bit label, 3-bit traffic class, bottom-of-stack
+/// flag and an 8-bit TTL with the same role as the IP TTL (RFC 3443).
+struct LabelStackEntry {
+  std::uint32_t label = 0;
+  std::uint8_t traffic_class = 0;
+  bool bottom_of_stack = true;
+  std::uint8_t ttl = 0;
+
+  friend bool operator==(const LabelStackEntry&,
+                         const LabelStackEntry&) = default;
+};
+
+/// A full label stack, top of stack first (index 0).
+using LabelStack = std::vector<LabelStackEntry>;
+
+/// Renders "Label 19 TTL=1" like the paris-traceroute output of Fig. 4a.
+inline std::string ToString(const LabelStackEntry& lse) {
+  return "Label " + std::to_string(lse.label) +
+         " TTL=" + std::to_string(static_cast<int>(lse.ttl));
+}
+
+inline bool IsReserved(std::uint32_t label) {
+  return label < kFirstUnreservedLabel;
+}
+
+}  // namespace wormhole::netbase

@@ -1,0 +1,70 @@
+// The simulated packet model.
+//
+// A single struct covers probe packets (ICMP echo-request, as sent by the
+// paper's scamper/Paris-traceroute campaign) and the replies they elicit
+// (echo-reply, time-exceeded, destination-unreachable). Replies carry the
+// RFC 4950 quotation of the MPLS label stack when the generating router
+// implements that extension.
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/ipv4.h"
+#include "netbase/label.h"
+
+namespace wormhole::netbase {
+
+enum class PacketKind : std::uint8_t {
+  kEchoRequest,
+  kEchoReply,
+  kTimeExceeded,
+  kDestinationUnreachable,
+};
+
+inline const char* ToString(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kEchoRequest: return "echo-request";
+    case PacketKind::kEchoReply: return "echo-reply";
+    case PacketKind::kTimeExceeded: return "time-exceeded";
+    case PacketKind::kDestinationUnreachable: return "destination-unreachable";
+  }
+  return "?";
+}
+
+/// A simulated IPv4 packet, possibly MPLS-encapsulated.
+struct Packet {
+  PacketKind kind = PacketKind::kEchoRequest;
+  Ipv4Address src;
+  Ipv4Address dst;
+  /// IP header TTL. `int` rather than uint8_t so that arithmetic never
+  /// silently wraps (ES.106); the data plane clamps/expires explicitly.
+  int ip_ttl = 64;
+  /// MPLS shim, top of stack first; empty when not encapsulated.
+  LabelStack labels;
+
+  /// Flow identifier standing in for the (ports, ICMP checksum) fields that
+  /// per-flow ECMP hashes on. Paris traceroute keeps it constant.
+  std::uint16_t flow_id = 0;
+  /// Probe identifier used to match replies with probes (ICMP echo id/seq).
+  std::uint32_t probe_id = 0;
+
+  // --- reply-only fields (quotation of the offending packet) -------------
+  /// RFC 4950: label stack of the packet whose TTL expired, as quoted by the
+  /// replying router. Empty if the router does not implement RFC 4950 or the
+  /// packet carried no labels.
+  LabelStack quoted_labels;
+  /// Address the offending probe was heading to (quoted IP header).
+  Ipv4Address quoted_dst;
+
+  /// One-way delay accumulated so far, in milliseconds (for RTT reports).
+  double elapsed_ms = 0.0;
+  /// Number of data-plane hops traversed so far; a loop guard only.
+  int hops_traversed = 0;
+
+  [[nodiscard]] bool is_reply() const {
+    return kind != PacketKind::kEchoRequest;
+  }
+  [[nodiscard]] bool has_labels() const { return !labels.empty(); }
+};
+
+}  // namespace wormhole::netbase

@@ -1,0 +1,74 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (topology generation, ECMP tie-breaking in
+// generators, delay jitter) draws from an explicitly seeded engine so that
+// campaigns, tests and benches are reproducible run to run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace wormhole::netbase {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int UniformInt(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  std::uint32_t UniformU32() {
+    return static_cast<std::uint32_t>(engine_());
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Normal draw.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Pareto-like heavy-tailed integer >= 1 with shape alpha, capped at max.
+  int ParetoInt(double alpha, int max);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  template <typename Container>
+  std::size_t WeightedIndex(const Container& weights) {
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    double draw = UniformReal(0.0, total);
+    std::size_t i = 0;
+    for (const double w : weights) {
+      draw -= w;
+      if (draw <= 0.0) return i;
+      ++i;
+    }
+    return weights.size() - 1;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+inline int Rng::ParetoInt(double alpha, int max) {
+  // Inverse-CDF sampling of a Pareto(1, alpha), truncated.
+  const double u = UniformReal(0.0, 1.0);
+  const double x = 1.0 / std::pow(1.0 - u, 1.0 / alpha);
+  const int v = static_cast<int>(x);
+  return v < 1 ? 1 : (v > max ? max : v);
+}
+
+}  // namespace wormhole::netbase

@@ -1,0 +1,55 @@
+#include "probe/multipath.h"
+
+#include <algorithm>
+
+namespace wormhole::probe {
+
+namespace {
+
+/// The responding-hop sequence that identifies a path.
+std::vector<std::optional<netbase::Ipv4Address>> PathKey(
+    const TraceResult& trace) {
+  std::vector<std::optional<netbase::Ipv4Address>> key;
+  key.reserve(trace.hops.size());
+  for (const Hop& hop : trace.hops) key.push_back(hop.address);
+  return key;
+}
+
+}  // namespace
+
+std::size_t MultiPathResult::MaxWidth() const {
+  std::size_t width = 0;
+  for (const auto& addresses : addresses_at_ttl) {
+    width = std::max(width, addresses.size());
+  }
+  return width;
+}
+
+MultiPathResult EnumeratePaths(Prober& prober, netbase::Ipv4Address target,
+                               const MultiPathOptions& options) {
+  MultiPathResult result;
+  result.target = target;
+  std::set<std::vector<std::optional<netbase::Ipv4Address>>> seen;
+
+  for (std::uint16_t flow = 0; flow < options.flows; ++flow) {
+    TraceOptions trace_options = options.trace_options;
+    trace_options.flow_id = flow;
+    TraceResult trace = prober.Traceroute(target, trace_options);
+    ++result.flows_probed;
+
+    for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+      if (result.addresses_at_ttl.size() <= i) {
+        result.addresses_at_ttl.emplace_back();
+      }
+      if (trace.hops[i].address) {
+        result.addresses_at_ttl[i].insert(*trace.hops[i].address);
+      }
+    }
+    if (seen.insert(PathKey(trace)).second) {
+      result.distinct_traces.push_back(std::move(trace));
+    }
+  }
+  return result;
+}
+
+}  // namespace wormhole::probe

@@ -1,0 +1,42 @@
+// Multipath (ECMP) enumeration — a lightweight MDA in the spirit of
+// [Augustin et al., IMC 2007], which the paper cites when discussing why
+// per-flow load balancing can make a re-traced tunnel differ from the
+// original (Sec. 3.3 fn. 11). Varying the Paris flow identifier walks the
+// distinct forwarding paths to a target.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "probe/prober.h"
+
+namespace wormhole::probe {
+
+struct MultiPathOptions {
+  /// How many distinct flow identifiers to try.
+  std::uint16_t flows = 16;
+  TraceOptions trace_options;
+};
+
+struct MultiPathResult {
+  netbase::Ipv4Address target;
+  /// One trace per *distinct* responding-hop sequence.
+  std::vector<TraceResult> distinct_traces;
+  /// Addresses observed at each probe TTL across all flows (index 0 =
+  /// first probed TTL).
+  std::vector<std::set<netbase::Ipv4Address>> addresses_at_ttl;
+  std::uint16_t flows_probed = 0;
+
+  [[nodiscard]] std::size_t distinct_paths() const {
+    return distinct_traces.size();
+  }
+  /// Widest fan-out at any hop distance (1 on a single path).
+  [[nodiscard]] std::size_t MaxWidth() const;
+};
+
+/// Traces `target` under `options.flows` different flow identifiers and
+/// aggregates the distinct paths.
+MultiPathResult EnumeratePaths(Prober& prober, netbase::Ipv4Address target,
+                               const MultiPathOptions& options = {});
+
+}  // namespace wormhole::probe

@@ -1,0 +1,51 @@
+// The measurement front end: ping and Paris traceroute from one vantage
+// point, mirroring the paper's scamper usage (ICMP echo-request probes,
+// constant flow identifier per trace so ECMP cannot fan the path out).
+#pragma once
+
+#include "probe/trace.h"
+#include "sim/engine.h"
+
+namespace wormhole::probe {
+
+struct TraceOptions {
+  /// First probed TTL; the paper's campaign starts at 2 to skip the
+  /// vantage point's own gateway.
+  int first_ttl = 1;
+  int max_ttl = 40;
+  /// Paris flow identifier (kept constant across the whole trace).
+  std::uint16_t flow_id = 0;
+  /// Stop after this many consecutive unresponsive hops.
+  int gap_limit = 4;
+  /// Probes per hop before declaring it unresponsive (scamper-style
+  /// retries; each retry uses a fresh probe id, which re-rolls simulated
+  /// ICMP rate limiting).
+  int attempts = 2;
+};
+
+class Prober {
+ public:
+  /// `vantage_point` must be a host attached via Topology::AttachHost.
+  Prober(sim::Engine& engine, netbase::Ipv4Address vantage_point);
+
+  [[nodiscard]] netbase::Ipv4Address vantage_point() const { return source_; }
+
+  /// Paris traceroute with ICMP echo-request probes.
+  TraceResult Traceroute(netbase::Ipv4Address target,
+                         const TraceOptions& options = {});
+
+  /// One echo-request with a large TTL; returns the reply's remaining TTL
+  /// (the second half of the fingerprint signature).
+  PingResult Ping(netbase::Ipv4Address target, std::uint16_t flow_id = 0);
+
+  /// Number of probe packets issued so far (campaign accounting).
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  sim::Engine* engine_;
+  netbase::Ipv4Address source_;
+  std::uint32_t next_probe_id_ = 1;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace wormhole::probe

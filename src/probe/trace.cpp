@@ -1,0 +1,73 @@
+#include "probe/trace.h"
+
+#include <sstream>
+
+namespace wormhole::probe {
+
+std::optional<int> TraceResult::HopOf(Ipv4Address address) const {
+  for (const Hop& hop : hops) {
+    if (hop.address == address) return hop.probe_ttl;
+  }
+  return std::nullopt;
+}
+
+std::vector<Ipv4Address> TraceResult::LastResponders(std::size_t n) const {
+  std::vector<Ipv4Address> out;
+  for (auto it = hops.rbegin(); it != hops.rend() && out.size() < n; ++it) {
+    if (it->address) out.push_back(*it->address);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+bool TraceResult::HasExplicitMpls() const {
+  for (const Hop& hop : hops) {
+    if (hop.has_labels()) return true;
+  }
+  return false;
+}
+
+int TraceResult::LastRespondingTtl() const {
+  for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+    if (it->address) return it->probe_ttl;
+  }
+  return 0;
+}
+
+std::string TraceResult::Format(
+    const std::function<std::string(Ipv4Address)>& name_of) const {
+  std::ostringstream os;
+  os << "pt " << name_of(target) << "\n";
+  for (const Hop& hop : hops) {
+    os << "  " << hop.probe_ttl << "  ";
+    if (!hop.address) {
+      os << "*\n";
+      continue;
+    }
+    os << name_of(*hop.address);
+    if (hop.reply_kind == netbase::PacketKind::kEchoReply) {
+      // Reached the destination.
+    } else if (hop.reply_kind ==
+               netbase::PacketKind::kDestinationUnreachable) {
+      os << " !U";
+    }
+    os << " [" << hop.reply_ip_ttl << "]";
+    for (const auto& lse : hop.labels) {
+      os << "\n        MPLS " << netbase::ToString(lse);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+int InferInitialTtl(int received_ttl) {
+  if (received_ttl <= 64) return 64;
+  if (received_ttl <= 128) return 128;
+  return 255;
+}
+
+int PathLengthFromTtl(int received_ttl) {
+  return InferInitialTtl(received_ttl) - received_ttl;
+}
+
+}  // namespace wormhole::probe

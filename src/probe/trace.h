@@ -1,0 +1,75 @@
+// Trace records: what one traceroute (or ping) observed.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "netbase/label.h"
+#include "netbase/packet.h"
+
+namespace wormhole::probe {
+
+using netbase::Ipv4Address;
+
+/// One traceroute hop (one probe TTL).
+struct Hop {
+  int probe_ttl = 0;
+  /// Replying address; nullopt for a timeout ("*").
+  std::optional<Ipv4Address> address;
+  netbase::PacketKind reply_kind = netbase::PacketKind::kTimeExceeded;
+  /// Remaining IP-TTL of the reply when it reached the vantage point — the
+  /// bracketed return TTL of Fig. 4, raw input of FRPLA/RTLA.
+  int reply_ip_ttl = 0;
+  /// RFC 4950 quoted label stack (empty when the tunnel is invisible).
+  netbase::LabelStack labels;
+  double rtt_ms = 0.0;
+
+  [[nodiscard]] bool responded() const { return address.has_value(); }
+  [[nodiscard]] bool has_labels() const { return !labels.empty(); }
+};
+
+struct TraceResult {
+  Ipv4Address source;
+  Ipv4Address target;
+  std::uint16_t flow_id = 0;
+  std::vector<Hop> hops;
+  /// The target answered (echo-reply received).
+  bool reached = false;
+  /// A destination-unreachable cut the trace short.
+  bool unreachable = false;
+
+  /// Hop index (probe TTL) at which `address` replied; nullopt if absent.
+  [[nodiscard]] std::optional<int> HopOf(Ipv4Address address) const;
+  /// Addresses of the last `n` responding hops, nearest-to-target last.
+  [[nodiscard]] std::vector<Ipv4Address> LastResponders(std::size_t n) const;
+  /// True if any hop quoted an MPLS label (an *explicit* tunnel).
+  [[nodiscard]] bool HasExplicitMpls() const;
+  /// Number of the probe TTL of the final responding hop (path length as
+  /// seen by traceroute); 0 when nothing answered.
+  [[nodiscard]] int LastRespondingTtl() const;
+
+  /// Multi-line rendering in the style of the paper's Fig. 4 (addresses can
+  /// be replaced by router names via the resolver).
+  [[nodiscard]] std::string Format(
+      const std::function<std::string(Ipv4Address)>& name_of) const;
+};
+
+struct PingResult {
+  Ipv4Address target;
+  bool responded = false;
+  /// Remaining IP-TTL of the echo-reply at the vantage point.
+  int reply_ip_ttl = 0;
+  double rtt_ms = 0.0;
+};
+
+/// Rounds a received TTL up to the nearest plausible initial TTL
+/// (64, 128, 255) — the standard inference of [Vanaubel2013].
+int InferInitialTtl(int received_ttl);
+
+/// Path length implied by a received TTL: initial - received.
+int PathLengthFromTtl(int received_ttl);
+
+}  // namespace wormhole::probe

@@ -1,0 +1,57 @@
+#include "reveal/frpla.h"
+
+#include <algorithm>
+
+namespace wormhole::reveal {
+
+int ReturnPathLength(int reply_ip_ttl) {
+  return probe::PathLengthFromTtl(reply_ip_ttl) + 1;
+}
+
+std::optional<RfaObservation> ObserveRfa(const probe::Hop& hop) {
+  if (!hop.responded()) return std::nullopt;
+  RfaObservation observation;
+  observation.responder = *hop.address;
+  observation.forward_length = hop.probe_ttl;
+  observation.return_length = ReturnPathLength(hop.reply_ip_ttl);
+  return observation;
+}
+
+void FrplaAnalysis::Add(topo::AsNumber asn, ResponderRole role,
+                        const RfaObservation& observation) {
+  per_as_[{asn, role}].Add(observation.rfa());
+}
+
+const netbase::IntDistribution& FrplaAnalysis::Distribution(
+    topo::AsNumber asn, ResponderRole role) const {
+  static const netbase::IntDistribution kEmpty;
+  const auto it = per_as_.find({asn, role});
+  return it == per_as_.end() ? kEmpty : it->second;
+}
+
+netbase::IntDistribution FrplaAnalysis::Combined(ResponderRole role) const {
+  netbase::IntDistribution combined;
+  for (const auto& [key, distribution] : per_as_) {
+    if (key.second == role) combined.Merge(distribution);
+  }
+  return combined;
+}
+
+std::optional<int> FrplaAnalysis::EstimatedTunnelLength(
+    topo::AsNumber asn) const {
+  netbase::IntDistribution egress;
+  egress.Merge(Distribution(asn, ResponderRole::kEgressRevealed));
+  egress.Merge(Distribution(asn, ResponderRole::kEgressHidden));
+  if (egress.empty()) return std::nullopt;
+  return egress.Median();
+}
+
+std::vector<topo::AsNumber> FrplaAnalysis::Ases() const {
+  std::vector<topo::AsNumber> out;
+  for (const auto& [key, distribution] : per_as_) out.push_back(key.first);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace wormhole::reveal

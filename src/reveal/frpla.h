@@ -1,0 +1,78 @@
+// FRPLA — Forward/Return Path Length Analysis (paper Sec. 3.1).
+//
+// For a hop that answered a traceroute probe, the *forward* path length is
+// the probe TTL it answered at; the *return* path length is inferred from
+// the reply's remaining TTL (initial TTL rounded up to 64/128/255 minus the
+// received value). An invisible forward tunnel hides hops from the forward
+// count but — thanks to the min(TTL) rule on the return LSP — not from the
+// return count, so the Return-Forward Asymmetry (RFA) shifts positive.
+//
+// FRPLA is statistical: per AS, over many vantage points, plain routing
+// asymmetry averages out (a normal law centred near 0) and a positive
+// median shift betrays invisible tunnels and estimates their mean length.
+#pragma once
+
+#include <map>
+
+#include "netbase/ipv4.h"
+#include "netbase/stats.h"
+#include "probe/trace.h"
+#include "topo/topology.h"
+
+namespace wormhole::reveal {
+
+/// One RFA sample from one responding traceroute hop.
+struct RfaObservation {
+  netbase::Ipv4Address responder;
+  /// Probe TTL the responder answered at (forward length, tunnels hidden).
+  int forward_length = 0;
+  /// Return path length inferred from the reply TTL (tunnels included).
+  int return_length = 0;
+
+  [[nodiscard]] int rfa() const { return return_length - forward_length; }
+};
+
+/// Return path length from a reply's remaining TTL: inferred initial TTL
+/// minus received, plus one for the final delivery segment to the vantage
+/// point (which decrements nothing) — this recentres symmetric routing on
+/// RFA 0 and matches the paper's worked example (PE2 at 6 hops, reply TTL
+/// 250 => return length 6).
+int ReturnPathLength(int reply_ip_ttl);
+
+/// Builds the observation for a responding hop; nullopt for timeouts.
+std::optional<RfaObservation> ObserveRfa(const probe::Hop& hop);
+
+/// What the responder was, for the paper's Fig. 7 breakdown.
+enum class ResponderRole : std::uint8_t {
+  kOther,           ///< not an HDN / not a tunnel endpoint candidate
+  kIngress,         ///< candidate Ingress LER
+  kEgressRevealed,  ///< Egress LER with a path-revealed forward tunnel
+  kEgressHidden,    ///< Egress LER candidate, no revelation succeeded
+};
+
+/// Per-AS aggregation of RFA samples, by responder role.
+class FrplaAnalysis {
+ public:
+  void Add(topo::AsNumber asn, ResponderRole role,
+           const RfaObservation& observation);
+
+  /// RFA distribution of one AS and role (empty if none).
+  [[nodiscard]] const netbase::IntDistribution& Distribution(
+      topo::AsNumber asn, ResponderRole role) const;
+  /// RFA distribution across all ASes for a role.
+  [[nodiscard]] netbase::IntDistribution Combined(ResponderRole role) const;
+
+  /// The FRPLA tunnel-length estimate for an AS: the median RFA of its
+  /// egress responders (Table 5's "FRPLA" column).
+  [[nodiscard]] std::optional<int> EstimatedTunnelLength(
+      topo::AsNumber asn) const;
+
+  /// ASes with at least one sample.
+  [[nodiscard]] std::vector<topo::AsNumber> Ases() const;
+
+ private:
+  std::map<std::pair<topo::AsNumber, ResponderRole>, netbase::IntDistribution>
+      per_as_;
+};
+
+}  // namespace wormhole::reveal

@@ -1,0 +1,93 @@
+#include "reveal/revelator.h"
+
+#include <algorithm>
+
+namespace wormhole::reveal {
+
+const char* ToString(RevelationMethod method) {
+  switch (method) {
+    case RevelationMethod::kNone: return "none";
+    case RevelationMethod::kDpr: return "DPR";
+    case RevelationMethod::kBrpr: return "BRPR";
+    case RevelationMethod::kEither: return "DPR or BRPR";
+    case RevelationMethod::kHybrid: return "hybrid DPR/BRPR";
+  }
+  return "?";
+}
+
+RevelationMethod ClassifyBatches(const std::vector<int>& batch_sizes) {
+  if (batch_sizes.empty()) return RevelationMethod::kNone;
+  int total = 0;
+  for (const int b : batch_sizes) total += b;
+  if (total == 1) return RevelationMethod::kEither;
+  const bool any_multi =
+      std::any_of(batch_sizes.begin(), batch_sizes.end(),
+                  [](int b) { return b > 1; });
+  const bool any_single =
+      std::any_of(batch_sizes.begin(), batch_sizes.end(),
+                  [](int b) { return b == 1; });
+  if (any_multi && any_single) return RevelationMethod::kHybrid;
+  return any_multi ? RevelationMethod::kDpr : RevelationMethod::kBrpr;
+}
+
+Revelator::Revelator(probe::Prober& prober, RevelatorOptions options)
+    : prober_(&prober), options_(options) {}
+
+std::vector<netbase::Ipv4Address> Revelator::HopsBetween(
+    const probe::TraceResult& trace, netbase::Ipv4Address after,
+    netbase::Ipv4Address before) {
+  std::vector<netbase::Ipv4Address> out;
+  bool in_window = false;
+  for (const probe::Hop& hop : trace.hops) {
+    if (!hop.address) {
+      // An anonymous hop inside the window spoils the ordering guarantee.
+      if (in_window) return {};
+      continue;
+    }
+    if (*hop.address == after) {
+      in_window = true;
+      out.clear();
+      continue;
+    }
+    if (*hop.address == before) {
+      return in_window ? out : std::vector<netbase::Ipv4Address>{};
+    }
+    if (in_window) out.push_back(*hop.address);
+  }
+  return {};  // window never closed: the trace did not reach `before`
+}
+
+RevelationResult Revelator::Reveal(netbase::Ipv4Address x,
+                                   netbase::Ipv4Address y) {
+  RevelationResult result;
+  result.ingress = x;
+  result.egress = y;
+
+  std::set<netbase::Ipv4Address> known{x, y};
+  netbase::Ipv4Address target = y;
+
+  for (int depth = 0; depth < options_.max_recursion; ++depth) {
+    const probe::TraceResult trace =
+        prober_->Traceroute(target, options_.trace_options);
+    ++result.traces_used;
+
+    std::vector<netbase::Ipv4Address> batch;
+    for (const netbase::Ipv4Address hop : HopsBetween(trace, x, target)) {
+      if (!known.contains(hop)) batch.push_back(hop);
+    }
+    if (batch.empty()) break;  // nothing new, or the trace avoided X
+
+    // The batch sits immediately after X: it precedes everything revealed
+    // so far (we recurse backwards towards the ingress).
+    result.revealed.insert(result.revealed.begin(), batch.begin(),
+                           batch.end());
+    result.batch_sizes.push_back(static_cast<int>(batch.size()));
+    known.insert(batch.begin(), batch.end());
+    target = batch.front();  // the hop nearest the ingress
+  }
+
+  result.method = ClassifyBatches(result.batch_sizes);
+  return result;
+}
+
+}  // namespace wormhole::reveal

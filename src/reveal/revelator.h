@@ -1,0 +1,89 @@
+// DPR + BRPR — the active revelation driver (paper Sec. 3.2 and Sec. 4).
+//
+// Given a trace whose last hops ... X, Y suggest an invisible tunnel between
+// X (candidate Ingress LER) and Y (candidate Egress LER), the driver:
+//
+//   1. traceroutes Y itself. Internal prefixes may be routed outside LSPs
+//      (loopback-only LDP => DPR reveals the whole hidden path in one shot)
+//      or via an LSP whose PHP exposes the last hop (all-prefix LDP =>
+//      one new hop appears).
+//   2. recurses backwards: each newly revealed hop nearest the ingress
+//      becomes the next target (BRPR), until no new hop shows up or the
+//      trace no longer passes through X.
+//
+// Classification follows Table 3 / Table 5:
+//   kDpr:    one extra trace revealed 2+ hops at once;
+//   kBrpr:   hops were revealed strictly one at a time (2+ total);
+//   kEither: exactly one hop revealed — the two methods are
+//            indistinguishable on single-LSR tunnels;
+//   kHybrid: a mix (a multi-hop batch plus recursive single reveals);
+//   kNone:   nothing revealed.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "probe/prober.h"
+
+namespace wormhole::reveal {
+
+enum class RevelationMethod : std::uint8_t {
+  kNone,
+  kDpr,
+  kBrpr,
+  kEither,
+  kHybrid,
+};
+
+const char* ToString(RevelationMethod method);
+
+struct RevelationResult {
+  netbase::Ipv4Address ingress;  ///< X
+  netbase::Ipv4Address egress;   ///< Y
+  /// Hidden hops in forward order (nearest the ingress first).
+  std::vector<netbase::Ipv4Address> revealed;
+  RevelationMethod method = RevelationMethod::kNone;
+  /// Extra traces spent (the paper reports the BRPR probing overhead).
+  int traces_used = 0;
+  /// Sizes of each reveal batch, in discovery order (first = trace to Y).
+  std::vector<int> batch_sizes;
+
+  [[nodiscard]] bool succeeded() const {
+    return method != RevelationMethod::kNone;
+  }
+  /// Tunnel length in the paper's Fig. 5 sense: hops from ingress to
+  /// egress = revealed LSRs + 1.
+  [[nodiscard]] int tunnel_length() const {
+    return static_cast<int>(revealed.size()) + 1;
+  }
+};
+
+struct RevelatorOptions {
+  /// Upper bound on recursion depth (defensive; real tunnels are short).
+  int max_recursion = 24;
+  probe::TraceOptions trace_options;
+};
+
+class Revelator {
+ public:
+  explicit Revelator(probe::Prober& prober, RevelatorOptions options = {});
+
+  /// Attempts to reveal the content of a suspected invisible tunnel whose
+  /// endpoints appeared adjacent as ... X, Y in a previous trace.
+  RevelationResult Reveal(netbase::Ipv4Address x, netbase::Ipv4Address y);
+
+ private:
+  /// Responding addresses strictly between `after` and `before` in `trace`
+  /// (empty when either is missing or out of order).
+  static std::vector<netbase::Ipv4Address> HopsBetween(
+      const probe::TraceResult& trace, netbase::Ipv4Address after,
+      netbase::Ipv4Address before);
+
+  probe::Prober* prober_;
+  RevelatorOptions options_;
+};
+
+/// Pure classification from the batch sizes (unit-testable without probing).
+RevelationMethod ClassifyBatches(const std::vector<int>& batch_sizes);
+
+}  // namespace wormhole::reveal

@@ -1,0 +1,50 @@
+#include "reveal/rtla.h"
+
+#include "probe/trace.h"
+
+namespace wormhole::reveal {
+
+std::optional<RtlaObservation> ObserveRtla(netbase::Ipv4Address responder,
+                                           int te_reply_ttl,
+                                           int er_reply_ttl) {
+  const fingerprint::Signature signature{
+      probe::InferInitialTtl(te_reply_ttl),
+      probe::InferInitialTtl(er_reply_ttl)};
+  if (!fingerprint::UsableForRtla(signature)) return std::nullopt;
+
+  RtlaObservation observation;
+  observation.responder = responder;
+  observation.te_return_length =
+      signature.time_exceeded_initial - te_reply_ttl;
+  observation.er_return_length = signature.echo_reply_initial - er_reply_ttl;
+  return observation;
+}
+
+void RtlaAnalysis::Add(topo::AsNumber asn,
+                       const RtlaObservation& observation) {
+  per_as_[asn].Add(observation.return_tunnel_length());
+}
+
+const netbase::IntDistribution& RtlaAnalysis::Distribution(
+    topo::AsNumber asn) const {
+  static const netbase::IntDistribution kEmpty;
+  const auto it = per_as_.find(asn);
+  return it == per_as_.end() ? kEmpty : it->second;
+}
+
+netbase::IntDistribution RtlaAnalysis::Combined() const {
+  netbase::IntDistribution combined;
+  for (const auto& [asn, distribution] : per_as_) {
+    combined.Merge(distribution);
+  }
+  return combined;
+}
+
+std::optional<int> RtlaAnalysis::EstimatedTunnelLength(
+    topo::AsNumber asn) const {
+  const auto it = per_as_.find(asn);
+  if (it == per_as_.end() || it->second.empty()) return std::nullopt;
+  return it->second.Median();
+}
+
+}  // namespace wormhole::reveal

@@ -1,0 +1,60 @@
+// RTLA — Return Tunnel Length Analysis (paper Sec. 3.1, Fig. 3).
+//
+// Works for egress LERs with a <255,64> signature (Juniper Junos): the
+// time-exceeded reply starts at 255 so the min(TTL) rule at the return
+// tunnel's exit *copies the decremented LSE-TTL* into the IP header — the
+// tunnel hops count; the echo-reply starts at 64 so the LSE-TTL (from 255)
+// stays above it and the IP header passes through unchanged — the tunnel
+// hops do not count. The gap between the two inferred return path lengths
+// is exactly the return tunnel length h(I,E):
+//
+//   RTL = (255 - ttl_received(time-exceeded)) - (64 - ttl_received(echo)).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "fingerprint/signature.h"
+#include "netbase/stats.h"
+#include "topo/topology.h"
+
+namespace wormhole::reveal {
+
+struct RtlaObservation {
+  netbase::Ipv4Address responder;
+  /// Return path length from the time-exceeded reply (tunnel included).
+  int te_return_length = 0;
+  /// Return path length from the echo-reply (tunnel excluded).
+  int er_return_length = 0;
+
+  /// The inferred return tunnel length (can be negative under ECMP noise).
+  [[nodiscard]] int return_tunnel_length() const {
+    return te_return_length - er_return_length;
+  }
+};
+
+/// Computes the observation from the raw received TTLs of the two probe
+/// kinds. Returns nullopt when the responder's signature is not RTLA-usable
+/// (the echo-reply initial TTL must be strictly below the time-exceeded
+/// one, e.g. <255,64>).
+std::optional<RtlaObservation> ObserveRtla(netbase::Ipv4Address responder,
+                                           int te_reply_ttl,
+                                           int er_reply_ttl);
+
+/// Per-AS aggregation (Fig. 9a and Table 5's RTLA column).
+class RtlaAnalysis {
+ public:
+  void Add(topo::AsNumber asn, const RtlaObservation& observation);
+
+  [[nodiscard]] const netbase::IntDistribution& Distribution(
+      topo::AsNumber asn) const;
+  [[nodiscard]] netbase::IntDistribution Combined() const;
+  /// Median return tunnel length for an AS (Table 5 "RTLA").
+  [[nodiscard]] std::optional<int> EstimatedTunnelLength(
+      topo::AsNumber asn) const;
+
+ private:
+  std::map<topo::AsNumber, netbase::IntDistribution> per_as_;
+};
+
+}  // namespace wormhole::reveal

@@ -1,0 +1,40 @@
+#include "reveal/uhp_trigger.h"
+
+namespace wormhole::reveal {
+
+std::vector<UhpSuspicion> DetectUhpSuspicions(
+    const probe::TraceResult& trace) {
+  std::vector<UhpSuspicion> suspicions;
+  std::optional<netbase::Ipv4Address> previous;
+  int previous_ttl = 0;
+  std::optional<netbase::Ipv4Address> before_previous;
+
+  for (const probe::Hop& hop : trace.hops) {
+    if (!hop.address) {
+      // A timeout between the two answers breaks the signature (we cannot
+      // distinguish it from plain loss).
+      before_previous = previous;
+      previous.reset();
+      continue;
+    }
+    if (previous && *previous == *hop.address &&
+        hop.probe_ttl == previous_ttl + 1) {
+      UhpSuspicion suspicion;
+      suspicion.duplicate = *hop.address;
+      suspicion.first_ttl = previous_ttl;
+      suspicion.before = before_previous;
+      suspicions.push_back(suspicion);
+    } else {
+      before_previous = previous;
+    }
+    previous = hop.address;
+    previous_ttl = hop.probe_ttl;
+  }
+  return suspicions;
+}
+
+bool LooksLikeUhp(const probe::TraceResult& trace) {
+  return !DetectUhpSuspicions(trace).empty();
+}
+
+}  // namespace wormhole::reveal

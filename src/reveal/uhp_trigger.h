@@ -1,0 +1,37 @@
+// UHP presence detection.
+//
+// A totally invisible (UHP + no-ttl-propagate) cloud leaves no LSR, no
+// egress, no RFC4950 label — the paper's techniques cannot reveal it
+// (Sec. 3.4). But it is not traceless: the UHP egress consumes one IP-TTL
+// without ever answering, so the first router *behind* the cloud responds
+// to two consecutive probe TTLs. This duplicate-hop artifact — which our
+// calibrated data plane reproduces — is exactly the UHP trigger the
+// authors' follow-up work (TNT) built on, and the natural completion of
+// the paper's "traceroute with triggers" vision (Sec. 8).
+#pragma once
+
+#include <vector>
+
+#include "probe/trace.h"
+
+namespace wormhole::reveal {
+
+struct UhpSuspicion {
+  /// The address that answered twice (the router just behind the cloud).
+  netbase::Ipv4Address duplicate;
+  /// Probe TTL of the first of the duplicated answers.
+  int first_ttl = 0;
+  /// The last responding hop before the duplicate — the suspected Ingress
+  /// LER side of the invisible UHP cloud (unset if the trace starts here).
+  std::optional<netbase::Ipv4Address> before;
+};
+
+/// Scans a trace for consecutive duplicate responders. Each run of k+1
+/// identical answers suggests k absorbed TTLs (k UHP tunnel exits in
+/// series is rare; k is reported via consecutive suspicions).
+std::vector<UhpSuspicion> DetectUhpSuspicions(const probe::TraceResult& trace);
+
+/// Convenience: true if the trace carries at least one UHP signature.
+bool LooksLikeUhp(const probe::TraceResult& trace);
+
+}  // namespace wormhole::reveal

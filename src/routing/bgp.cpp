@@ -1,0 +1,189 @@
+#include "routing/bgp.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "routing/igp.h"
+
+namespace wormhole::routing {
+
+namespace {
+
+using topo::AsNumber;
+using topo::LinkId;
+using topo::RouterId;
+using topo::Topology;
+
+/// One eBGP adjacency: local border router + the link to the remote AS.
+struct BorderLink {
+  RouterId local = topo::kNoRouter;
+  RouterId remote = topo::kNoRouter;
+  LinkId link = topo::kNoLink;
+};
+
+/// AS-level adjacency map: for each AS, its eBGP links grouped by peer AS.
+using AsAdjacency =
+    std::map<AsNumber, std::map<AsNumber, std::vector<BorderLink>>>;
+
+AsAdjacency BuildAsAdjacency(const Topology& topology) {
+  AsAdjacency adjacency;
+  for (const topo::Link& link : topology.links()) {
+    if (!link.up) continue;
+    const RouterId ra = topology.interface(link.a).router;
+    const RouterId rb = topology.interface(link.b).router;
+    const AsNumber as_a = topology.router(ra).asn;
+    const AsNumber as_b = topology.router(rb).asn;
+    if (as_a == as_b) continue;
+    adjacency[as_a][as_b].push_back({ra, rb, link.id});
+    adjacency[as_b][as_a].push_back({rb, ra, link.id});
+  }
+  return adjacency;
+}
+
+/// BFS over the AS graph from destination `to_as`, honouring the stub
+/// policy. Returns, for every AS, its chosen next AS towards `to_as`
+/// (0 when unreachable; `to_as` maps to itself).
+std::map<AsNumber, AsNumber> ComputeNextAs(const Topology& topology,
+                                           const AsAdjacency& adjacency,
+                                           const BgpPolicy& policy,
+                                           AsNumber to_as) {
+  std::map<AsNumber, int> distance;
+  std::map<AsNumber, AsNumber> next_as;
+  for (const AsNumber asn : topology.AsNumbers()) {
+    distance[asn] = -1;
+    next_as[asn] = 0;
+  }
+  distance[to_as] = 0;
+  next_as[to_as] = to_as;
+
+  std::deque<AsNumber> queue{to_as};
+  while (!queue.empty()) {
+    const AsNumber current = queue.front();
+    queue.pop_front();
+    // A stub AS may receive traffic (be `to_as`) but never forwards it;
+    // do not expand through it unless it is the destination itself.
+    if (policy.stub_ases.contains(current) && current != to_as) continue;
+
+    const auto it = adjacency.find(current);
+    if (it == adjacency.end()) continue;
+    for (const auto& [peer, links] : it->second) {
+      if (distance[peer] == -1) {
+        distance[peer] = distance[current] + 1;
+        next_as[peer] = current;
+        queue.push_back(peer);
+      } else if (distance[peer] == distance[current] + 1 &&
+                 current < next_as[peer]) {
+        // Deterministic tie-break: prefer the lower next ASN.
+        next_as[peer] = current;
+      }
+    }
+  }
+  return next_as;
+}
+
+}  // namespace
+
+AsNumber BgpNextAs(const Topology& topology, const BgpPolicy& policy,
+                   AsNumber from_as, AsNumber to_as) {
+  if (from_as == to_as) return 0;
+  const AsAdjacency adjacency = BuildAsAdjacency(topology);
+  const auto next = ComputeNextAs(topology, adjacency, policy, to_as);
+  const auto it = next.find(from_as);
+  return it == next.end() ? 0 : it->second;
+}
+
+void InstallBgpRoutes(const Topology& topology, const BgpPolicy& policy,
+                      std::vector<Fib>& fibs) {
+  const AsAdjacency adjacency = BuildAsAdjacency(topology);
+
+  // AS-level next hops for every destination AS, computed once.
+  std::map<AsNumber, std::map<AsNumber, AsNumber>> next_for;
+  for (const AsNumber to_as : topology.AsNumbers()) {
+    next_for[to_as] = ComputeNextAs(topology, adjacency, policy, to_as);
+  }
+
+  // Process one source AS at a time so only that AS's SPF results are live
+  // (hot-potato needs each router's distances to its borders).
+  for (const AsNumber from_as : topology.AsNumbers()) {
+    std::unordered_map<RouterId, SpfResult> spf;
+    for (const RouterId rid : topology.as(from_as).routers) {
+      spf.emplace(rid, ComputeSpf(topology, rid));
+    }
+
+    // Border routers inject the subnets of their eBGP links into their own
+    // AS via iBGP with next-hop-self: other routers of the AS reach such a
+    // subnet through the border's loopback, i.e. over an LDP LSP when MPLS
+    // is on. (The IGP deliberately does not carry these prefixes.)
+    for (const RouterId border : topology.as(from_as).routers) {
+      for (const topo::InterfaceId iid : topology.router(border).interfaces) {
+        const topo::Interface& iface = topology.interface(iid);
+        if (iface.link == topo::kNoLink ||
+            !topology.link(iface.link).up ||
+            topology.IsInternalLink(iface.link)) {
+          continue;
+        }
+        for (const RouterId rid : topology.as(from_as).routers) {
+          if (rid == border) continue;  // connected route already present
+          if (fibs.at(rid).LookupExact(iface.subnet) != nullptr) continue;
+          const SpfResult& rs = spf.at(rid);
+          if (rs.distance[border] == kUnreachable) continue;
+          FibEntry entry;
+          entry.prefix = iface.subnet;
+          entry.source = RouteSource::kBgp;
+          entry.metric = rs.distance[border];
+          entry.next_hops = rs.next_hops[border];
+          entry.bgp_next_hop = topology.router(border).loopback;
+          fibs.at(rid).AddRoute(std::move(entry));
+        }
+      }
+    }
+
+    for (const AsNumber to_as : topology.AsNumbers()) {
+      if (from_as == to_as) continue;
+      const netbase::Prefix announced = topology.as(to_as).block;
+      const AsNumber via = next_for.at(to_as).at(from_as);
+      if (via == 0) continue;  // unreachable
+
+      // Border routers of from_as peering with the chosen next AS.
+      const auto& border_links = adjacency.at(from_as).at(via);
+
+      for (const RouterId rid : topology.as(from_as).routers) {
+        FibEntry entry;
+        entry.prefix = announced;
+        entry.source = RouteSource::kBgp;
+
+        // Direct eBGP exit(s) from this router, if it is itself a border.
+        std::vector<NextHop> external;
+        for (const BorderLink& bl : border_links) {
+          if (bl.local == rid) external.push_back({bl.link, bl.remote});
+        }
+        if (!external.empty()) {
+          entry.metric = 0;
+          entry.next_hops = std::move(external);
+        } else {
+          // Hot-potato: nearest border router by IGP metric; ties broken on
+          // lower router id via the scan order.
+          const SpfResult& rs = spf.at(rid);
+          RouterId egress = topo::kNoRouter;
+          int best = kUnreachable;
+          for (const BorderLink& bl : border_links) {
+            const int d = rs.distance[bl.local];
+            if (d < best) {
+              best = d;
+              egress = bl.local;
+            }
+          }
+          if (egress == topo::kNoRouter) continue;  // partitioned AS
+          entry.metric = best;
+          entry.next_hops = rs.next_hops[egress];
+          entry.bgp_next_hop = topology.router(egress).loopback;
+        }
+        fibs.at(rid).AddRoute(std::move(entry));
+      }
+    }
+  }
+}
+
+}  // namespace wormhole::routing

@@ -1,0 +1,39 @@
+// Inter-AS routing (BGP-lite).
+//
+// Model: every AS announces its address block; best path = shortest AS path
+// (ties broken on lowest neighbor ASN, deterministically); inside an AS each
+// router picks its *nearest* border router towards the chosen next-hop AS
+// (hot-potato), with next-hop-self semantics — the recursive BGP next hop is
+// the egress border's loopback, which is what an Ingress LER resolves
+// through an LDP LSP. Hot-potato egress choice is the mechanism that makes
+// forward and return paths asymmetric, which FRPLA must tolerate (paper
+// Sec. 3.4).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "routing/fib.h"
+#include "topo/topology.h"
+
+namespace wormhole::routing {
+
+struct BgpPolicy {
+  /// ASes that never transit traffic (stub/customer ASes). They can be the
+  /// source or destination AS of a path but are not expanded through.
+  std::set<topo::AsNumber> stub_ases;
+};
+
+/// Computes AS-level best paths for every destination AS and installs BGP
+/// routes into every router's FIB. IGP routes must already be installed
+/// (hot-potato needs intra-AS distances).
+void InstallBgpRoutes(const topo::Topology& topology, const BgpPolicy& policy,
+                      std::vector<Fib>& fibs);
+
+/// The chosen next AS from `from_as` towards `to_as`; 0 if unreachable or
+/// equal. Exposed for tests and for the generator's sanity checks.
+topo::AsNumber BgpNextAs(const topo::Topology& topology,
+                         const BgpPolicy& policy, topo::AsNumber from_as,
+                         topo::AsNumber to_as);
+
+}  // namespace wormhole::routing

@@ -1,0 +1,41 @@
+#include "routing/fib.h"
+
+#include <algorithm>
+
+namespace wormhole::routing {
+
+void Fib::AddRoute(FibEntry entry) {
+  std::sort(entry.next_hops.begin(), entry.next_hops.end());
+  entry.next_hops.erase(
+      std::unique(entry.next_hops.begin(), entry.next_hops.end()),
+      entry.next_hops.end());
+  const auto key = std::make_pair(entry.prefix.address().value(),
+                                  entry.prefix.length());
+  routes_.insert_or_assign(key, std::move(entry));
+}
+
+const FibEntry* Fib::Lookup(Ipv4Address dst) const {
+  // Probe each possible length from most to least specific; with at most 33
+  // probes into a flat map this is plenty fast for simulation scale.
+  for (int length = 32; length >= 0; --length) {
+    const Prefix candidate(dst, length);
+    const auto it = routes_.find(
+        {candidate.address().value(), candidate.length()});
+    if (it != routes_.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+const FibEntry* Fib::LookupExact(const Prefix& prefix) const {
+  const auto it = routes_.find({prefix.address().value(), prefix.length()});
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+std::vector<const FibEntry*> Fib::Entries() const {
+  std::vector<const FibEntry*> out;
+  out.reserve(routes_.size());
+  for (const auto& [key, entry] : routes_) out.push_back(&entry);
+  return out;
+}
+
+}  // namespace wormhole::routing

@@ -1,0 +1,73 @@
+// Per-router forwarding table.
+//
+// One FIB per router, filled by the IGP (intra-AS prefixes) and BGP-lite
+// (external prefixes). Longest-prefix-match lookup; entries carry their ECMP
+// next-hop set and, for BGP routes, the recursive next hop (the egress LER
+// loopback) that drives MPLS label imposition.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "topo/topology.h"
+
+namespace wormhole::routing {
+
+using netbase::Ipv4Address;
+using netbase::Prefix;
+using topo::LinkId;
+using topo::RouterId;
+
+enum class RouteSource : std::uint8_t {
+  kConnected,  ///< prefix on a local interface (or the loopback)
+  kIgp,        ///< learned via intra-AS SPF
+  kBgp,        ///< external, via the AS-level best path
+};
+
+/// One forwarding adjacency: send over `link` to `neighbor`.
+struct NextHop {
+  LinkId link = topo::kNoLink;
+  RouterId neighbor = topo::kNoRouter;
+
+  friend bool operator==(const NextHop&, const NextHop&) = default;
+  friend auto operator<=>(const NextHop&, const NextHop&) = default;
+};
+
+struct FibEntry {
+  Prefix prefix;
+  RouteSource source = RouteSource::kConnected;
+  /// IGP metric to the prefix (0 for connected; AS-internal part for BGP).
+  int metric = 0;
+  /// Equal-cost next hops, sorted for determinism. Empty for a connected
+  /// prefix on the router itself (local delivery).
+  std::vector<NextHop> next_hops;
+  /// For BGP routes on non-border routers: the loopback of the chosen
+  /// egress border router (next-hop-self). Unspecified otherwise.
+  Ipv4Address bgp_next_hop;
+};
+
+class Fib {
+ public:
+  /// Inserts or replaces the route for `entry.prefix`.
+  void AddRoute(FibEntry entry);
+
+  /// Longest-prefix-match; nullptr when no route covers `dst`.
+  [[nodiscard]] const FibEntry* Lookup(Ipv4Address dst) const;
+
+  /// Exact-match on a prefix (FEC lookup for LDP); nullptr if absent.
+  [[nodiscard]] const FibEntry* LookupExact(const Prefix& prefix) const;
+
+  [[nodiscard]] std::size_t size() const { return routes_.size(); }
+
+  /// All entries, most-specific first within each address.
+  [[nodiscard]] std::vector<const FibEntry*> Entries() const;
+
+ private:
+  // Keyed by (address, -length) so that lower_bound walks from the most
+  // specific candidate; LPM scans a handful of shorter candidates.
+  std::map<std::pair<std::uint32_t, int>, FibEntry> routes_;
+};
+
+}  // namespace wormhole::routing

@@ -1,0 +1,161 @@
+#include "routing/igp.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace wormhole::routing {
+
+namespace {
+
+struct QueueItem {
+  int distance;
+  RouterId router;
+  friend bool operator>(const QueueItem& x, const QueueItem& y) {
+    return std::tie(x.distance, x.router) > std::tie(y.distance, y.router);
+  }
+};
+
+}  // namespace
+
+SpfResult ComputeSpf(const topo::Topology& topology, RouterId source) {
+  const std::size_t n = topology.router_count();
+  SpfResult result;
+  result.source = source;
+  result.distance.assign(n, kUnreachable);
+  result.next_hops.assign(n, {});
+  result.hop_count.assign(n, kUnreachable);
+
+  const topo::AsNumber asn = topology.router(source).asn;
+  result.distance[source] = 0;
+  result.hop_count[source] = 0;
+
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+  queue.push({0, source});
+  std::vector<bool> done(n, false);
+
+  while (!queue.empty()) {
+    const auto [dist, u] = queue.top();
+    queue.pop();
+    if (done[u]) continue;
+    done[u] = true;
+
+    for (const auto& [v, link_id] : topology.Neighbors(u)) {
+      if (topology.router(v).asn != asn) continue;  // intra-AS only
+      const int weight = topology.link(link_id).igp_metric;
+      const int candidate = dist + weight;
+      const int candidate_hops = result.hop_count[u] + 1;
+
+      if (candidate < result.distance[v]) {
+        result.distance[v] = candidate;
+        result.hop_count[v] = candidate_hops;
+        // First hop towards v: either the direct link (u == source) or
+        // whatever already reaches u.
+        if (u == source) {
+          result.next_hops[v] = {NextHop{link_id, v}};
+        } else {
+          result.next_hops[v] = result.next_hops[u];
+        }
+        queue.push({candidate, v});
+      } else if (candidate == result.distance[v]) {
+        // Equal-cost path: merge first-hop sets (ECMP).
+        const auto& extra = (u == source)
+                                ? std::vector<NextHop>{NextHop{link_id, v}}
+                                : result.next_hops[u];
+        auto& hops = result.next_hops[v];
+        hops.insert(hops.end(), extra.begin(), extra.end());
+        std::sort(hops.begin(), hops.end());
+        hops.erase(std::unique(hops.begin(), hops.end()), hops.end());
+        result.hop_count[v] = std::min(result.hop_count[v], candidate_hops);
+      }
+    }
+  }
+  return result;
+}
+
+void InstallIgpRoutes(const topo::Topology& topology, topo::AsNumber asn,
+                      std::vector<Fib>& fibs) {
+  const auto& as = topology.as(asn);
+
+  // Owners of every internal prefix, so each router can route a prefix via
+  // its nearest owner. Subnets of inter-AS (eBGP) links are *not* carried
+  // by the IGP — the border router injects them via iBGP with
+  // next-hop-self (see InstallBgpRoutes), which is what lets transit
+  // traffic towards them ride the LDP LSP to the border.
+  std::vector<std::pair<netbase::Prefix, RouterId>> prefix_owners;
+  for (const RouterId rid : as.routers) {
+    const topo::Router& router = topology.router(rid);
+    prefix_owners.emplace_back(netbase::Prefix::Host(router.loopback), rid);
+    for (const topo::InterfaceId iid : router.interfaces) {
+      const topo::Interface& iface = topology.interface(iid);
+      if (iface.link != topo::kNoLink &&
+          (!topology.link(iface.link).up ||
+           !topology.IsInternalLink(iface.link))) {
+        continue;
+      }
+      prefix_owners.emplace_back(iface.subnet, rid);
+    }
+  }
+
+  for (const RouterId rid : as.routers) {
+    const SpfResult spf = ComputeSpf(topology, rid);
+    Fib& fib = fibs.at(rid);
+
+    // Connected routes first (metric 0, empty next hops == local/attached).
+    for (const netbase::Prefix& p : topology.ConnectedPrefixes(rid)) {
+      FibEntry entry;
+      entry.prefix = p;
+      entry.source = RouteSource::kConnected;
+      entry.metric = 0;
+      fib.AddRoute(std::move(entry));
+    }
+
+    // Remote internal prefixes via their nearest owner.
+    struct Best {
+      int metric = kUnreachable;
+      std::vector<NextHop> next_hops;
+    };
+    std::map<netbase::Prefix, Best> best;
+    for (const auto& [prefix, owner] : prefix_owners) {
+      if (owner == rid) continue;
+      const int d = spf.distance[owner];
+      if (d == kUnreachable) continue;
+      auto& b = best[prefix];
+      if (d < b.metric) {
+        b.metric = d;
+        b.next_hops = spf.next_hops[owner];
+      } else if (d == b.metric) {
+        auto& hops = b.next_hops;
+        hops.insert(hops.end(), spf.next_hops[owner].begin(),
+                    spf.next_hops[owner].end());
+        std::sort(hops.begin(), hops.end());
+        hops.erase(std::unique(hops.begin(), hops.end()), hops.end());
+      }
+    }
+    for (auto& [prefix, b] : best) {
+      if (fib.LookupExact(prefix) != nullptr) continue;  // connected wins
+      FibEntry entry;
+      entry.prefix = prefix;
+      entry.source = RouteSource::kIgp;
+      entry.metric = b.metric;
+      entry.next_hops = std::move(b.next_hops);
+      fib.AddRoute(std::move(entry));
+    }
+  }
+}
+
+int IgpDistance(const topo::Topology& topology, RouterId from, RouterId to) {
+  if (topology.router(from).asn != topology.router(to).asn) {
+    return kUnreachable;
+  }
+  return ComputeSpf(topology, from).distance[to];
+}
+
+int IgpHopDistance(const topo::Topology& topology, RouterId from,
+                   RouterId to) {
+  if (topology.router(from).asn != topology.router(to).asn) {
+    return kUnreachable;
+  }
+  return ComputeSpf(topology, from).hop_count[to];
+}
+
+}  // namespace wormhole::routing

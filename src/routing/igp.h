@@ -1,0 +1,48 @@
+// Intra-AS routing: link-state SPF (OSPF-like) with ECMP.
+//
+// For every AS, runs Dijkstra from each member router over the AS's internal
+// links and installs routes for every internal prefix (loopbacks and link
+// subnets) into the per-router FIBs. A prefix shared by two routers (a /31
+// link subnet) is reached via the *nearer* owner — which is what makes the
+// PHP-popped last hop own the Egress LER's incoming prefix, the property
+// BRPR exploits (paper Sec. 3.2).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "routing/fib.h"
+#include "topo/topology.h"
+
+namespace wormhole::routing {
+
+constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+/// SPF result from one source router: distance and ECMP next hops per
+/// destination router of the same AS.
+struct SpfResult {
+  RouterId source = topo::kNoRouter;
+  /// Metric distance per destination router id (kUnreachable outside AS).
+  std::vector<int> distance;
+  /// ECMP next hops towards each destination router.
+  std::vector<std::vector<NextHop>> next_hops;
+  /// Hop count (min number of links) per destination, for path analyses.
+  std::vector<int> hop_count;
+};
+
+/// Runs Dijkstra from `source` restricted to `source`'s AS.
+SpfResult ComputeSpf(const topo::Topology& topology, RouterId source);
+
+/// Installs connected + IGP routes for every router of `asn` into `fibs`
+/// (indexed by RouterId across the whole topology).
+void InstallIgpRoutes(const topo::Topology& topology, topo::AsNumber asn,
+                      std::vector<Fib>& fibs);
+
+/// Metric distance between two routers of the same AS (kUnreachable if in
+/// different ASes or disconnected). Convenience wrapper over ComputeSpf.
+int IgpDistance(const topo::Topology& topology, RouterId from, RouterId to);
+
+/// Minimum hop count between two routers of the same AS.
+int IgpHopDistance(const topo::Topology& topology, RouterId from, RouterId to);
+
+}  // namespace wormhole::routing

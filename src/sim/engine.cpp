@@ -1,0 +1,535 @@
+#include "sim/engine.h"
+
+#include <stdexcept>
+
+#include "sim/vendor.h"
+
+namespace wormhole::sim {
+
+namespace {
+
+using netbase::LabelStack;
+using netbase::LabelStackEntry;
+using netbase::Packet;
+using netbase::PacketKind;
+using routing::FibEntry;
+using routing::NextHop;
+using topo::RouterId;
+
+constexpr std::uint32_t kExplicitNull =
+    static_cast<std::uint32_t>(netbase::ReservedLabel::kIpv4ExplicitNull);
+
+// Deterministic per-(probe, router) coin for ICMP loss injection: the same
+// probe always sees the same outcome, a retransmission (new probe id)
+// re-rolls — like a token-bucket rate limiter seen from outside.
+bool IcmpLost(const Packet& p, RouterId router, double probability) {
+  if (probability <= 0.0) return false;
+  // splitmix64 finalizer: avalanches small inputs over all 64 bits.
+  std::uint64_t h = (std::uint64_t{p.probe_id} << 32) ^ router;
+  h += 0x9E3779B97F4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  const double draw =
+      static_cast<double>(h >> 11) / static_cast<double>(1ull << 53);
+  return draw < probability;
+}
+
+std::uint64_t FlowHash(const Packet& p) {
+  // FNV-1a over the ECMP key: (src, dst, flow id). Paris traceroute keeps
+  // flow_id constant so every probe of a trace hashes identically.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(p.src.value());
+  mix(p.dst.value());
+  mix(p.flow_id);
+  return h;
+}
+
+}  // namespace
+
+Engine::Engine(const topo::Topology& topology,
+               const mpls::MplsConfigMap& configs,
+               const std::vector<routing::Fib>& fibs,
+               const mpls::LdpTables& ldp, EngineOptions options,
+               const mpls::TeDatabase* te, const mpls::SrDatabase* sr)
+    : topology_(&topology),
+      configs_(&configs),
+      fibs_(&fibs),
+      ldp_(&ldp),
+      te_(te),
+      sr_(sr),
+      options_(options) {}
+
+std::optional<Engine::LabelOp> Engine::ResolveLabel(
+    topo::RouterId router, std::uint32_t label,
+    const netbase::Packet& packet) const {
+  // SR node SIDs: forward towards the SID's router along the IGP path; the
+  // penultimate hop pops the segment (PHP), so the waypoint receives the
+  // next SID (or the bare IP packet) directly.
+  if (sr_ != nullptr) {
+    if (const auto target = sr_->RouterOfSid(label)) {
+      const FibEntry* route = fibs_->at(router).LookupExact(
+          netbase::Prefix::Host(topology_->router(*target).loopback));
+      if (route != nullptr && !route->next_hops.empty()) {
+        LabelOp op;
+        op.hop = PickNextHop(route->next_hops, packet);
+        if (op.hop.neighbor == *target) {
+          op.kind = LabelOp::Kind::kPop;
+        } else {
+          op.kind = LabelOp::Kind::kSwap;
+          op.out_label = label;  // global SID: unchanged along the segment
+        }
+        return op;
+      }
+      return std::nullopt;
+    }
+  }
+
+  // RSVP-TE labels live in their own range; check the TE database first.
+  if (te_ != nullptr) {
+    if (const auto te_op = te_->OpFor(router, label)) {
+      LabelOp op;
+      op.hop = routing::NextHop{te_op->link, te_op->next};
+      op.out_label = te_op->out_label;
+      switch (te_op->kind) {
+        case mpls::TeLabelOp::Kind::kSwap:
+          op.kind = LabelOp::Kind::kSwap;
+          break;
+        case mpls::TeLabelOp::Kind::kPop:
+          op.kind = LabelOp::Kind::kPop;
+          break;
+        case mpls::TeLabelOp::Kind::kSwapExplicitNull:
+          op.kind = LabelOp::Kind::kSwapExplicitNull;
+          break;
+      }
+      return op;
+    }
+  }
+
+  const mpls::LdpDomain* domain =
+      ldp_->DomainOf(topology_->router(router).asn);
+  if (domain == nullptr) return std::nullopt;
+  const auto fec = domain->FecOfLabel(router, label);
+  if (!fec) return std::nullopt;
+  const FibEntry* route = fibs_->at(router).LookupExact(*fec);
+  if (route == nullptr || route->next_hops.empty()) return std::nullopt;
+
+  LabelOp op;
+  op.hop = PickNextHop(route->next_hops, packet);
+  const auto out = domain->BindingOf(op.hop.neighbor, *fec);
+  if (!out || out->kind == mpls::BindingKind::kImplicitNull) {
+    op.kind = LabelOp::Kind::kPop;
+  } else if (out->kind == mpls::BindingKind::kExplicitNull) {
+    op.kind = LabelOp::Kind::kSwapExplicitNull;
+  } else {
+    op.kind = LabelOp::Kind::kSwap;
+    op.out_label = out->label;
+  }
+  return op;
+}
+
+Engine::Outcome Engine::Send(netbase::Packet probe) {
+  const topo::Host* origin = topology_->FindHost(probe.src);
+  if (origin == nullptr) {
+    throw std::invalid_argument("Send: probe.src is not an attached host");
+  }
+  ++stats_.packets_injected;
+
+  Transit transit;
+  transit.packet = std::move(probe);
+  transit.packet.elapsed_ms += options_.host_stub_delay_ms;
+  transit.router = origin->gateway;
+  transit.in_interface = origin->stub_interface;
+
+  const netbase::Ipv4Address origin_address = origin->address;
+  while (true) {
+    if (transit.packet.hops_traversed > options_.max_hops) {
+      return Outcome{.received = false, .loss = LossReason::kTtlLoop};
+    }
+    ++stats_.hops_processed;
+
+    // Delivery to the origin host happens at its gateway, after the
+    // gateway's normal forwarding decrement (handled inside ProcessIp).
+    StepResult step = ProcessAt(std::move(transit));
+    if (step.outcome) {
+      // Only packets addressed to the origin terminate the simulation.
+      if (step.outcome->reply.dst == origin_address) return *step.outcome;
+      return Outcome{.received = false, .loss = LossReason::kDropped};
+    }
+    if (!step.next) {
+      return Outcome{.received = false, .loss = step.loss};
+    }
+    transit = std::move(*step.next);
+  }
+}
+
+Engine::StepResult Engine::ProcessAt(Transit t) {
+  if (t.packet.has_labels()) return ProcessMpls(std::move(t));
+  return ProcessIp(std::move(t));
+}
+
+Engine::StepResult Engine::ProcessMpls(Transit t) {
+  const RouterId r = t.router;
+  LabelStackEntry& top = t.packet.labels.front();
+
+  if (top.label == kExplicitNull) {
+    // UHP disposition at the Egress LER. The LSE-TTL check still applies
+    // (it can only fire under ttl-propagate).
+    const LabelStack received = t.packet.labels;
+    top.ttl = static_cast<std::uint8_t>(top.ttl - 1);
+    if (top.ttl == 0) {
+      if (t.packet.kind != PacketKind::kEchoRequest) {
+        return StepResult{.loss = LossReason::kReplyExpired};
+      }
+      t.packet.labels = received;  // quote the stack as received
+      return OriginateError(t, PacketKind::kTimeExceeded,
+                            /*quote_labels=*/true);
+    }
+    t.packet.labels.erase(t.packet.labels.begin());
+    ++stats_.labels_popped;
+    // Emulation-calibrated: decrement without an expiry check, no min copy
+    // (see engine.h); then a fresh IP pass with no further decrement.
+    if (t.packet.ip_ttl > 0) --t.packet.ip_ttl;
+    t.skip_ip_decrement = true;
+    return ProcessIp(std::move(t));
+  }
+
+  const auto op = ResolveLabel(r, top.label, t.packet);
+  if (!op) return StepResult{.loss = LossReason::kDropped};
+
+  const LabelStack received = t.packet.labels;
+  top.ttl = static_cast<std::uint8_t>(top.ttl - 1);
+  if (top.ttl == 0) {
+    if (t.packet.kind != PacketKind::kEchoRequest) {
+      return StepResult{.loss = LossReason::kReplyExpired};
+    }
+    t.packet.labels = received;  // quote pre-decrement values (RFC 4950)
+    return OriginateError(t, PacketKind::kTimeExceeded,
+                          /*quote_labels=*/true);
+  }
+
+  switch (op->kind) {
+    case LabelOp::Kind::kPop: {
+      // PHP pop (or a neighbor without a binding — same data-plane
+      // effect): the min rule applies between the popped LSE-TTL and
+      // whatever gets exposed — the inner label of a stacked packet (SR
+      // SID lists) or the IP header (RFC 3443 §5.4).
+      const auto popped = static_cast<int>(top.ttl);
+      t.packet.labels.erase(t.packet.labels.begin());
+      ++stats_.labels_popped;
+      if (configs_->For(r).min_ttl_on_pop) {
+        if (!t.packet.labels.empty()) {
+          LabelStackEntry& exposed = t.packet.labels.front();
+          exposed.ttl = static_cast<std::uint8_t>(
+              std::min(static_cast<int>(exposed.ttl), popped));
+        } else {
+          t.packet.ip_ttl = std::min(t.packet.ip_ttl, popped);
+        }
+      }
+      break;
+    }
+    case LabelOp::Kind::kSwapExplicitNull:
+      top.label = kExplicitNull;
+      break;
+    case LabelOp::Kind::kSwap:
+      top.label = op->out_label;
+      break;
+  }
+  return StepResult{.next = Forward(t, op->hop)};
+}
+
+Engine::StepResult Engine::ProcessIp(Transit t) {
+  const RouterId r = t.router;
+  const topo::Router& router = topology_->router(r);
+  Packet& p = t.packet;
+
+  // Delivery to one of this router's own addresses happens before any
+  // decrement (the packet has arrived).
+  if (IsLocalAddress(r, p.dst)) {
+    if (p.kind != PacketKind::kEchoRequest) {
+      // A reply addressed to a router: nothing is waiting for it.
+      return StepResult{.loss = LossReason::kDropped};
+    }
+    const mpls::MplsConfig& config = configs_->For(r);
+    if (config.icmp_silent || IcmpLost(p, r, config.icmp_loss)) {
+      return StepResult{.loss = LossReason::kDropped};
+    }
+    const VendorBehavior behavior = BehaviorOf(router.vendor);
+    Packet reply = MakeEchoReply(t, p.dst, behavior.initial_ttl_echo_reply);
+    ++stats_.icmp_generated;
+    Transit next;
+    next.packet = std::move(reply);
+    next.router = r;
+    next.in_interface = t.in_interface;
+    next.locally_originated = true;
+    return StepResult{.next = std::move(next)};
+  }
+
+  // Transit decrement (skipped right after local origination or UHP pop).
+  if (!t.locally_originated && !t.skip_ip_decrement) {
+    --p.ip_ttl;
+    if (p.ip_ttl <= 0) {
+      if (p.kind != PacketKind::kEchoRequest) {
+        return StepResult{.loss = LossReason::kReplyExpired};
+      }
+      return OriginateError(t, PacketKind::kTimeExceeded,
+                            /*quote_labels=*/false);
+    }
+  }
+  t.locally_originated = false;
+  t.skip_ip_decrement = false;
+
+  // Delivery to an attached host (after the decrement — the stub segment
+  // is an ordinary IP hop).
+  if (const topo::Host* host = topology_->FindHost(p.dst);
+      host != nullptr && host->gateway == r) {
+    if (p.is_reply()) {
+      Outcome outcome;
+      outcome.received = true;
+      outcome.reply = p;
+      outcome.rtt_ms = p.elapsed_ms + options_.host_stub_delay_ms;
+      return StepResult{.outcome = std::move(outcome)};
+    }
+    // An echo-request probing the host itself: the host answers.
+    Packet reply = MakeEchoReply(t, p.dst, kHostEchoReplyTtl);
+    reply.elapsed_ms += 2 * options_.host_stub_delay_ms;
+    ++stats_.icmp_generated;
+    Transit next;
+    next.packet = std::move(reply);
+    next.router = r;
+    next.in_interface = host->stub_interface;
+    // The gateway forwards (and decrements) the host's reply normally.
+    return StepResult{.next = std::move(next)};
+  }
+
+  // SR steering: the ingress imposes the policy's SID list; the packet
+  // then waypoint-hops through the domain.
+  if (sr_ != nullptr && configs_->For(r).enabled) {
+    if (const mpls::SrPolicy* policy = sr_->PolicyFor(r, p.dst)) {
+      const FibEntry* route = fibs_->at(r).LookupExact(netbase::Prefix::Host(
+          topology_->router(policy->waypoints.front()).loopback));
+      if (route != nullptr && !route->next_hops.empty()) {
+        const NextHop hop = PickNextHop(route->next_hops, p);
+        const bool propagate = configs_->For(r).ttl_propagate;
+        netbase::LabelStack stack;
+        for (const topo::RouterId waypoint : policy->waypoints) {
+          LabelStackEntry lse;
+          lse.label = mpls::NodeSid(waypoint);
+          lse.ttl = static_cast<std::uint8_t>(propagate ? p.ip_ttl : 255);
+          lse.bottom_of_stack = false;
+          stack.push_back(lse);
+        }
+        if (!stack.empty()) stack.back().bottom_of_stack = true;
+        if (hop.neighbor == policy->waypoints.front()) {
+          stack.erase(stack.begin());  // PHP at push for the first segment
+        }
+        p.labels.insert(p.labels.begin(), stack.begin(), stack.end());
+        stats_.labels_pushed += stack.size();
+        return StepResult{.next = Forward(t, hop)};
+      }
+    }
+  }
+
+  // RSVP-TE steering: a tunnel ingress pins selected prefixes onto an
+  // explicit route, overriding the IGP next hop.
+  if (te_ != nullptr && configs_->For(r).enabled) {
+    if (const mpls::TeSteering* steering = te_->SteeringFor(r, p.dst)) {
+      if (steering->labeled) {
+        LabelStackEntry lse;
+        lse.label = steering->label;
+        lse.ttl = static_cast<std::uint8_t>(
+            configs_->For(r).ttl_propagate ? p.ip_ttl : 255);
+        p.labels.insert(p.labels.begin(), lse);
+        ++stats_.labels_pushed;
+      }
+      return StepResult{
+          .next = Forward(t, NextHop{steering->link, steering->next})};
+    }
+  }
+
+  const FibEntry* entry = fibs_->at(r).Lookup(p.dst);
+  if (entry == nullptr) {
+    if (p.kind != PacketKind::kEchoRequest) {
+      return StepResult{.loss = LossReason::kNoRoute};
+    }
+    return OriginateError(t, PacketKind::kDestinationUnreachable,
+                          /*quote_labels=*/false);
+  }
+
+  if (entry->next_hops.empty()) {
+    // Connected subnet: the destination is the far end of one of our links
+    // (or an unassigned address => unreachable).
+    for (const topo::InterfaceId iid : router.interfaces) {
+      const topo::Interface& iface = topology_->interface(iid);
+      if (iface.link == topo::kNoLink || iface.subnet != entry->prefix ||
+          !topology_->link(iface.link).up) {
+        continue;
+      }
+      const topo::Interface& peer = topology_->OtherEnd(iface.link, r);
+      if (peer.address == p.dst) {
+        return StepResult{
+            .next = Forward(t, NextHop{iface.link, peer.router})};
+      }
+    }
+    if (p.kind != PacketKind::kEchoRequest) {
+      return StepResult{.loss = LossReason::kNoRoute};
+    }
+    return OriginateError(t, PacketKind::kDestinationUnreachable,
+                          /*quote_labels=*/false);
+  }
+
+  const NextHop& hop = PickNextHop(entry->next_hops, p);
+  MaybeImpose(t, *entry, hop, p);
+  return StepResult{.next = Forward(t, hop)};
+}
+
+Engine::StepResult Engine::OriginateError(const Transit& t,
+                                          netbase::PacketKind kind,
+                                          bool quote_labels) {
+  const RouterId r = t.router;
+  const topo::Router& router = topology_->router(r);
+  const mpls::MplsConfig& config = configs_->For(r);
+  if (config.icmp_silent || IcmpLost(t.packet, r, config.icmp_loss)) {
+    return StepResult{.loss = LossReason::kDropped};
+  }
+  const VendorBehavior behavior = BehaviorOf(router.vendor);
+  ++stats_.icmp_generated;
+
+  Packet reply;
+  reply.kind = kind;
+  reply.src = topology_->interface(t.in_interface).address;
+  reply.dst = t.packet.src;
+  reply.ip_ttl = behavior.initial_ttl_time_exceeded;
+  reply.flow_id = t.packet.flow_id;
+  reply.probe_id = t.packet.probe_id;
+  reply.quoted_dst = t.packet.dst;
+  reply.elapsed_ms = t.packet.elapsed_ms;
+  reply.hops_traversed = t.packet.hops_traversed;
+  if (quote_labels && config.rfc4950) reply.quoted_labels = t.packet.labels;
+
+  // An error generated mid-LSP is first forwarded along the tunnel: it is
+  // sent out with the label the offending packet would have carried. When
+  // the operation is a PHP pop (no label left), the reply is routed
+  // directly instead.
+  if (quote_labels && config.icmp_along_lsp && !t.packet.labels.empty()) {
+    const auto op =
+        ResolveLabel(r, t.packet.labels.front().label, t.packet);
+    if (op && op->kind != LabelOp::Kind::kPop) {
+      LabelStackEntry lse;
+      lse.label = op->kind == LabelOp::Kind::kSwapExplicitNull
+                      ? kExplicitNull
+                      : op->out_label;
+      lse.ttl = static_cast<std::uint8_t>(
+          config.ttl_propagate ? reply.ip_ttl : 255);
+      reply.labels = {lse};
+      ++stats_.labels_pushed;
+      Transit next;
+      next.packet = std::move(reply);
+      next.router = r;
+      next.in_interface = t.in_interface;
+      return StepResult{.next = Forward(next, op->hop)};
+    }
+  }
+
+  Transit next;
+  next.packet = std::move(reply);
+  next.router = r;
+  next.in_interface = t.in_interface;
+  next.locally_originated = true;
+  return StepResult{.next = std::move(next)};
+}
+
+netbase::Packet Engine::MakeEchoReply(const Transit& t,
+                                      netbase::Ipv4Address reply_src,
+                                      int initial_ttl) const {
+  Packet reply;
+  reply.kind = PacketKind::kEchoReply;
+  reply.src = reply_src;
+  reply.dst = t.packet.src;
+  reply.ip_ttl = initial_ttl;
+  reply.flow_id = t.packet.flow_id;
+  reply.probe_id = t.packet.probe_id;
+  reply.elapsed_ms = t.packet.elapsed_ms;
+  reply.hops_traversed = t.packet.hops_traversed;
+  return reply;
+}
+
+Engine::Transit Engine::Forward(const Transit& t,
+                                const routing::NextHop& hop) const {
+  Transit next;
+  next.packet = t.packet;
+  double delay = topology_->link(hop.link).delay_ms;
+  if (options_.delay_jitter_fraction > 0.0) {
+    // Deterministic per (probe, link) jitter in [-f, +f] of the base delay.
+    std::uint64_t h = (std::uint64_t{t.packet.probe_id} << 32) ^
+                      (std::uint64_t{hop.link} * 0x9E3779B97F4A7C15ull);
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    h ^= h >> 31;
+    const double unit =
+        static_cast<double>(h >> 11) / static_cast<double>(1ull << 53);
+    delay *= 1.0 + options_.delay_jitter_fraction * (2.0 * unit - 1.0);
+  }
+  next.packet.elapsed_ms += delay;
+  ++next.packet.hops_traversed;
+  next.router = hop.neighbor;
+  next.in_interface = topology_->EndOn(hop.link, hop.neighbor).id;
+  return next;
+}
+
+const routing::NextHop& Engine::PickNextHop(
+    const std::vector<routing::NextHop>& hops,
+    const netbase::Packet& packet) const {
+  if (hops.size() == 1 || !options_.ecmp_enabled) return hops.front();
+  return hops[FlowHash(packet) % hops.size()];
+}
+
+void Engine::MaybeImpose(const Transit& t, const routing::FibEntry& entry,
+                         const routing::NextHop& hop,
+                         netbase::Packet& packet) {
+  const mpls::MplsConfig& config = configs_->For(t.router);
+  if (!config.enabled) return;
+  const mpls::LdpDomain* domain =
+      ldp_->DomainOf(topology_->router(t.router).asn);
+  if (domain == nullptr) return;
+
+  netbase::Prefix fec;
+  switch (entry.source) {
+    case routing::RouteSource::kBgp:
+      // External traffic is switched via the LSP towards the BGP next hop
+      // (the egress LER's loopback, next-hop-self).
+      if (entry.bgp_next_hop.is_unspecified()) return;  // eBGP exit
+      fec = netbase::Prefix::Host(entry.bgp_next_hop);
+      break;
+    case routing::RouteSource::kIgp:
+      fec = entry.prefix;
+      break;
+    case routing::RouteSource::kConnected:
+      return;
+  }
+
+  const auto binding = domain->BindingOf(hop.neighbor, fec);
+  if (!binding) return;
+  if (binding->kind == mpls::BindingKind::kImplicitNull) return;  // pop+push
+
+  LabelStackEntry lse;
+  lse.label = binding->kind == mpls::BindingKind::kExplicitNull
+                  ? kExplicitNull
+                  : binding->label;
+  lse.ttl =
+      static_cast<std::uint8_t>(config.ttl_propagate ? packet.ip_ttl : 255);
+  packet.labels.insert(packet.labels.begin(), lse);
+  ++stats_.labels_pushed;
+}
+
+bool Engine::IsLocalAddress(topo::RouterId router,
+                            netbase::Ipv4Address address) const {
+  const auto owner = topology_->FindRouterByAddress(address);
+  return owner && *owner == router;
+}
+
+}  // namespace wormhole::sim

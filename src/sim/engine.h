@@ -1,0 +1,178 @@
+// The packet-level IP + MPLS data plane.
+//
+// This is the GNS3/Internet substitute: it forwards one packet at a time,
+// hop by hop, applying the TTL semantics the paper's techniques exploit.
+// The rules are calibrated so that bench/fig04_emulation reproduces the
+// per-hop addresses *and return TTLs* of the paper's Fig. 4 exactly:
+//
+//  * Plain IP hop: decrement IP-TTL; expiry => ICMP time-exceeded sourced
+//    from the incoming interface, with the vendor's initial TTL.
+//  * Ingress LER: IP hop first (decrement), then push; LSE-TTL := IP-TTL
+//    under ttl-propagate, else 255.
+//  * LSR: decrement only the top LSE-TTL. Expiry => time-exceeded quoting
+//    the received LSE stack (RFC 4950); if the ICMP can still be label-
+//    switched (the expiring hop's out-binding is a real or explicit-null
+//    label) it is forwarded along the LSP to the tunnel end first, which
+//    produces Fig. 4a's 247/248 return-TTL inversion.
+//  * PHP pop (implicit-null out-binding): IP-TTL := min(IP-TTL, LSE-TTL)
+//    ("min rule", RFC 3443 / Cisco), then forward without a further IP
+//    decrement.
+//  * UHP pop (packet arrives with explicit-null): pop, decrement IP-TTL
+//    *without* an expiry check and with no min copy, then a fresh IP
+//    lookup with no further decrement. This is the emulation-calibrated
+//    behaviour that makes even the Egress LER invisible (Fig. 4d).
+//  * Locally originated packets (all ICMP replies) are not decremented at
+//    their originating router and may be label-imposed like any traffic.
+//  * Errors are never generated about ICMP errors or echo replies: an
+//    expiring reply is silently dropped (the probe times out).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mpls/config.h"
+#include "mpls/ldp.h"
+#include "mpls/rsvp_te.h"
+#include "mpls/segment_routing.h"
+#include "netbase/packet.h"
+#include "routing/fib.h"
+#include "topo/topology.h"
+
+namespace wormhole::sim {
+
+struct EngineOptions {
+  /// Spread traffic over equal-cost next hops by flow hash; with ECMP off
+  /// the first (lowest) next hop is always taken.
+  bool ecmp_enabled = true;
+  /// Hard bound on data-plane hops per injected packet (loop guard).
+  int max_hops = 256;
+  /// One-way delay of a host stub segment, in milliseconds.
+  double host_stub_delay_ms = 0.05;
+  /// Per-packet delay jitter as a fraction of each link's base delay
+  /// (0 = fully deterministic RTTs). The draw is deterministic per
+  /// (probe id, link), so repeated sends of the same probe id see the
+  /// same latency.
+  double delay_jitter_fraction = 0.0;
+};
+
+/// Why an injected probe produced no answer.
+enum class LossReason : std::uint8_t {
+  kNone,
+  kTtlLoop,          ///< exceeded max_hops
+  kNoRoute,          ///< a reply (not the probe) hit a routing black hole
+  kReplyExpired,     ///< a reply's own TTL ran out
+  kDropped,          ///< malformed/label without binding
+};
+
+/// Counters for the perf bench and campaign accounting.
+struct EngineStats {
+  std::uint64_t packets_injected = 0;
+  std::uint64_t hops_processed = 0;
+  std::uint64_t icmp_generated = 0;
+  std::uint64_t labels_pushed = 0;
+  std::uint64_t labels_popped = 0;
+};
+
+class Engine {
+ public:
+  /// All references must outlive the engine. `te` and `sr` may be null
+  /// (no RSVP-TE tunnels / no Segment Routing).
+  Engine(const topo::Topology& topology, const mpls::MplsConfigMap& configs,
+         const std::vector<routing::Fib>& fibs, const mpls::LdpTables& ldp,
+         EngineOptions options = {}, const mpls::TeDatabase* te = nullptr,
+         const mpls::SrDatabase* sr = nullptr);
+
+  struct Outcome {
+    bool received = false;
+    LossReason loss = LossReason::kNone;
+    /// The reply as delivered to the origin host (ip_ttl = remaining TTL —
+    /// the bracketed numbers in Fig. 4).
+    netbase::Packet reply;
+    /// Round-trip time: probe path + reply path.
+    double rtt_ms = 0.0;
+  };
+
+  /// Injects `probe` from the host owning `probe.src` and runs the data
+  /// plane until a reply returns to that host or the packet dies.
+  /// `probe.src` must be an attached host address.
+  Outcome Send(netbase::Packet probe);
+
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] const topo::Topology& topology() const { return *topology_; }
+
+ private:
+  struct Transit {
+    netbase::Packet packet;
+    topo::RouterId router = topo::kNoRouter;
+    topo::InterfaceId in_interface = topo::kNoInterface;
+    /// Set while the packet sits at the router that just originated it;
+    /// suppresses the IP decrement for that first hop.
+    bool locally_originated = false;
+    /// One-shot decrement suppression after a UHP pop at the same router.
+    bool skip_ip_decrement = false;
+  };
+
+  // Each step returns the next Transit, a final Outcome, or a loss.
+  struct StepResult {
+    std::optional<Transit> next;
+    std::optional<Outcome> outcome;
+    LossReason loss = LossReason::kNone;
+  };
+
+  /// A resolved label operation: where the labelled packet goes next and
+  /// what happens to its top label. Unifies LDP and RSVP-TE forwarding.
+  struct LabelOp {
+    routing::NextHop hop;
+    enum class Kind : std::uint8_t {
+      kSwap,
+      kPop,               ///< PHP pop: min rule, then plain forwarding
+      kSwapExplicitNull,  ///< UHP: hand an explicit-null to the egress
+    } kind = Kind::kSwap;
+    std::uint32_t out_label = 0;
+  };
+
+  /// Resolves `label` at `router`, consulting RSVP-TE then LDP tables.
+  [[nodiscard]] std::optional<LabelOp> ResolveLabel(
+      topo::RouterId router, std::uint32_t label,
+      const netbase::Packet& packet) const;
+
+  StepResult ProcessAt(Transit t);
+  StepResult ProcessMpls(Transit t);
+  StepResult ProcessIp(Transit t);
+
+  /// Builds an ICMP error about `offender` at router `r`, sourced from the
+  /// incoming interface, and hands it to routing (possibly along the LSP).
+  StepResult OriginateError(const Transit& t, netbase::PacketKind kind,
+                            bool quote_labels);
+  netbase::Packet MakeEchoReply(const Transit& t,
+                                netbase::Ipv4Address reply_src,
+                                int initial_ttl) const;
+
+  /// Forwards `t.packet` out of `t.router` towards `hop`, accumulating
+  /// link delay; returns the Transit at the neighbor.
+  Transit Forward(const Transit& t, const routing::NextHop& hop) const;
+
+  /// Chooses the ECMP next hop for this packet (stable per flow).
+  const routing::NextHop& PickNextHop(
+      const std::vector<routing::NextHop>& hops,
+      const netbase::Packet& packet) const;
+
+  /// Pushes a label if the route and LDP tables call for it.
+  void MaybeImpose(const Transit& t, const routing::FibEntry& entry,
+                   const routing::NextHop& hop, netbase::Packet& packet);
+
+  [[nodiscard]] bool IsLocalAddress(topo::RouterId router,
+                                    netbase::Ipv4Address address) const;
+
+  const topo::Topology* topology_;
+  const mpls::MplsConfigMap* configs_;
+  const std::vector<routing::Fib>* fibs_;
+  const mpls::LdpTables* ldp_;
+  const mpls::TeDatabase* te_;  ///< may be null
+  const mpls::SrDatabase* sr_;  ///< may be null
+  EngineOptions options_;
+  EngineStats stats_;
+};
+
+}  // namespace wormhole::sim

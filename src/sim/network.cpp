@@ -1,0 +1,22 @@
+#include "sim/network.h"
+
+#include "routing/igp.h"
+
+namespace wormhole::sim {
+
+Network::Network(const topo::Topology& topology,
+                 const mpls::MplsConfigMap& configs,
+                 routing::BgpPolicy bgp_policy, EngineOptions options,
+                 const mpls::TeDatabase* te, const mpls::SrDatabase* sr)
+    : topology_(&topology) {
+  fibs_.resize(topology.router_count());
+  for (const topo::AsNumber asn : topology.AsNumbers()) {
+    routing::InstallIgpRoutes(topology, asn, fibs_);
+  }
+  routing::InstallBgpRoutes(topology, bgp_policy, fibs_);
+  ldp_ = mpls::LdpTables(topology, configs, fibs_);
+  engine_ = std::make_unique<Engine>(topology, configs, fibs_, ldp_,
+                                     options, te, sr);
+}
+
+}  // namespace wormhole::sim

@@ -1,0 +1,38 @@
+// Convenience facade: computes the full converged control plane (IGP, BGP,
+// LDP) for a topology + MPLS configuration and exposes a ready Engine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mpls/config.h"
+#include "mpls/ldp.h"
+#include "mpls/segment_routing.h"
+#include "routing/bgp.h"
+#include "routing/fib.h"
+#include "sim/engine.h"
+#include "topo/topology.h"
+
+namespace wormhole::sim {
+
+class Network {
+ public:
+  /// `topology`, `configs` and `te` (if given) must outlive the network.
+  Network(const topo::Topology& topology, const mpls::MplsConfigMap& configs,
+          routing::BgpPolicy bgp_policy = {}, EngineOptions options = {},
+          const mpls::TeDatabase* te = nullptr,
+          const mpls::SrDatabase* sr = nullptr);
+
+  [[nodiscard]] Engine& engine() { return *engine_; }
+  [[nodiscard]] const std::vector<routing::Fib>& fibs() const { return fibs_; }
+  [[nodiscard]] const mpls::LdpTables& ldp() const { return ldp_; }
+  [[nodiscard]] const topo::Topology& topology() const { return *topology_; }
+
+ private:
+  const topo::Topology* topology_;
+  std::vector<routing::Fib> fibs_;
+  mpls::LdpTables ldp_;
+  std::unique_ptr<Engine> engine_;
+};
+
+}  // namespace wormhole::sim

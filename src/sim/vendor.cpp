@@ -1,0 +1,21 @@
+#include "sim/vendor.h"
+
+namespace wormhole::sim {
+
+VendorBehavior BehaviorOf(topo::Vendor vendor) {
+  switch (vendor) {
+    case topo::Vendor::kCiscoIos:
+    case topo::Vendor::kCiscoIosXr:
+      return {255, 255};
+    case topo::Vendor::kJuniperJunos:
+      return {255, 64};
+    case topo::Vendor::kJuniperJunosE:
+      return {128, 128};
+    case topo::Vendor::kBrocade:
+    case topo::Vendor::kLinux:
+      return {64, 64};
+  }
+  return {255, 255};
+}
+
+}  // namespace wormhole::sim

@@ -1,0 +1,24 @@
+// Vendor data-plane behaviours relevant to TTL fingerprinting (paper
+// Table 1): the initial TTL a router uses when originating each kind of
+// ICMP message.
+#pragma once
+
+#include "topo/topology.h"
+
+namespace wormhole::sim {
+
+struct VendorBehavior {
+  /// Initial IP-TTL of ICMP time-exceeded (and destination-unreachable).
+  int initial_ttl_time_exceeded = 255;
+  /// Initial IP-TTL of ICMP echo-reply.
+  int initial_ttl_echo_reply = 255;
+};
+
+/// Table 1: Cisco <255,255>, Juniper Junos <255,64>, JunosE <128,128>,
+/// Brocade/Linux <64,64>.
+VendorBehavior BehaviorOf(topo::Vendor vendor);
+
+/// Initial TTL used by end hosts answering pings (Linux-like).
+constexpr int kHostEchoReplyTtl = 64;
+
+}  // namespace wormhole::sim

@@ -1,0 +1,280 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wormhole::topo {
+
+namespace {
+
+// Synthetic "public" space: each AS gets a /16 carved out of 5.0.0.0/8.
+constexpr std::uint32_t kBlockBase = 0x05000000;  // 5.0.0.0
+
+}  // namespace
+
+const char* ToString(Vendor vendor) {
+  switch (vendor) {
+    case Vendor::kCiscoIos: return "Cisco IOS";
+    case Vendor::kCiscoIosXr: return "Cisco IOS XR";
+    case Vendor::kJuniperJunos: return "Juniper Junos";
+    case Vendor::kJuniperJunosE: return "Juniper JunosE";
+    case Vendor::kBrocade: return "Brocade";
+    case Vendor::kLinux: return "Linux";
+  }
+  return "?";
+}
+
+AsNumber Topology::AddAs(AsNumber asn, std::string name) {
+  if (as_index_.contains(asn)) {
+    throw std::invalid_argument("AS " + std::to_string(asn) +
+                                " already exists");
+  }
+  AutonomousSystem as;
+  as.asn = asn;
+  as.name = std::move(name);
+  // /16 block: 5.b.h.l where b increments per AS; spill into 6.0.0.0/8 etc.
+  const std::uint32_t block = next_block_++;
+  as.block = Prefix(Ipv4Address(kBlockBase + (block << 16)), 16);
+  as_index_[asn] = ases_.size();
+  ases_.push_back(std::move(as));
+  next_offset_[asn] = 0;
+  return asn;
+}
+
+const AutonomousSystem& Topology::as(AsNumber asn) const {
+  const auto it = as_index_.find(asn);
+  if (it == as_index_.end()) {
+    throw std::out_of_range("unknown AS " + std::to_string(asn));
+  }
+  return ases_[it->second];
+}
+
+std::vector<AsNumber> Topology::AsNumbers() const {
+  std::vector<AsNumber> out;
+  out.reserve(ases_.size());
+  for (const auto& as : ases_) out.push_back(as.asn);
+  return out;
+}
+
+Prefix Topology::AllocateSubnet(AsNumber asn, int length) {
+  const auto& as = this->as(asn);
+  auto& offset = next_offset_[asn];
+  const auto size = static_cast<std::uint32_t>(
+      std::uint64_t{1} << (32 - length));
+  // Align the offset to the subnet size.
+  offset = (offset + size - 1) & ~(size - 1);
+  if (offset + size > as.block.size()) {
+    throw std::runtime_error("AS " + std::to_string(asn) +
+                             " address block exhausted");
+  }
+  const Prefix subnet(as.block.At(offset), length);
+  offset += size;
+  return subnet;
+}
+
+RouterId Topology::AddRouter(AsNumber asn, std::string name, Vendor vendor) {
+  const auto it = as_index_.find(asn);
+  if (it == as_index_.end()) {
+    throw std::invalid_argument("AddRouter: unknown AS " +
+                                std::to_string(asn));
+  }
+  if (name_to_router_.contains(name)) {
+    throw std::invalid_argument("duplicate router name: " + name);
+  }
+
+  const RouterId id = static_cast<RouterId>(routers_.size());
+  Router router;
+  router.id = id;
+  router.name = std::move(name);
+  router.asn = asn;
+  router.vendor = vendor;
+
+  const Prefix loopback = AllocateSubnet(asn, 32);
+  router.loopback = loopback.address();
+
+  Interface lo;
+  lo.id = static_cast<InterfaceId>(interfaces_.size());
+  lo.router = id;
+  lo.link = kNoLink;
+  lo.address = loopback.address();
+  lo.subnet = loopback;
+  lo.name = router.name + ".lo";
+  router.loopback_interface = lo.id;
+
+  address_to_router_[lo.address] = id;
+  address_to_interface_[lo.address] = lo.id;
+  name_to_router_[router.name] = id;
+  interfaces_.push_back(std::move(lo));
+  ases_[it->second].routers.push_back(id);
+  routers_.push_back(std::move(router));
+  return id;
+}
+
+LinkId Topology::AddLink(RouterId a, RouterId b, LinkOptions options) {
+  if (a == b) throw std::invalid_argument("AddLink: self-loop");
+  Router& ra = routers_.at(a);
+  Router& rb = routers_.at(b);
+
+  const AsNumber owner_asn = std::min(ra.asn, rb.asn);
+  const Prefix subnet = AllocateSubnet(owner_asn, 31);
+
+  const LinkId link_id = static_cast<LinkId>(links_.size());
+  Link link;
+  link.id = link_id;
+  link.subnet = subnet;
+  link.igp_metric = options.igp_metric;
+  link.delay_ms = options.delay_ms;
+
+  // Interface naming mirrors the paper's "X.if<n>" style; the GNS3 builder
+  // overrides these with ".left"/".right" labels.
+  const auto make_interface = [&](Router& router, std::uint32_t host) {
+    Interface iface;
+    iface.id = static_cast<InterfaceId>(interfaces_.size());
+    iface.router = router.id;
+    iface.link = link_id;
+    iface.address = subnet.At(host);
+    iface.subnet = subnet;
+    iface.name = router.name + ".if" +
+                 std::to_string(router.interfaces.size());
+    address_to_router_[iface.address] = router.id;
+    address_to_interface_[iface.address] = iface.id;
+    router.interfaces.push_back(iface.id);
+    interfaces_.push_back(iface);
+    return iface.id;
+  };
+
+  link.a = make_interface(ra, 0);
+  link.b = make_interface(rb, 1);
+  links_.push_back(link);
+  return link_id;
+}
+
+Ipv4Address Topology::AttachHost(RouterId gateway, std::string name) {
+  Router& router = routers_.at(gateway);
+  const Prefix subnet = AllocateSubnet(router.asn, 31);
+
+  Interface stub;
+  stub.id = static_cast<InterfaceId>(interfaces_.size());
+  stub.router = gateway;
+  stub.link = kNoLink;
+  stub.address = subnet.At(0);
+  stub.subnet = subnet;
+  stub.name = router.name + ".stub" + std::to_string(hosts_.size());
+  address_to_router_[stub.address] = gateway;
+  address_to_interface_[stub.address] = stub.id;
+  router.interfaces.push_back(stub.id);
+
+  Host host;
+  host.address = subnet.At(1);
+  host.gateway = gateway;
+  host.stub_interface = stub.id;
+  host.name = std::move(name);
+  host_index_[host.address] = hosts_.size();
+  interfaces_.push_back(std::move(stub));
+  hosts_.push_back(std::move(host));
+  return hosts_.back().address;
+}
+
+const Host* Topology::FindHost(Ipv4Address address) const {
+  const auto it = host_index_.find(address);
+  return it == host_index_.end() ? nullptr : &hosts_[it->second];
+}
+
+std::optional<RouterId> Topology::FindRouterByAddress(
+    Ipv4Address address) const {
+  const auto it = address_to_router_.find(address);
+  if (it == address_to_router_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<InterfaceId> Topology::FindInterfaceByAddress(
+    Ipv4Address address) const {
+  const auto it = address_to_interface_.find(address);
+  if (it == address_to_interface_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<RouterId> Topology::FindRouterByName(
+    std::string_view name) const {
+  const auto it = name_to_router_.find(std::string(name));
+  if (it == name_to_router_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Interface& Topology::EndOn(LinkId link, RouterId router) const {
+  const Link& l = links_.at(link);
+  const Interface& ia = interfaces_.at(l.a);
+  if (ia.router == router) return ia;
+  const Interface& ib = interfaces_.at(l.b);
+  if (ib.router == router) return ib;
+  throw std::invalid_argument("router not on link");
+}
+
+const Interface& Topology::OtherEnd(LinkId link, RouterId router) const {
+  const Link& l = links_.at(link);
+  const Interface& ia = interfaces_.at(l.a);
+  const Interface& ib = interfaces_.at(l.b);
+  if (ia.router == router) return ib;
+  if (ib.router == router) return ia;
+  throw std::invalid_argument("router not on link");
+}
+
+RouterId Topology::Neighbor(LinkId link, RouterId router) const {
+  return OtherEnd(link, router).router;
+}
+
+std::vector<std::pair<RouterId, LinkId>> Topology::Neighbors(
+    RouterId router) const {
+  std::vector<std::pair<RouterId, LinkId>> out;
+  const Router& r = routers_.at(router);
+  out.reserve(r.interfaces.size());
+  for (const InterfaceId iid : r.interfaces) {
+    const Interface& iface = interfaces_.at(iid);
+    if (iface.link == kNoLink) continue;  // host stub, no router across it
+    if (!links_.at(iface.link).up) continue;
+    out.emplace_back(Neighbor(iface.link, router), iface.link);
+  }
+  return out;
+}
+
+std::vector<Prefix> Topology::ConnectedPrefixes(RouterId router) const {
+  std::vector<Prefix> out;
+  const Router& r = routers_.at(router);
+  out.push_back(Prefix::Host(r.loopback));
+  for (const InterfaceId iid : r.interfaces) {
+    const Interface& iface = interfaces_.at(iid);
+    // Connected routes are withdrawn while the link is down.
+    if (iface.link != kNoLink && !links_.at(iface.link).up) continue;
+    out.push_back(iface.subnet);
+  }
+  return out;
+}
+
+std::vector<Prefix> Topology::InternalPrefixes(AsNumber asn) const {
+  std::vector<Prefix> out;
+  for (const RouterId rid : as(asn).routers) {
+    out.push_back(Prefix::Host(routers_.at(rid).loopback));
+  }
+  for (const Link& link : links_) {
+    if (!link.up || !IsInternalLink(link.id)) continue;
+    if (routers_.at(interfaces_.at(link.a).router).asn == asn) {
+      out.push_back(link.subnet);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Topology::IsInternalLink(LinkId link) const {
+  const Link& l = links_.at(link);
+  return routers_.at(interfaces_.at(l.a).router).asn ==
+         routers_.at(interfaces_.at(l.b).router).asn;
+}
+
+AsNumber Topology::AsOfAddress(Ipv4Address address) const {
+  const auto router = FindRouterByAddress(address);
+  return router ? routers_.at(*router).asn : 0;
+}
+
+}  // namespace wormhole::topo

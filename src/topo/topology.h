@@ -1,0 +1,216 @@
+// The ground-truth network model: routers, interfaces, point-to-point links
+// and autonomous systems, with automatic address allocation.
+//
+// Everything downstream (IGP, LDP, the data plane, the campaign) works on
+// this container through small integer ids; objects are stored contiguously
+// and referenced by index (stable — we never remove elements).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/ipv4.h"
+
+namespace wormhole::topo {
+
+using netbase::Ipv4Address;
+using netbase::Prefix;
+
+using RouterId = std::uint32_t;
+using InterfaceId = std::uint32_t;
+using LinkId = std::uint32_t;
+using AsNumber = std::uint32_t;
+
+constexpr RouterId kNoRouter = static_cast<RouterId>(-1);
+constexpr InterfaceId kNoInterface = static_cast<InterfaceId>(-1);
+
+/// Router hardware/OS class. Determines the initial-TTL signature (Table 1)
+/// and the vendor-default MPLS behaviour (LDP policy, ping-reply TTL).
+enum class Vendor : std::uint8_t {
+  kCiscoIos,      ///< <255,255>
+  kCiscoIosXr,    ///< <255,255>
+  kJuniperJunos,  ///< <255,64>
+  kJuniperJunosE, ///< <128,128>
+  kBrocade,       ///< <64,64>
+  kLinux,         ///< <64,64>
+};
+
+const char* ToString(Vendor vendor);
+
+/// A router interface: one end of a point-to-point link, or the loopback.
+struct Interface {
+  InterfaceId id = kNoInterface;
+  RouterId router = kNoRouter;
+  /// Link this interface sits on; kNoLink for the loopback.
+  LinkId link;
+  Ipv4Address address;
+  Prefix subnet;
+  std::string name;  ///< "P3.left"-style label for emulation printouts
+};
+
+constexpr LinkId kNoLink = static_cast<LinkId>(-1);
+
+/// An undirected point-to-point link between two interfaces.
+struct Link {
+  LinkId id = 0;
+  InterfaceId a = kNoInterface;
+  InterfaceId b = kNoInterface;
+  Prefix subnet;
+  /// IGP cost, both directions (we model symmetric link metrics).
+  int igp_metric = 1;
+  /// One-way propagation delay in milliseconds.
+  double delay_ms = 1.0;
+  /// Administrative/physical state. Down links are invisible to the IGP,
+  /// BGP and the data plane (failure experiments flip this and
+  /// reconverge).
+  bool up = true;
+};
+
+struct Router {
+  RouterId id = kNoRouter;
+  std::string name;
+  AsNumber asn = 0;
+  Vendor vendor = Vendor::kCiscoIos;
+  Ipv4Address loopback;
+  InterfaceId loopback_interface = kNoInterface;
+  std::vector<InterfaceId> interfaces;  ///< physical only, loopback excluded
+};
+
+struct AutonomousSystem {
+  AsNumber asn = 0;
+  std::string name;
+  std::vector<RouterId> routers;
+  /// Address block from which this AS's loopbacks and subnets are carved;
+  /// doubles as the AS's externally announced aggregate.
+  Prefix block;
+};
+
+/// Options for AddLink.
+struct LinkOptions {
+  int igp_metric = 1;
+  double delay_ms = 1.0;
+};
+
+/// An end host (vantage point or traceroute target) hanging off a router
+/// via a stub subnet. Hosts source probes and absorb replies; they answer
+/// echo-requests with a Linux-like initial TTL.
+struct Host {
+  Ipv4Address address;
+  RouterId gateway = kNoRouter;
+  /// The gateway-side interface of the stub subnet.
+  InterfaceId stub_interface = kNoInterface;
+  std::string name;
+};
+
+class Topology {
+ public:
+  /// Declares an AS and reserves an address block for it. Blocks are /16s
+  /// carved from 5.0.0.0/8 (synthetic "public" space — the campaign prunes
+  /// RFC1918 addresses like the paper prunes non-routable ones).
+  AsNumber AddAs(AsNumber asn, std::string name);
+
+  /// Adds a router to an existing AS; allocates its loopback (/32).
+  RouterId AddRouter(AsNumber asn, std::string name, Vendor vendor);
+
+  /// Connects two routers with a point-to-point link; carves a /31 subnet
+  /// from the first router's AS block (inter-AS links use the lower ASN's
+  /// block) and creates the two interfaces.
+  LinkId AddLink(RouterId a, RouterId b, LinkOptions options = {});
+
+  /// Attaches an end host to `gateway` over a fresh stub /31. The gateway
+  /// side gets the even address (this is the "CE1.left" that shows up as
+  /// hop 1 of a trace); the host gets the odd one. Must be called before
+  /// route computation so the stub prefix enters the IGP.
+  Ipv4Address AttachHost(RouterId gateway, std::string name);
+
+  [[nodiscard]] const Host* FindHost(Ipv4Address address) const;
+  [[nodiscard]] const std::vector<Host>& hosts() const { return hosts_; }
+
+  /// Renames an interface (testbed builders use paper-style names such as
+  /// "P3.left"). Names are labels only — no uniqueness is enforced.
+  void RenameInterface(InterfaceId id, std::string name) {
+    interfaces_.at(id).name = std::move(name);
+  }
+
+  /// Fails/restores a link. The caller must rebuild the control plane
+  /// (sim::Network) afterwards for the change to take routing effect.
+  void SetLinkUp(LinkId id, bool up) { links_.at(id).up = up; }
+
+  // --- accessors ---------------------------------------------------------
+  [[nodiscard]] const Router& router(RouterId id) const {
+    return routers_.at(id);
+  }
+  [[nodiscard]] Router& router(RouterId id) { return routers_.at(id); }
+  [[nodiscard]] const Interface& interface(InterfaceId id) const {
+    return interfaces_.at(id);
+  }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id); }
+  [[nodiscard]] Link& link(LinkId id) { return links_.at(id); }
+  [[nodiscard]] const AutonomousSystem& as(AsNumber asn) const;
+  [[nodiscard]] bool HasAs(AsNumber asn) const {
+    return as_index_.contains(asn);
+  }
+
+  [[nodiscard]] std::size_t router_count() const { return routers_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const std::vector<Router>& routers() const { return routers_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  [[nodiscard]] const std::vector<Interface>& interfaces() const {
+    return interfaces_;
+  }
+  [[nodiscard]] std::vector<AsNumber> AsNumbers() const;
+
+  /// Router owning `address` (interface or loopback); nullopt if unknown.
+  [[nodiscard]] std::optional<RouterId> FindRouterByAddress(
+      Ipv4Address address) const;
+  /// Interface with exactly this address; nullopt for loopbacks/unknown.
+  [[nodiscard]] std::optional<InterfaceId> FindInterfaceByAddress(
+      Ipv4Address address) const;
+  /// Router whose name is `name`; nullopt if absent.
+  [[nodiscard]] std::optional<RouterId> FindRouterByName(
+      std::string_view name) const;
+
+  /// The interface of `router` on `link`; its peer is OtherEnd.
+  [[nodiscard]] const Interface& EndOn(LinkId link, RouterId router) const;
+  [[nodiscard]] const Interface& OtherEnd(LinkId link, RouterId router) const;
+  /// The neighbouring router across `link` from `router`.
+  [[nodiscard]] RouterId Neighbor(LinkId link, RouterId router) const;
+
+  /// All (neighbor router, link) pairs of `router`.
+  [[nodiscard]] std::vector<std::pair<RouterId, LinkId>> Neighbors(
+      RouterId router) const;
+
+  /// Connected IGP prefixes of one router: loopback /32 + link subnets.
+  [[nodiscard]] std::vector<Prefix> ConnectedPrefixes(RouterId router) const;
+
+  /// All prefixes inside one AS (loopbacks + internal link subnets).
+  [[nodiscard]] std::vector<Prefix> InternalPrefixes(AsNumber asn) const;
+
+  /// True if both endpoints of the link are in the same AS.
+  [[nodiscard]] bool IsInternalLink(LinkId link) const;
+
+  /// AS of the router owning `address`; 0 if unknown.
+  [[nodiscard]] AsNumber AsOfAddress(Ipv4Address address) const;
+
+ private:
+  Prefix AllocateSubnet(AsNumber asn, int length);
+
+  std::vector<Router> routers_;
+  std::vector<Interface> interfaces_;
+  std::vector<Link> links_;
+  std::vector<Host> hosts_;
+  std::unordered_map<Ipv4Address, std::size_t> host_index_;
+  std::vector<AutonomousSystem> ases_;
+  std::unordered_map<AsNumber, std::size_t> as_index_;
+  std::unordered_map<Ipv4Address, RouterId> address_to_router_;
+  std::unordered_map<Ipv4Address, InterfaceId> address_to_interface_;
+  std::unordered_map<std::string, RouterId> name_to_router_;
+  /// Next free offset inside each AS block.
+  std::unordered_map<AsNumber, std::uint32_t> next_offset_;
+  std::uint32_t next_block_ = 0;
+};
+
+}  // namespace wormhole::topo

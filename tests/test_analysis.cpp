@@ -1,0 +1,243 @@
+// Unit tests for the analysis module: dataset correction, graph metrics,
+// table aggregation and report rendering.
+#include <gtest/gtest.h>
+
+#include "analysis/correct.h"
+#include "analysis/metrics.h"
+#include "analysis/report.h"
+#include "analysis/tables.h"
+#include "netbase/rng.h"
+
+namespace wormhole::analysis {
+namespace {
+
+using netbase::Ipv4Address;
+using topo::ItdkDataset;
+using topo::NodeId;
+
+ItdkDataset Triangle() {
+  ItdkDataset d;
+  const NodeId a = d.NodeOf(Ipv4Address(5, 0, 0, 1));
+  const NodeId b = d.NodeOf(Ipv4Address(5, 0, 0, 2));
+  const NodeId c = d.NodeOf(Ipv4Address(5, 0, 0, 3));
+  d.AddLink(a, b);
+  d.AddLink(b, c);
+  d.AddLink(a, c);
+  return d;
+}
+
+TEST(Metrics, ClusteringOfTriangleIsOne) {
+  const ItdkDataset d = Triangle();
+  EXPECT_DOUBLE_EQ(LocalClustering(d, 0), 1.0);
+  EXPECT_DOUBLE_EQ(AverageClustering(d), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalDensity(d), 1.0);
+}
+
+TEST(Metrics, ClusteringOfStarIsZero) {
+  ItdkDataset d;
+  const NodeId hub = d.NodeOf(Ipv4Address(5, 0, 0, 1));
+  for (int i = 2; i <= 5; ++i) {
+    d.AddLink(hub, d.NodeOf(Ipv4Address(5, 0, 0, static_cast<uint8_t>(i))));
+  }
+  EXPECT_DOUBLE_EQ(LocalClustering(d, hub), 0.0);
+  EXPECT_DOUBLE_EQ(AverageClustering(d), 0.0);
+}
+
+TEST(Metrics, ClusteringDropsWhenMeshDissolves) {
+  // A full mesh of 4 "LERs" (the invisible-tunnel artefact) vs the same 4
+  // nodes joined through 2 revealed core nodes.
+  ItdkDataset mesh;
+  std::vector<NodeId> ler;
+  for (int i = 1; i <= 4; ++i) {
+    ler.push_back(mesh.NodeOf(Ipv4Address(5, 0, 0, static_cast<uint8_t>(i))));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) mesh.AddLink(ler[i], ler[j]);
+  }
+  ItdkDataset corrected;
+  std::vector<NodeId> ler2;
+  for (int i = 1; i <= 4; ++i) {
+    ler2.push_back(
+        corrected.NodeOf(Ipv4Address(5, 0, 0, static_cast<uint8_t>(i))));
+  }
+  const NodeId core1 = corrected.NodeOf(Ipv4Address(5, 0, 0, 10));
+  const NodeId core2 = corrected.NodeOf(Ipv4Address(5, 0, 0, 11));
+  corrected.AddLink(core1, core2);
+  corrected.AddLink(ler2[0], core1);
+  corrected.AddLink(ler2[1], core1);
+  corrected.AddLink(ler2[2], core2);
+  corrected.AddLink(ler2[3], core2);
+
+  EXPECT_GT(AverageClustering(mesh), AverageClustering(corrected));
+  EXPECT_GT(GlobalDensity(mesh), GlobalDensity(corrected));
+}
+
+TEST(Metrics, ShortestPathsOnAChain) {
+  ItdkDataset d;
+  NodeId previous = d.NodeOf(Ipv4Address(5, 0, 0, 1));
+  for (int i = 2; i <= 5; ++i) {
+    const NodeId node =
+        d.NodeOf(Ipv4Address(5, 0, 0, static_cast<uint8_t>(i)));
+    d.AddLink(previous, node);
+    previous = node;
+  }
+  const auto lengths = ShortestPathLengths(d, 0);
+  EXPECT_EQ(lengths.total(), 4u);  // nodes 2..5
+  EXPECT_EQ(lengths.Max(), 4);
+  const auto stats = SampledPathStats(d);
+  EXPECT_EQ(stats.diameter, 4);
+  EXPECT_GT(stats.mean, 1.0);
+}
+
+TEST(Metrics, PowerLawAlphaRecoversKnownExponent) {
+  // Sample from a (floored) Pareto whose density exponent is 2.5.
+  // Flooring biases the head, so fit above the smallest values; the
+  // estimate converges towards the true exponent as x_min grows.
+  netbase::IntDistribution d;
+  netbase::Rng rng(13);
+  for (int i = 0; i < 50000; ++i) {
+    d.Add(rng.ParetoInt(1.5, 100000));
+  }
+  EXPECT_NEAR(FitPowerLawAlpha(d, 5), 2.5, 0.25);
+  EXPECT_LT(FitPowerLawAlpha(d, 1), FitPowerLawAlpha(d, 5));
+}
+
+TEST(Metrics, PowerLawAlphaDegenerateCases) {
+  netbase::IntDistribution d;
+  EXPECT_DOUBLE_EQ(FitPowerLawAlpha(d, 1), 0.0);
+  d.Add(1);
+  EXPECT_DOUBLE_EQ(FitPowerLawAlpha(d, 1), 0.0);
+  d.Add(5);
+  EXPECT_GT(FitPowerLawAlpha(d, 1), 1.0);
+  // x_min above every sample: nothing qualifies.
+  EXPECT_DOUBLE_EQ(FitPowerLawAlpha(d, 10), 0.0);
+}
+
+TEST(Correct, ReplacesFalseLinkWithChain) {
+  ItdkDataset d;
+  const NodeId ingress = d.NodeOf(Ipv4Address(5, 0, 0, 1));
+  const NodeId egress = d.NodeOf(Ipv4Address(5, 0, 0, 2));
+  d.AddLink(ingress, egress);
+
+  reveal::RevelationResult revelation;
+  revelation.ingress = Ipv4Address(5, 0, 0, 1);
+  revelation.egress = Ipv4Address(5, 0, 0, 2);
+  revelation.revealed = {Ipv4Address(5, 0, 0, 10),
+                         Ipv4Address(5, 0, 0, 11)};
+  revelation.method = reveal::RevelationMethod::kDpr;
+  std::map<campaign::EndpointPair, reveal::RevelationResult> revelations;
+  revelations.emplace(
+      campaign::EndpointPair{revelation.ingress, revelation.egress},
+      revelation);
+
+  topo::Topology empty_topology;
+  const auto identity = [](Ipv4Address a) { return a; };
+  const auto stats =
+      ApplyRevelations(d, revelations, identity, empty_topology);
+
+  EXPECT_EQ(stats.tunnels_applied, 1u);
+  EXPECT_EQ(stats.false_links_removed, 1u);
+  EXPECT_EQ(stats.links_added, 3u);
+  EXPECT_EQ(stats.addresses_new, 2u);
+  EXPECT_FALSE(d.HasLink(ingress, egress));
+  const auto h1 = d.FindNode(Ipv4Address(5, 0, 0, 10));
+  const auto h2 = d.FindNode(Ipv4Address(5, 0, 0, 11));
+  ASSERT_TRUE(h1 && h2);
+  EXPECT_TRUE(d.HasLink(ingress, *h1));
+  EXPECT_TRUE(d.HasLink(*h1, *h2));
+  EXPECT_TRUE(d.HasLink(*h2, egress));
+}
+
+TEST(Correct, SkipsFailedRevelationsAndUnknownNodes) {
+  ItdkDataset d;
+  const NodeId a = d.NodeOf(Ipv4Address(5, 0, 0, 1));
+  const NodeId b = d.NodeOf(Ipv4Address(5, 0, 0, 2));
+  d.AddLink(a, b);
+
+  std::map<campaign::EndpointPair, reveal::RevelationResult> revelations;
+  reveal::RevelationResult failed;
+  failed.ingress = Ipv4Address(5, 0, 0, 1);
+  failed.egress = Ipv4Address(5, 0, 0, 2);
+  failed.method = reveal::RevelationMethod::kNone;
+  revelations.emplace(campaign::EndpointPair{failed.ingress, failed.egress},
+                      failed);
+  reveal::RevelationResult unknown;
+  unknown.ingress = Ipv4Address(9, 0, 0, 1);  // not in the dataset
+  unknown.egress = Ipv4Address(9, 0, 0, 2);
+  unknown.revealed = {Ipv4Address(9, 0, 0, 3)};
+  unknown.method = reveal::RevelationMethod::kEither;
+  revelations.emplace(
+      campaign::EndpointPair{unknown.ingress, unknown.egress}, unknown);
+
+  topo::Topology empty_topology;
+  const auto identity = [](Ipv4Address x) { return x; };
+  const auto stats =
+      ApplyRevelations(d, revelations, identity, empty_topology);
+  EXPECT_EQ(stats.tunnels_applied, 0u);
+  EXPECT_TRUE(d.HasLink(a, b));
+}
+
+TEST(Correct, IdempotentOnRepeatedApplication) {
+  ItdkDataset d;
+  d.AddLink(d.NodeOf(Ipv4Address(5, 0, 0, 1)),
+            d.NodeOf(Ipv4Address(5, 0, 0, 2)));
+  reveal::RevelationResult revelation;
+  revelation.ingress = Ipv4Address(5, 0, 0, 1);
+  revelation.egress = Ipv4Address(5, 0, 0, 2);
+  revelation.revealed = {Ipv4Address(5, 0, 0, 10)};
+  revelation.method = reveal::RevelationMethod::kEither;
+  std::map<campaign::EndpointPair, reveal::RevelationResult> revelations;
+  revelations.emplace(
+      campaign::EndpointPair{revelation.ingress, revelation.egress},
+      revelation);
+  topo::Topology empty_topology;
+  const auto identity = [](Ipv4Address x) { return x; };
+  ApplyRevelations(d, revelations, identity, empty_topology);
+  const std::size_t links = d.link_count();
+  ApplyRevelations(d, revelations, identity, empty_topology);
+  EXPECT_EQ(d.link_count(), links);
+}
+
+TEST(Report, TextTableAlignsColumns) {
+  TextTable table({"a", "long-header", "c"});
+  table.AddRow({"1", "2", "3"});
+  table.AddRow({"wide-cell", "x"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell"), std::string::npos);
+  // Three lines of content: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Report, CellHelpers) {
+  EXPECT_EQ(TextTable::Num(std::size_t{42}), "42");
+  EXPECT_EQ(TextTable::Pct(12.345, 1), "12.3");
+  EXPECT_EQ(TextTable::Real(0.5, 3), "0.500");
+  EXPECT_EQ(TextTable::Opt(std::nullopt), "-");
+  EXPECT_EQ(TextTable::Opt(7), "7");
+}
+
+TEST(Report, RenderPdfFoldsTailsIntoEnds) {
+  netbase::IntDistribution d;
+  d.Add(-10, 2);
+  d.Add(0, 6);
+  d.Add(10, 2);
+  const std::string out = RenderPdf(d, -2, 2, "test");
+  // The -10 mass folds into the -2 row and the +10 mass into +2.
+  EXPECT_NE(out.find("0.2000"), std::string::npos);
+  EXPECT_NE(out.find("0.6000"), std::string::npos);
+}
+
+TEST(Report, RenderPdfComparisonListsAllSeries) {
+  netbase::IntDistribution a;
+  a.Add(1);
+  netbase::IntDistribution b;
+  b.Add(2);
+  const std::string out =
+      RenderPdfComparison({{"first", &a}, {"second", &b}}, 1, 2);
+  EXPECT_NE(out.find("first"), std::string::npos);
+  EXPECT_NE(out.find("second"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wormhole::analysis

@@ -1,0 +1,363 @@
+// Direct data-plane semantics tests on hand-built topologies (the GNS3
+// byte-level checks live in test_gns3.cpp).
+#include <gtest/gtest.h>
+
+#include "mpls/config.h"
+#include "probe/multipath.h"
+#include "probe/prober.h"
+#include "sim/network.h"
+#include "sim/vendor.h"
+#include "topo/topology.h"
+
+namespace wormhole::sim {
+namespace {
+
+using netbase::Ipv4Address;
+using netbase::Packet;
+using netbase::PacketKind;
+using topo::RouterId;
+using topo::Vendor;
+
+TEST(VendorBehavior, Table1InitialTtls) {
+  EXPECT_EQ(BehaviorOf(Vendor::kCiscoIos).initial_ttl_time_exceeded, 255);
+  EXPECT_EQ(BehaviorOf(Vendor::kCiscoIos).initial_ttl_echo_reply, 255);
+  EXPECT_EQ(BehaviorOf(Vendor::kJuniperJunos).initial_ttl_echo_reply, 64);
+  EXPECT_EQ(BehaviorOf(Vendor::kJuniperJunosE).initial_ttl_time_exceeded,
+            128);
+  EXPECT_EQ(BehaviorOf(Vendor::kBrocade).initial_ttl_echo_reply, 64);
+}
+
+// One AS, a plain IP chain: r0 - r1 - ... - r(n-1), host behind r0.
+struct Chain {
+  topo::Topology topology;
+  std::unique_ptr<mpls::MplsConfigMap> configs;
+  std::unique_ptr<Network> network;
+  Ipv4Address vp;
+
+  explicit Chain(int n, Vendor vendor = Vendor::kCiscoIos) {
+    topology.AddAs(1, "chain");
+    for (int i = 0; i < n; ++i) {
+      topology.AddRouter(1, "r" + std::to_string(i), vendor);
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      topology.AddLink(static_cast<RouterId>(i),
+                       static_cast<RouterId>(i + 1));
+    }
+    vp = topology.AttachHost(0, "VP");
+    configs = std::make_unique<mpls::MplsConfigMap>(topology);
+    network = std::make_unique<Network>(topology, *configs);
+  }
+};
+
+TEST(Engine, TraceOfPlainChainShowsEveryHop) {
+  Chain chain(5);
+  probe::Prober prober(chain.network->engine(), chain.vp);
+  const auto trace = prober.Traceroute(chain.topology.router(4).loopback);
+  ASSERT_TRUE(trace.reached);
+  ASSERT_EQ(trace.hops.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(trace.hops[static_cast<std::size_t>(i)].address.has_value());
+    // Hop i+1 replies from router i (its incoming interface or loopback).
+    const auto owner = chain.topology.FindRouterByAddress(
+        *trace.hops[static_cast<std::size_t>(i)].address);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(*owner, static_cast<RouterId>(i));
+  }
+}
+
+TEST(Engine, ReturnTtlCountsThePathBack) {
+  Chain chain(5);
+  probe::Prober prober(chain.network->engine(), chain.vp);
+  const auto trace = prober.Traceroute(chain.topology.router(4).loopback);
+  // Router i is i hops from the gateway; its 255-initial reply loses i
+  // decrements on the way back (i-1 routers + the gateway's own forward).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(trace.hops[static_cast<std::size_t>(i)].reply_ip_ttl, 255 - i);
+  }
+}
+
+TEST(Engine, EchoRepliesDieOnVeryLongPaths) {
+  // 70 routers: a Linux-like <64,64> responder's echo-reply cannot make it
+  // back, while Cisco time-exceeded (255) can. traceroute "sees" the hop,
+  // ping does not — a classic asymmetry the fingerprinting must survive.
+  Chain chain(70, Vendor::kLinux);
+  probe::Prober prober(chain.network->engine(), chain.vp);
+  const auto far = chain.topology.router(69).loopback;
+  const auto ping = prober.Ping(far);
+  EXPECT_FALSE(ping.responded);
+  const auto trace = prober.Traceroute(far, {.max_ttl = 80});
+  // The trace stalls near the far end: time-exceeded replies (initial 64
+  // for Linux) from the last routers can't survive the return path.
+  EXPECT_FALSE(trace.reached);
+}
+
+TEST(Engine, SendRejectsNonHostSource) {
+  Chain chain(3);
+  Packet p;
+  p.src = chain.topology.router(1).loopback;  // not a host
+  p.dst = chain.topology.router(2).loopback;
+  EXPECT_THROW(chain.network->engine().Send(std::move(p)),
+               std::invalid_argument);
+}
+
+TEST(Engine, HostToHostProbeGetsHostReply) {
+  Chain chain(3);
+  const Ipv4Address other = chain.topology.AttachHost(2, "target");
+  // Hosts were added after route computation for VP... rebuild.
+  chain.network = std::make_unique<Network>(chain.topology, *chain.configs);
+  probe::Prober prober(chain.network->engine(), chain.vp);
+  const auto ping = prober.Ping(other);
+  ASSERT_TRUE(ping.responded);
+  // Host initial TTL 64, 3 routers + delivery decrements on the way back.
+  EXPECT_EQ(ping.reply_ip_ttl, 64 - 3);
+}
+
+// --- ECMP -------------------------------------------------------------------
+
+// Two equal-cost disjoint paths:  r0 -< r1 | r2 >- r3 - r4(target side)
+struct Diamond {
+  topo::Topology topology;
+  std::unique_ptr<mpls::MplsConfigMap> configs;
+  std::unique_ptr<Network> network;
+  Ipv4Address vp;
+
+  explicit Diamond(bool ecmp = true) {
+    topology.AddAs(1, "diamond");
+    for (int i = 0; i < 5; ++i) {
+      topology.AddRouter(1, "d" + std::to_string(i), Vendor::kCiscoIos);
+    }
+    topology.AddLink(0, 1);
+    topology.AddLink(0, 2);
+    topology.AddLink(1, 3);
+    topology.AddLink(2, 3);
+    topology.AddLink(3, 4);
+    vp = topology.AttachHost(0, "VP");
+    configs = std::make_unique<mpls::MplsConfigMap>(topology);
+    network = std::make_unique<Network>(topology, *configs,
+                                        routing::BgpPolicy{},
+                                        EngineOptions{.ecmp_enabled = ecmp});
+  }
+};
+
+TEST(Engine, ParisTracerouteIsFlowStable) {
+  Diamond diamond;
+  probe::Prober prober(diamond.network->engine(), diamond.vp);
+  const auto target = diamond.topology.router(4).loopback;
+  // Same flow id: repeated traces take the identical path.
+  const auto t1 = prober.Traceroute(target, {.flow_id = 7});
+  const auto t2 = prober.Traceroute(target, {.flow_id = 7});
+  ASSERT_EQ(t1.hops.size(), t2.hops.size());
+  for (std::size_t i = 0; i < t1.hops.size(); ++i) {
+    EXPECT_EQ(t1.hops[i].address, t2.hops[i].address);
+  }
+}
+
+TEST(Engine, DifferentFlowsCanTakeDifferentBranches) {
+  Diamond diamond;
+  probe::Prober prober(diamond.network->engine(), diamond.vp);
+  const auto target = diamond.topology.router(4).loopback;
+  std::set<Ipv4Address> second_hops;
+  for (std::uint16_t flow = 0; flow < 32; ++flow) {
+    const auto trace = prober.Traceroute(target, {.flow_id = flow});
+    ASSERT_GE(trace.hops.size(), 2u);
+    ASSERT_TRUE(trace.hops[1].address.has_value());
+    second_hops.insert(*trace.hops[1].address);
+  }
+  EXPECT_EQ(second_hops.size(), 2u);  // both branches exercised
+}
+
+TEST(Engine, EcmpDisabledPinsOnePath) {
+  Diamond diamond(/*ecmp=*/false);
+  probe::Prober prober(diamond.network->engine(), diamond.vp);
+  const auto target = diamond.topology.router(4).loopback;
+  std::set<Ipv4Address> second_hops;
+  for (std::uint16_t flow = 0; flow < 32; ++flow) {
+    const auto trace = prober.Traceroute(target, {.flow_id = flow});
+    second_hops.insert(*trace.hops[1].address);
+  }
+  EXPECT_EQ(second_hops.size(), 1u);
+}
+
+TEST(Engine, JitterVariesRttsDeterministically) {
+  Chain chain(6);
+  chain.network = std::make_unique<Network>(
+      chain.topology, *chain.configs, routing::BgpPolicy{},
+      EngineOptions{.delay_jitter_fraction = 0.3});
+  probe::Prober prober(chain.network->engine(), chain.vp);
+  const auto target = chain.topology.router(5).loopback;
+
+  // Different probe ids => different RTTs; the spread stays within the
+  // jitter envelope (base path is 2*5 links of 1 ms + stubs).
+  std::set<double> rtts;
+  for (int i = 0; i < 10; ++i) {
+    const auto ping = prober.Ping(target);
+    ASSERT_TRUE(ping.responded);
+    rtts.insert(ping.rtt_ms);
+    EXPECT_GT(ping.rtt_ms, 10.0 * 0.7);
+    EXPECT_LT(ping.rtt_ms, 10.0 * 1.3 + 1.0);
+  }
+  EXPECT_GT(rtts.size(), 5u);
+
+  // Zero jitter: every ping takes exactly the same time.
+  Chain steady(6);
+  probe::Prober steady_prober(steady.network->engine(), steady.vp);
+  const auto first = steady_prober.Ping(steady.topology.router(5).loopback);
+  const auto second = steady_prober.Ping(steady.topology.router(5).loopback);
+  EXPECT_DOUBLE_EQ(first.rtt_ms, second.rtt_ms);
+}
+
+TEST(MultiPath, EnumeratesBothBranchesOfADiamond) {
+  Diamond diamond;
+  probe::Prober prober(diamond.network->engine(), diamond.vp);
+  const auto result = probe::EnumeratePaths(
+      prober, diamond.topology.router(4).loopback, {.flows = 32});
+  EXPECT_EQ(result.distinct_paths(), 2u);
+  EXPECT_EQ(result.MaxWidth(), 2u);  // the fan-out at the branch hop
+  EXPECT_EQ(result.flows_probed, 32);
+}
+
+TEST(MultiPath, SinglePathOnAChain) {
+  Chain chain(4);
+  probe::Prober prober(chain.network->engine(), chain.vp);
+  const auto result = probe::EnumeratePaths(
+      prober, chain.topology.router(3).loopback, {.flows = 8});
+  EXPECT_EQ(result.distinct_paths(), 1u);
+  EXPECT_EQ(result.MaxWidth(), 1u);
+}
+
+// --- MPLS TTL mechanics on a purpose-built tunnel ---------------------------
+
+// AS1(h-gw) -- AS2: in - m1 - m2 - out -- AS3(dst)
+struct TunnelWorld {
+  topo::Topology topology;
+  std::unique_ptr<mpls::MplsConfigMap> configs;
+  std::unique_ptr<Network> network;
+  Ipv4Address vp;
+
+  TunnelWorld(bool propagate, mpls::Popping popping,
+              Vendor vendor = Vendor::kCiscoIos) {
+    topology.AddAs(1, "src");
+    topology.AddAs(2, "mpls");
+    topology.AddAs(3, "dst");
+    const RouterId gw = topology.AddRouter(1, "gw", Vendor::kCiscoIos);
+    const RouterId in = topology.AddRouter(2, "in", vendor);
+    const RouterId m1 = topology.AddRouter(2, "m1", vendor);
+    const RouterId m2 = topology.AddRouter(2, "m2", vendor);
+    const RouterId out = topology.AddRouter(2, "out", vendor);
+    const RouterId dst = topology.AddRouter(3, "dst", Vendor::kCiscoIos);
+    topology.AddLink(gw, in);
+    topology.AddLink(in, m1);
+    topology.AddLink(m1, m2);
+    topology.AddLink(m2, out);
+    topology.AddLink(out, dst);
+    vp = topology.AttachHost(gw, "VP");
+    configs = std::make_unique<mpls::MplsConfigMap>(topology);
+    mpls::MplsConfigMap::AsOptions options;
+    options.ttl_propagate = propagate;
+    options.popping = popping;
+    options.ldp_policy = mpls::LdpPolicy::kAllPrefixes;
+    configs->EnableAs(2, options);
+    routing::BgpPolicy policy;
+    policy.stub_ases = {1, 3};
+    network = std::make_unique<Network>(topology, *configs, policy);
+  }
+};
+
+TEST(MplsTtl, PropagateExposesInteriorWithQuotedLabels) {
+  TunnelWorld world(/*propagate=*/true, mpls::Popping::kPhp);
+  probe::Prober prober(world.network->engine(), world.vp);
+  const auto trace =
+      prober.Traceroute(world.topology.router(5).loopback);  // dst
+  ASSERT_TRUE(trace.reached);
+  EXPECT_EQ(trace.hops.size(), 6u);
+  EXPECT_TRUE(trace.HasExplicitMpls());
+  // m1 and m2 quote labels; the Egress LER does not.
+  EXPECT_TRUE(trace.hops[2].has_labels());
+  EXPECT_TRUE(trace.hops[3].has_labels());
+  EXPECT_FALSE(trace.hops[4].has_labels());
+}
+
+TEST(MplsTtl, NoPropagateHidesInterior) {
+  TunnelWorld world(/*propagate=*/false, mpls::Popping::kPhp);
+  probe::Prober prober(world.network->engine(), world.vp);
+  const auto trace = prober.Traceroute(world.topology.router(5).loopback);
+  ASSERT_TRUE(trace.reached);
+  // gw, in, out, dst — m1/m2 gone.
+  EXPECT_EQ(trace.hops.size(), 4u);
+  EXPECT_FALSE(trace.HasExplicitMpls());
+}
+
+TEST(MplsTtl, UhpHidesTheEgressToo) {
+  TunnelWorld world(/*propagate=*/false, mpls::Popping::kUhp);
+  probe::Prober prober(world.network->engine(), world.vp);
+  const auto trace = prober.Traceroute(world.topology.router(5).loopback);
+  ASSERT_TRUE(trace.reached);
+  // gw, in, dst — even "out" is gone.
+  EXPECT_EQ(trace.hops.size(), 3u);
+}
+
+TEST(MplsTtl, Rfc4950CanBeDisabled) {
+  TunnelWorld world(/*propagate=*/true, mpls::Popping::kPhp);
+  for (const topo::Router& router : world.topology.routers()) {
+    if (router.asn == 2) world.configs->Mutable(router.id).rfc4950 = false;
+  }
+  world.network =
+      std::make_unique<Network>(world.topology, *world.configs,
+                                routing::BgpPolicy{.stub_ases = {1, 3}});
+  probe::Prober prober(world.network->engine(), world.vp);
+  const auto trace = prober.Traceroute(world.topology.router(5).loopback);
+  ASSERT_TRUE(trace.reached);
+  // Interior hops still visible (ttl-propagate) but nothing is quoted.
+  EXPECT_EQ(trace.hops.size(), 6u);
+  EXPECT_FALSE(trace.HasExplicitMpls());
+}
+
+TEST(MplsTtl, IcmpAlongLspInflatesInteriorReturnPaths) {
+  TunnelWorld world(/*propagate=*/true, mpls::Popping::kPhp);
+  probe::Prober prober(world.network->engine(), world.vp);
+  const auto trace = prober.Traceroute(world.topology.router(5).loopback);
+  // The first LSR's reply detours via the tunnel end: its return TTL is
+  // *lower* than the second LSR's (the inversion seen in Fig. 4a).
+  EXPECT_LT(trace.hops[2].reply_ip_ttl, trace.hops[3].reply_ip_ttl);
+
+  // With the behaviour off, the detour disappears and return TTLs become
+  // monotonically decreasing again.
+  for (const topo::Router& router : world.topology.routers()) {
+    if (router.asn == 2) {
+      world.configs->Mutable(router.id).icmp_along_lsp = false;
+    }
+  }
+  world.network =
+      std::make_unique<Network>(world.topology, *world.configs,
+                                routing::BgpPolicy{.stub_ases = {1, 3}});
+  probe::Prober direct_prober(world.network->engine(), world.vp);
+  const auto direct =
+      direct_prober.Traceroute(world.topology.router(5).loopback);
+  EXPECT_GT(direct.hops[2].reply_ip_ttl, direct.hops[3].reply_ip_ttl);
+}
+
+TEST(MplsTtl, MinRuleCopiesLseTtlOnlyWhenLower) {
+  // Cisco egress (reply initial 255): the return tunnel decrements count.
+  TunnelWorld cisco(/*propagate=*/false, mpls::Popping::kPhp,
+                    Vendor::kCiscoIos);
+  probe::Prober cisco_prober(cisco.network->engine(), cisco.vp);
+  const auto cisco_ping =
+      cisco_prober.Ping(cisco.topology.router(4).loopback);  // "out"
+  ASSERT_TRUE(cisco_ping.responded);
+  // 255 initial; return tunnel out->in hides m1,m2 but min rule charges
+  // them: path out..gw = 4 hops + VP delivery.
+  EXPECT_EQ(cisco_ping.reply_ip_ttl, 251);
+
+  // Juniper egress (echo-reply initial 64): LSE-TTL (255-) never dips below
+  // 64, so the interior is NOT charged: only in->gw + delivery remain.
+  TunnelWorld juniper(/*propagate=*/false, mpls::Popping::kPhp,
+                      Vendor::kJuniperJunos);
+  probe::Prober juniper_prober(juniper.network->engine(), juniper.vp);
+  const auto juniper_ping =
+      juniper_prober.Ping(juniper.topology.router(4).loopback);
+  ASSERT_TRUE(juniper_ping.responded);
+  EXPECT_EQ(juniper_ping.reply_ip_ttl, 62);
+}
+
+}  // namespace
+}  // namespace wormhole::sim

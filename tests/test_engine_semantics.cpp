@@ -1,0 +1,239 @@
+// Deeper data-plane semantic cases: UHP under ttl-propagate (visible UHP),
+// explicit-null quoting, multi-AS transit TTL accounting, and stacked-label
+// TTL rules.
+#include <gtest/gtest.h>
+
+#include "gen/gns3.h"
+#include "mpls/config.h"
+#include "probe/prober.h"
+#include "reveal/revelator.h"
+#include "sim/network.h"
+
+namespace wormhole::sim {
+namespace {
+
+using gen::Gns3Scenario;
+using gen::Gns3Testbed;
+
+TEST(UhpSemantics, VisibleUhpQuotesExplicitNullAtTheEgress) {
+  // UHP *with* ttl-propagate: the LSE-TTL can expire at the egress, which
+  // then quotes the explicit-null label (value 0).
+  Gns3Testbed testbed({.scenario = Gns3Scenario::kTotallyInvisible});
+  for (const topo::Router& router : testbed.topology().routers()) {
+    if (router.asn == 2) {
+      testbed.configs().Mutable(router.id).ttl_propagate = true;
+    }
+  }
+  testbed.Reconverge();
+  probe::Prober prober(testbed.engine(), testbed.vantage_point());
+  const auto trace = prober.Traceroute(testbed.Address("CE2.left"));
+  ASSERT_TRUE(trace.reached);
+  // All five AS2 routers visible: CE1, PE1, P1, P2, P3, PE2, CE2.
+  ASSERT_EQ(trace.hops.size(), 7u);
+  // The egress (hop 6 = PE2) expired in label space and quotes label 0.
+  const auto& egress = trace.hops[5];
+  ASSERT_TRUE(egress.address.has_value());
+  EXPECT_EQ(testbed.NameOf(*egress.address), "PE2.left");
+  ASSERT_TRUE(egress.has_labels());
+  EXPECT_EQ(egress.labels[0].label,
+            static_cast<std::uint32_t>(
+                netbase::ReservedLabel::kIpv4ExplicitNull));
+  // Interior LSRs quote real labels.
+  ASSERT_TRUE(trace.hops[2].has_labels());
+  EXPECT_GE(trace.hops[2].labels[0].label, netbase::kFirstUnreservedLabel);
+}
+
+TEST(UhpSemantics, UhpDoesNotApplyMinRule) {
+  // Under UHP + no-propagate, the egress pop must NOT copy min(IP, LSE):
+  // otherwise replies crossing the return tunnel would suddenly "count"
+  // its interior. Verified through the return TTL of the reply from the
+  // router *behind* the cloud.
+  Gns3Testbed testbed({.scenario = Gns3Scenario::kTotallyInvisible});
+  probe::Prober prober(testbed.engine(), testbed.vantage_point());
+  const auto trace = prober.Traceroute(testbed.Address("CE2.left"));
+  ASSERT_TRUE(trace.reached);
+  // CE2's echo reply: initial 255; decrements at PE2 (ingress of the
+  // return tunnel), PE1 (UHP pop + forward), CE1 => 252 (Fig. 4d).
+  EXPECT_EQ(trace.hops.back().reply_ip_ttl, 252);
+}
+
+TEST(MultiAsTransit, TtlAccountingAcrossTwoMplsClouds) {
+  // src | AS2: in1-m1-out1 | AS3: in2-m2-out2 | dst — both clouds
+  // invisible. The trace shows the four LERs and hides both interiors.
+  topo::Topology topology;
+  topology.AddAs(1, "src");
+  topology.AddAs(2, "cloud-a");
+  topology.AddAs(3, "cloud-b");
+  topology.AddAs(4, "dst");
+  const auto gw = topology.AddRouter(1, "gw", topo::Vendor::kCiscoIos);
+  const auto in1 = topology.AddRouter(2, "in1", topo::Vendor::kCiscoIos);
+  const auto m1 = topology.AddRouter(2, "m1", topo::Vendor::kCiscoIos);
+  const auto out1 = topology.AddRouter(2, "out1", topo::Vendor::kCiscoIos);
+  const auto in2 = topology.AddRouter(3, "in2", topo::Vendor::kCiscoIos);
+  const auto m2 = topology.AddRouter(3, "m2", topo::Vendor::kCiscoIos);
+  const auto out2 = topology.AddRouter(3, "out2", topo::Vendor::kCiscoIos);
+  const auto dst = topology.AddRouter(4, "dst", topo::Vendor::kCiscoIos);
+  topology.AddLink(gw, in1);
+  topology.AddLink(in1, m1);
+  topology.AddLink(m1, out1);
+  topology.AddLink(out1, in2);
+  topology.AddLink(in2, m2);
+  topology.AddLink(m2, out2);
+  topology.AddLink(out2, dst);
+  const auto vp = topology.AttachHost(gw, "VP");
+
+  mpls::MplsConfigMap configs(topology);
+  configs.EnableAs(2, {.ttl_propagate = false});
+  configs.EnableAs(3, {.ttl_propagate = false});
+  Network network(topology, configs,
+                  routing::BgpPolicy{.stub_ases = {1, 4}});
+  probe::Prober prober(network.engine(), vp);
+
+  const auto trace = prober.Traceroute(topology.router(dst).loopback);
+  ASSERT_TRUE(trace.reached);
+  // gw, in1, out1, in2, out2, dst — m1 and m2 hidden.
+  ASSERT_EQ(trace.hops.size(), 6u);
+  const auto name = [&](std::size_t i) {
+    return topology
+        .router(*topology.FindRouterByAddress(*trace.hops[i].address))
+        .name;
+  };
+  EXPECT_EQ(name(1), "in1");
+  EXPECT_EQ(name(2), "out1");
+  EXPECT_EQ(name(3), "in2");
+  EXPECT_EQ(name(4), "out2");
+}
+
+TEST(MultiAsTransit, OnlyTheLastTunnelIsRevealedPerTrace) {
+  // The paper (Sec. 7): when a trace crosses several invisible tunnels,
+  // the methodology only reveals the last one — because candidate
+  // extraction looks at the final X, Y, D. Verify the earlier cloud's
+  // interior is still revealable by explicitly targeting it.
+  topo::Topology topology;
+  topology.AddAs(1, "src");
+  topology.AddAs(2, "cloud-a");
+  topology.AddAs(3, "cloud-b");
+  topology.AddAs(4, "dst");
+  const auto gw = topology.AddRouter(1, "gw", topo::Vendor::kCiscoIos);
+  const auto in1 = topology.AddRouter(2, "in1", topo::Vendor::kCiscoIos);
+  const auto m1 = topology.AddRouter(2, "m1", topo::Vendor::kCiscoIos);
+  const auto out1 = topology.AddRouter(2, "out1", topo::Vendor::kCiscoIos);
+  const auto in2 = topology.AddRouter(3, "in2", topo::Vendor::kCiscoIos);
+  const auto m2 = topology.AddRouter(3, "m2", topo::Vendor::kCiscoIos);
+  const auto out2 = topology.AddRouter(3, "out2", topo::Vendor::kCiscoIos);
+  const auto dst = topology.AddRouter(4, "dst", topo::Vendor::kCiscoIos);
+  topology.AddLink(gw, in1);
+  topology.AddLink(in1, m1);
+  topology.AddLink(m1, out1);
+  topology.AddLink(out1, in2);
+  topology.AddLink(in2, m2);
+  topology.AddLink(m2, out2);
+  topology.AddLink(out2, dst);
+  const auto vp = topology.AttachHost(gw, "VP");
+
+  mpls::MplsConfigMap configs(topology);
+  configs.EnableAs(2, {.ttl_propagate = false});
+  configs.EnableAs(3, {.ttl_propagate = false});
+  Network network(topology, configs,
+                  routing::BgpPolicy{.stub_ases = {1, 4}});
+  probe::Prober prober(network.engine(), vp);
+
+  reveal::Revelator revelator(prober);
+  // The incoming (VP-facing) interface of each LER is its first one —
+  // links were added in path order.
+  const auto incoming = [&](topo::RouterId rid) {
+    return topology.EndOn(topology.Neighbors(rid)[0].second, rid).address;
+  };
+  // Last tunnel: in2 -> out2.
+  const auto last = revelator.Reveal(incoming(in2), incoming(out2));
+  EXPECT_TRUE(last.succeeded());
+  ASSERT_EQ(last.revealed.size(), 1u);
+  EXPECT_EQ(topology.FindRouterByAddress(last.revealed[0]),
+            std::optional<topo::RouterId>(m2));
+  // Earlier tunnel: in1 -> out1, revealed when targeted directly.
+  const auto first = revelator.Reveal(incoming(in1), incoming(out1));
+  EXPECT_TRUE(first.succeeded());
+  ASSERT_EQ(first.revealed.size(), 1u);
+  EXPECT_EQ(topology.FindRouterByAddress(first.revealed[0]),
+            std::optional<topo::RouterId>(m1));
+}
+
+TEST(UhpSemantics, UhpProducesTheDuplicateHopSignature) {
+  // An invisible UHP egress decrements the IP-TTL without ever expiring,
+  // so the router *behind* the cloud answers two consecutive probe TTLs —
+  // the duplicate-hop artifact real UHP deployments exhibit (used as a
+  // UHP trigger by the authors' follow-up work).
+  topo::Topology topology;
+  topology.AddAs(1, "src");
+  topology.AddAs(2, "uhp-cloud");
+  topology.AddAs(3, "dst");
+  const auto gw = topology.AddRouter(1, "gw", topo::Vendor::kCiscoIos);
+  const auto in = topology.AddRouter(2, "in", topo::Vendor::kCiscoIos);
+  const auto m = topology.AddRouter(2, "m", topo::Vendor::kCiscoIos);
+  const auto out = topology.AddRouter(2, "out", topo::Vendor::kCiscoIos);
+  const auto d1 = topology.AddRouter(3, "d1", topo::Vendor::kCiscoIos);
+  const auto d2 = topology.AddRouter(3, "d2", topo::Vendor::kCiscoIos);
+  topology.AddLink(gw, in);
+  topology.AddLink(in, m);
+  topology.AddLink(m, out);
+  topology.AddLink(out, d1);
+  topology.AddLink(d1, d2);
+  const auto vp = topology.AttachHost(gw, "VP");
+  mpls::MplsConfigMap configs(topology);
+  configs.EnableAs(2, {.ttl_propagate = false,
+                       .popping = mpls::Popping::kUhp});
+  Network network(topology, configs,
+                  routing::BgpPolicy{.stub_ases = {1, 3}});
+  probe::Prober prober(network.engine(), vp);
+
+  const auto trace = prober.Traceroute(topology.router(d2).loopback);
+  ASSERT_TRUE(trace.reached);
+  // gw, in, d1, d1 (duplicate!), d2 — the cloud absorbed one TTL.
+  ASSERT_EQ(trace.hops.size(), 5u);
+  ASSERT_TRUE(trace.hops[2].address && trace.hops[3].address);
+  EXPECT_EQ(*trace.hops[2].address, *trace.hops[3].address);
+  EXPECT_EQ(topology.FindRouterByAddress(*trace.hops[2].address),
+            std::optional<topo::RouterId>(d1));
+}
+
+TEST(MinRuleConfig, DisablingMinRuleHidesTheReturnTunnelFromFrpla) {
+  // The ablation knob: with min_ttl_on_pop off, the return LSP leaves the
+  // reply's IP-TTL untouched, so the egress reply comes back "too fresh".
+  Gns3Testbed testbed({.scenario = Gns3Scenario::kBackwardRecursive});
+  probe::Prober prober(testbed.engine(), testbed.vantage_point());
+  const int with_min =
+      prober.Traceroute(testbed.Address("CE2.left")).hops[2].reply_ip_ttl;
+
+  for (const topo::Router& router : testbed.topology().routers()) {
+    if (router.asn == 2) {
+      testbed.configs().Mutable(router.id).min_ttl_on_pop = false;
+    }
+  }
+  testbed.Reconverge();
+  probe::Prober no_min_prober(testbed.engine(), testbed.vantage_point());
+  const int without_min = no_min_prober.Traceroute(testbed.Address("CE2.left"))
+                              .hops[2]
+                              .reply_ip_ttl;
+  // With the min rule: 250 (tunnel counted). Without: 253 (only PE1, CE1
+  // decrement the reply) — the FRPLA signal is gone.
+  EXPECT_EQ(with_min, 250);
+  EXPECT_EQ(without_min, 253);
+}
+
+TEST(ReplyRouting, DestinationUnreachableComesFromTheLastRouter) {
+  Gns3Testbed testbed({.scenario = Gns3Scenario::kDefault});
+  probe::Prober prober(testbed.engine(), testbed.vantage_point());
+  // An unassigned address inside AS3's block: routed until CE2, which has
+  // no matching route and answers destination-unreachable.
+  const auto block = testbed.topology().as(3).block;
+  const auto bogus = block.At(block.size() - 2);
+  const auto trace = prober.Traceroute(bogus);
+  ASSERT_TRUE(trace.unreachable);
+  const auto& last = trace.hops.back();
+  ASSERT_TRUE(last.address.has_value());
+  EXPECT_EQ(testbed.topology().AsOfAddress(*last.address), 3u);
+  EXPECT_EQ(last.reply_kind, netbase::PacketKind::kDestinationUnreachable);
+}
+
+}  // namespace
+}  // namespace wormhole::sim

@@ -1,0 +1,158 @@
+// Randomised robustness sweeps: many generated worlds, permissive
+// configurations, adversarial targets — the pipeline must stay crash-free
+// and its inferences sound (never contradict ground truth).
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.h"
+#include "gen/internet.h"
+#include "netbase/rng.h"
+#include "probe/prober.h"
+#include "reveal/revelator.h"
+
+namespace wormhole {
+namespace {
+
+class FuzzWorld : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  gen::InternetOptions Options() const {
+    // Small, fast worlds with everything dialled up: UHP more common,
+    // anonymous routers, loss.
+    netbase::Rng rng(GetParam() * 977);
+    gen::InternetOptions options;
+    options.seed = GetParam();
+    options.tier1_count = rng.UniformInt(1, 3);
+    options.transit_count = rng.UniformInt(2, 6);
+    options.stub_count = rng.UniformInt(4, 12);
+    options.tier1_routers = rng.UniformInt(10, 30);
+    options.transit_routers = rng.UniformInt(8, 24);
+    options.vp_count = rng.UniformInt(2, 6);
+    options.uhp_probability = 0.3;
+    options.no_ttl_propagate_probability = 0.7;
+    options.anonymous_router_probability = 0.05;
+    options.icmp_loss = 0.02;
+    return options;
+  }
+};
+
+TEST_P(FuzzWorld, TracesTerminateAndNeverLoop) {
+  gen::SyntheticInternet net(Options());
+  probe::Prober prober(net.engine(), net.vantage_points().front());
+  netbase::Rng rng(GetParam());
+  int traced = 0;
+  for (const auto loopback : net.AllLoopbacks()) {
+    if (!rng.Chance(0.3)) continue;  // sample
+    const auto trace = prober.Traceroute(loopback);
+    ++traced;
+    EXPECT_LE(trace.hops.size(), 40u);
+    // An address may repeat only at *consecutive* hops — the legitimate
+    // UHP duplicate-hop artifact (the invisible egress absorbs one TTL
+    // without expiring, so its neighbor answers twice). Non-adjacent
+    // repeats would mean a forwarding loop.
+    std::map<netbase::Ipv4Address, int> last_seen;
+    for (const auto& hop : trace.hops) {
+      if (!hop.address) continue;
+      const auto it = last_seen.find(*hop.address);
+      if (it != last_seen.end()) {
+        EXPECT_EQ(it->second, hop.probe_ttl - 1)
+            << "loop at " << hop.address->ToString();
+      }
+      last_seen[*hop.address] = hop.probe_ttl;
+    }
+  }
+  EXPECT_GT(traced, 0);
+}
+
+TEST_P(FuzzWorld, ProbingAdversarialTargetsNeverCrashes) {
+  gen::SyntheticInternet net(Options());
+  probe::Prober prober(net.engine(), net.vantage_points().front());
+  netbase::Rng rng(GetParam() ^ 0xABCDEF);
+  for (int i = 0; i < 64; ++i) {
+    // Random addresses: unassigned, private, inside random blocks.
+    const netbase::Ipv4Address target(rng.UniformU32());
+    const auto trace = prober.Traceroute(target, {.max_ttl = 20});
+    EXPECT_LE(trace.hops.size(), 20u);
+  }
+  // Probing our own gateway-side addresses and the VP itself.
+  const auto vp = net.vantage_points().front();
+  EXPECT_NO_THROW(prober.Ping(vp));
+  const topo::Host* host = net.topology().FindHost(vp);
+  EXPECT_NO_THROW(prober.Ping(
+      net.topology().interface(host->stub_interface).address));
+}
+
+TEST_P(FuzzWorld, CampaignInferencesStaySound) {
+  gen::SyntheticInternet net(Options());
+  campaign::CampaignOptions options;
+  options.hdn_threshold = 6;  // small worlds
+  campaign::Campaign campaign(net.engine(), net.vantage_points(), options);
+  const auto result = campaign.Run(net.AllLoopbacks());
+
+  for (const auto& [pair, revelation] : result.revelations) {
+    if (!revelation.succeeded()) continue;
+    const auto asn = net.topology().AsOfAddress(pair.egress);
+    // Soundness: only invisible PHP clouds ever get revealed...
+    EXPECT_TRUE(net.profile(asn).invisible_tunnels());
+    EXPECT_EQ(net.profile(asn).popping, mpls::Popping::kPhp);
+    // ...and revealed hops are genuine routers of that AS.
+    for (const auto hop : revelation.revealed) {
+      const auto router = net.topology().FindRouterByAddress(hop);
+      ASSERT_TRUE(router.has_value());
+      EXPECT_EQ(net.topology().router(*router).asn, asn);
+    }
+  }
+}
+
+TEST_P(FuzzWorld, RevelatorHandlesArbitraryEndpointPairs) {
+  gen::SyntheticInternet net(Options());
+  probe::Prober prober(net.engine(), net.vantage_points().front());
+  reveal::Revelator revelator(prober);
+  netbase::Rng rng(GetParam() + 31337);
+  const auto loopbacks = net.AllLoopbacks();
+  for (int i = 0; i < 16; ++i) {
+    // Random (even nonsensical) X/Y pairs must terminate cleanly.
+    const auto x = loopbacks[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int>(loopbacks.size()) - 1))];
+    const auto y = loopbacks[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int>(loopbacks.size()) - 1))];
+    const auto result = revelator.Reveal(x, y);
+    EXPECT_LE(result.traces_used, 25);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzWorld,
+                         ::testing::Values(101u, 102u, 103u, 104u, 105u,
+                                           106u, 107u, 108u));
+
+TEST(GeneratorStatistics, DeploymentConvergesToSurveyRates) {
+  // Over many small worlds, the drawn deployment probabilities must track
+  // the survey constants the defaults come from.
+  int mpls = 0, invisible = 0, uhp = 0, eligible = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    gen::InternetOptions options;
+    options.seed = seed;
+    options.tier1_count = 2;
+    options.transit_count = 6;
+    options.stub_count = 4;
+    options.tier1_routers = 8;
+    options.transit_routers = 8;
+    options.vp_count = 1;
+    gen::SyntheticInternet net(options);
+    for (const auto& [asn, profile] : net.profiles()) {
+      if (profile.role == gen::AsRole::kStub) continue;
+      ++eligible;
+      if (!profile.mpls) continue;
+      ++mpls;
+      if (!profile.ttl_propagate) ++invisible;
+      if (profile.popping == mpls::Popping::kUhp) ++uhp;
+    }
+  }
+  const double mpls_rate = static_cast<double>(mpls) / eligible;
+  const double invisible_rate = static_cast<double>(invisible) / mpls;
+  const double uhp_rate = static_cast<double>(uhp) / mpls;
+  EXPECT_NEAR(mpls_rate, gen::survey::kMplsDeployment, 0.08);
+  EXPECT_NEAR(invisible_rate, gen::survey::kNoTtlPropagate, 0.10);
+  EXPECT_NEAR(uhp_rate, gen::survey::kUhp, 0.08);
+}
+
+}  // namespace
+}  // namespace wormhole

@@ -1,0 +1,257 @@
+// Emulation validation: the simulator must reproduce the paper's Fig. 4
+// outputs (hop addresses AND return TTLs) on the Fig. 2 testbed, for all
+// four configuration scenarios.
+#include <gtest/gtest.h>
+
+#include "gen/gns3.h"
+#include "probe/prober.h"
+#include "reveal/rtla.h"
+
+namespace wormhole::gen {
+namespace {
+
+using netbase::PacketKind;
+
+struct ExpectedHop {
+  const char* name;
+  int return_ttl;
+  bool labeled = false;
+};
+
+class Gns3Test : public ::testing::Test {
+ protected:
+  void Build(Gns3Scenario scenario,
+             topo::Vendor vendor = topo::Vendor::kCiscoIos) {
+    testbed_ = std::make_unique<Gns3Testbed>(
+        Gns3Options{.scenario = scenario, .as2_vendor = vendor});
+    prober_ = std::make_unique<probe::Prober>(testbed_->engine(),
+                                              testbed_->vantage_point());
+  }
+
+  probe::TraceResult Trace(const char* target) {
+    return prober_->Traceroute(testbed_->Address(target));
+  }
+
+  void ExpectTrace(const probe::TraceResult& trace,
+                   const std::vector<ExpectedHop>& expected) {
+    ASSERT_EQ(trace.hops.size(), expected.size())
+        << trace.Format([&](netbase::Ipv4Address a) {
+             return testbed_->NameOf(a);
+           });
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      const probe::Hop& hop = trace.hops[i];
+      ASSERT_TRUE(hop.address.has_value()) << "hop " << i + 1;
+      EXPECT_EQ(testbed_->NameOf(*hop.address), expected[i].name)
+          << "hop " << i + 1;
+      EXPECT_EQ(hop.reply_ip_ttl, expected[i].return_ttl)
+          << "hop " << i + 1 << " (" << expected[i].name << ")";
+      EXPECT_EQ(hop.has_labels(), expected[i].labeled)
+          << "hop " << i + 1 << " (" << expected[i].name << ")";
+    }
+  }
+
+  std::unique_ptr<Gns3Testbed> testbed_;
+  std::unique_ptr<probe::Prober> prober_;
+};
+
+// --- Fig. 4a: Default configuration — explicit tunnel ----------------------
+TEST_F(Gns3Test, Fig4aDefaultConfiguration) {
+  Build(Gns3Scenario::kDefault);
+  const auto trace = Trace("CE2.left");
+  EXPECT_TRUE(trace.reached);
+  ExpectTrace(trace, {{"CE1.left", 255},
+                      {"PE1.left", 254},
+                      {"P1.left", 247, true},
+                      {"P2.left", 248, true},
+                      {"P3.left", 251, true},
+                      {"PE2.left", 250},
+                      {"CE2.left", 249}});
+  // The quoted LSE-TTL is 1 at every expiring LSR (ttl-propagate copies the
+  // dying IP-TTL into the label).
+  for (const auto& hop : trace.hops) {
+    if (hop.has_labels()) {
+      EXPECT_EQ(static_cast<int>(hop.labels[0].ttl), 1);
+    }
+  }
+}
+
+// --- Fig. 4b: Backward Recursive — invisible, BRPR peels it ----------------
+TEST_F(Gns3Test, Fig4bInvisibleTunnelHidesLsrs) {
+  Build(Gns3Scenario::kBackwardRecursive);
+  const auto trace = Trace("CE2.left");
+  EXPECT_TRUE(trace.reached);
+  ExpectTrace(trace, {{"CE1.left", 255},
+                      {"PE1.left", 254},
+                      {"PE2.left", 250},
+                      {"CE2.left", 250}});
+  EXPECT_FALSE(trace.HasExplicitMpls());
+}
+
+TEST_F(Gns3Test, Fig4bRecursiveTracesRevealOneHopAtATime) {
+  Build(Gns3Scenario::kBackwardRecursive);
+  ExpectTrace(Trace("PE2.left"), {{"CE1.left", 255},
+                                  {"PE1.left", 254},
+                                  {"P3.left", 251},
+                                  {"PE2.left", 250}});
+  ExpectTrace(Trace("P3.left"), {{"CE1.left", 255},
+                                 {"PE1.left", 254},
+                                 {"P2.left", 252},
+                                 {"P3.left", 251}});
+  ExpectTrace(Trace("P2.left"), {{"CE1.left", 255},
+                                 {"PE1.left", 254},
+                                 {"P1.left", 253},
+                                 {"P2.left", 252}});
+  ExpectTrace(Trace("P1.left"), {{"CE1.left", 255},
+                                 {"PE1.left", 254},
+                                 {"P1.left", 253}});
+}
+
+// --- Fig. 4c: Explicit Route — DPR reveals in one probe --------------------
+TEST_F(Gns3Test, Fig4cDirectPathRevelation) {
+  Build(Gns3Scenario::kExplicitRoute);
+  ExpectTrace(Trace("CE2.left"), {{"CE1.left", 255},
+                                  {"PE1.left", 254},
+                                  {"PE2.left", 250},
+                                  {"CE2.left", 250}});
+  // Targeting the Egress LER's incoming interface rides the plain IGP
+  // route and exposes the whole path, label-free.
+  const auto trace = Trace("PE2.left");
+  ExpectTrace(trace, {{"CE1.left", 255},
+                      {"PE1.left", 254},
+                      {"P1.left", 253},
+                      {"P2.left", 252},
+                      {"P3.left", 251},
+                      {"PE2.left", 250}});
+  EXPECT_FALSE(trace.HasExplicitMpls());
+}
+
+// --- Fig. 4d: Totally Invisible (UHP) ---------------------------------------
+TEST_F(Gns3Test, Fig4dUhpHidesEvenTheEgress) {
+  Build(Gns3Scenario::kTotallyInvisible);
+  ExpectTrace(Trace("CE2.left"), {{"CE1.left", 255},
+                                  {"PE1.left", 254},
+                                  {"CE2.left", 252}});
+  ExpectTrace(Trace("PE2.left"), {{"CE1.left", 255},
+                                  {"PE1.left", 254},
+                                  {"PE2.left", 253}});
+}
+
+// --- Cross-cutting checks ---------------------------------------------------
+
+TEST_F(Gns3Test, DefaultTunnelQuotesDistinctLabelsPerLsr) {
+  Build(Gns3Scenario::kDefault);
+  const auto trace = Trace("CE2.left");
+  std::vector<std::uint32_t> labels;
+  for (const auto& hop : trace.hops) {
+    if (hop.has_labels()) labels.push_back(hop.labels[0].label);
+  }
+  ASSERT_EQ(labels.size(), 3u);
+  for (const auto label : labels) {
+    EXPECT_GE(label, netbase::kFirstUnreservedLabel);
+  }
+}
+
+TEST_F(Gns3Test, PingReturnsEchoReplyWithVendorTtl) {
+  Build(Gns3Scenario::kBackwardRecursive);
+  const auto ping = prober_->Ping(testbed_->Address("PE2.left"));
+  ASSERT_TRUE(ping.responded);
+  // Cisco echo-reply initial 255, minus 5 effective return hops (the return
+  // LSP hides its interior; min rule applies at the LH).
+  EXPECT_EQ(ping.reply_ip_ttl, 250);
+}
+
+TEST_F(Gns3Test, JuniperEgressShowsTtlGapBetweenProbeKinds) {
+  Build(Gns3Scenario::kBackwardRecursive, topo::Vendor::kJuniperJunos);
+  const auto trace = Trace("CE2.left");
+  ASSERT_TRUE(trace.reached);
+  // Hop 3 is PE2 (time-exceeded, initial 255). The return tunnel PE2->PE1
+  // is counted: 255 - 250 = 5 return hops.
+  const auto& pe2_hop = trace.hops[2];
+  ASSERT_TRUE(pe2_hop.address.has_value());
+  EXPECT_EQ(testbed_->NameOf(*pe2_hop.address), "PE2.left");
+  EXPECT_EQ(pe2_hop.reply_ip_ttl, 250);
+  // Ping the same address: echo-reply initial 64, and the return tunnel is
+  // *not* counted (LSE-TTL 255-ish stays above 64): 64 - 62 = 2 hops.
+  const auto ping = prober_->Ping(*pe2_hop.address);
+  ASSERT_TRUE(ping.responded);
+  EXPECT_EQ(ping.reply_ip_ttl, 62);
+  // The gap (255-250) - (64-62) = 3 equals the return tunnel length h(I,E)
+  // — the paper's worked example of Sec. 3.1.
+  EXPECT_EQ((255 - pe2_hop.reply_ip_ttl) - (64 - ping.reply_ip_ttl), 3);
+}
+
+TEST_F(Gns3Test, JunosEClouldUsesInitial128Everywhere) {
+  Build(Gns3Scenario::kBackwardRecursive, topo::Vendor::kJuniperJunosE);
+  const auto trace = Trace("CE2.left");
+  ASSERT_TRUE(trace.reached);
+  // AS2 hops reply with initial TTL 128; inference must round to 128.
+  const auto& pe2_hop = trace.hops[2];
+  ASSERT_TRUE(pe2_hop.address.has_value());
+  EXPECT_LE(pe2_hop.reply_ip_ttl, 128);
+  EXPECT_GT(pe2_hop.reply_ip_ttl, 64);
+  // Crucial FRPLA limitation: a 128-initial reply never triggers the min
+  // rule against a 255-initialised return LSE — the return tunnel is NOT
+  // counted. Only PE1 and CE1 decrement the reply: 128 - 126 = 2, the
+  // hops outside the tunnel.
+  EXPECT_EQ(128 - pe2_hop.reply_ip_ttl, 2);
+  // And RTLA is inapplicable: <128,128> has no te/er gap.
+  const auto ping = prober_->Ping(*pe2_hop.address);
+  ASSERT_TRUE(ping.responded);
+  EXPECT_FALSE(reveal::ObserveRtla(*pe2_hop.address, pe2_hop.reply_ip_ttl,
+                                   ping.reply_ip_ttl)
+                   .has_value());
+}
+
+TEST_F(Gns3Test, BrocadeCloudBehavesLikeJuniperForLdpPolicy) {
+  // <64,64> boxes default to loopback-only advertisement in our model (the
+  // paper's AS3549 observation): targeting the egress interface rides the
+  // plain IGP route.
+  Build(Gns3Scenario::kBackwardRecursive, topo::Vendor::kBrocade);
+  // Backward-recursive forces all-prefix; undo to the vendor default.
+  mpls::MplsConfigMap::AsOptions options;
+  options.ttl_propagate = false;
+  testbed_->configs().EnableAs(2, options);
+  testbed_->Reconverge();
+  probe::Prober prober(testbed_->engine(), testbed_->vantage_point());
+  const auto trace = prober.Traceroute(testbed_->Address("PE2.left"));
+  ASSERT_TRUE(trace.reached);
+  // DPR-style full revelation: 6 hops.
+  EXPECT_EQ(trace.hops.size(), 6u);
+}
+
+TEST_F(Gns3Test, UnassignedAddressYieldsDestinationUnreachable) {
+  Build(Gns3Scenario::kDefault);
+  // An address inside AS2's block that no router owns.
+  const auto block = testbed_->topology().as(2).block;
+  const auto bogus = block.At(block.size() - 2);
+  const auto trace = prober_->Traceroute(bogus);
+  EXPECT_TRUE(trace.unreachable);
+  EXPECT_FALSE(trace.reached);
+}
+
+TEST_F(Gns3Test, RttAccumulatesLinkDelays) {
+  Build(Gns3Scenario::kDefault);
+  const auto trace = Trace("CE2.left");
+  ASSERT_TRUE(trace.reached);
+  // RTTs must be positive and non-trivially ordered: the last hop's RTT is
+  // the largest (longest forward path).
+  double max_rtt = 0.0;
+  for (const auto& hop : trace.hops) {
+    EXPECT_GT(hop.rtt_ms, 0.0);
+    max_rtt = std::max(max_rtt, hop.rtt_ms);
+  }
+  EXPECT_DOUBLE_EQ(trace.hops.back().rtt_ms, max_rtt);
+}
+
+TEST_F(Gns3Test, EngineCountsWork) {
+  Build(Gns3Scenario::kDefault);
+  Trace("CE2.left");
+  const auto& stats = testbed_->engine().stats();
+  EXPECT_GT(stats.packets_injected, 0u);
+  EXPECT_GT(stats.icmp_generated, 0u);
+  EXPECT_GT(stats.labels_pushed, 0u);
+  EXPECT_GT(stats.labels_popped, 0u);
+}
+
+}  // namespace
+}  // namespace wormhole::gen

@@ -1,0 +1,153 @@
+// Invariants of the synthetic Internet generator.
+#include <gtest/gtest.h>
+
+#include "gen/internet.h"
+#include "probe/prober.h"
+#include "routing/igp.h"
+
+namespace wormhole::gen {
+namespace {
+
+class InternetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { net_ = new SyntheticInternet({.seed = 7}); }
+  static void TearDownTestSuite() {
+    delete net_;
+    net_ = nullptr;
+  }
+  static SyntheticInternet* net_;
+};
+
+SyntheticInternet* InternetTest::net_ = nullptr;
+
+TEST_F(InternetTest, HasRequestedAsCounts) {
+  const InternetOptions defaults;
+  int tier1 = 0, transit = 0, stub = 0;
+  for (const auto& [asn, profile] : net_->profiles()) {
+    switch (profile.role) {
+      case AsRole::kTier1: ++tier1; break;
+      case AsRole::kTransit: ++transit; break;
+      case AsRole::kStub: ++stub; break;
+    }
+  }
+  EXPECT_EQ(tier1, defaults.tier1_count);
+  EXPECT_EQ(transit, defaults.transit_count);
+  EXPECT_EQ(stub, defaults.stub_count);
+}
+
+TEST_F(InternetTest, StubsNeverRunMpls) {
+  for (const auto& [asn, profile] : net_->profiles()) {
+    if (profile.role == AsRole::kStub) {
+      EXPECT_FALSE(profile.mpls) << "AS" << asn;
+      for (const topo::RouterId rid : net_->topology().as(asn).routers) {
+        EXPECT_FALSE(net_->configs().For(rid).enabled);
+      }
+    }
+  }
+}
+
+TEST_F(InternetTest, ProfilesMatchInstalledConfigs) {
+  for (const auto& [asn, profile] : net_->profiles()) {
+    for (const topo::RouterId rid : net_->topology().as(asn).routers) {
+      const auto& config = net_->configs().For(rid);
+      EXPECT_EQ(config.enabled, profile.mpls);
+      if (profile.mpls) {
+        EXPECT_EQ(config.ttl_propagate, profile.ttl_propagate);
+        EXPECT_EQ(config.popping, profile.popping);
+      }
+    }
+  }
+}
+
+TEST_F(InternetTest, EveryAsInternallyConnected) {
+  for (const auto& [asn, profile] : net_->profiles()) {
+    const auto& routers = net_->topology().as(asn).routers;
+    const auto spf = routing::ComputeSpf(net_->topology(), routers.front());
+    for (const topo::RouterId rid : routers) {
+      EXPECT_NE(spf.distance[rid], routing::kUnreachable)
+          << "AS" << asn << " router " << rid;
+    }
+  }
+}
+
+TEST_F(InternetTest, VantagePointsLiveInDistinctStubAses) {
+  const auto& vps = net_->vantage_points();
+  EXPECT_EQ(vps.size(), 12u);
+  std::set<topo::AsNumber> ases;
+  for (const auto vp : vps) {
+    const topo::Host* host = net_->topology().FindHost(vp);
+    ASSERT_NE(host, nullptr);
+    const topo::AsNumber asn =
+        net_->topology().router(host->gateway).asn;
+    EXPECT_EQ(net_->profile(asn).role, AsRole::kStub);
+    EXPECT_TRUE(ases.insert(asn).second) << "duplicate VP AS " << asn;
+  }
+}
+
+TEST_F(InternetTest, EveryLoopbackReachableFromEveryVp) {
+  probe::Prober prober(net_->engine(), net_->vantage_points().front());
+  int reached = 0, total = 0;
+  for (const auto loopback : net_->AllLoopbacks()) {
+    ++total;
+    if (prober.Ping(loopback).responded) ++reached;
+  }
+  // Everything should answer (the only acceptable losses are <64,64>
+  // responders too far away; the topology is small enough that there are
+  // none).
+  EXPECT_EQ(reached, total);
+}
+
+TEST_F(InternetTest, DeterministicForSameSeed) {
+  SyntheticInternet a({.seed = 99, .transit_count = 3, .stub_count = 6});
+  SyntheticInternet b({.seed = 99, .transit_count = 3, .stub_count = 6});
+  EXPECT_EQ(a.topology().router_count(), b.topology().router_count());
+  EXPECT_EQ(a.topology().link_count(), b.topology().link_count());
+  for (std::size_t i = 0; i < a.topology().router_count(); ++i) {
+    EXPECT_EQ(a.topology().routers()[i].loopback,
+              b.topology().routers()[i].loopback);
+    EXPECT_EQ(a.topology().routers()[i].vendor,
+              b.topology().routers()[i].vendor);
+  }
+}
+
+TEST_F(InternetTest, DifferentSeedsDiffer) {
+  SyntheticInternet a({.seed = 1, .transit_count = 3, .stub_count = 6});
+  SyntheticInternet b({.seed = 2, .transit_count = 3, .stub_count = 6});
+  EXPECT_NE(a.topology().link_count(), b.topology().link_count());
+}
+
+TEST_F(InternetTest, ForceTtlPropagationMakesTunnelsExplicit) {
+  SyntheticInternet net({.seed = 7, .transit_count = 4, .stub_count = 8});
+  // Find an invisible transit AS (retry seeds would be overkill: with 7
+  // ASes at the defaults there is essentially always one).
+  bool found = false;
+  for (const auto& [asn, profile] : net.profiles()) {
+    if (profile.invisible_tunnels()) found = true;
+  }
+  ASSERT_TRUE(found);
+
+  // Count labelled *hops* across all VPs (a trace often crosses several
+  // MPLS clouds, so trace-level counting can stay flat).
+  const auto labeled_hops = [&net]() {
+    std::size_t count = 0;
+    for (const auto vp : net.vantage_points()) {
+      probe::Prober prober(net.engine(), vp);
+      for (const auto loopback : net.AllLoopbacks()) {
+        for (const auto& hop : prober.Traceroute(loopback).hops) {
+          if (hop.has_labels()) ++count;
+        }
+      }
+    }
+    return count;
+  };
+  const std::size_t labels_before = labeled_hops();
+  net.ForceTtlPropagation(true);
+  const std::size_t labels_after = labeled_hops();
+  EXPECT_GT(labels_after, labels_before);
+
+  net.ForceTtlPropagation(false);
+  EXPECT_EQ(labeled_hops(), labels_before);
+}
+
+}  // namespace
+}  // namespace wormhole::gen

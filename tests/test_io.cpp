@@ -1,0 +1,97 @@
+// Trace persistence round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/gns3.h"
+#include "io/tracefile.h"
+#include "probe/prober.h"
+
+namespace wormhole::io {
+namespace {
+
+TEST(Tracefile, RoundTripsRealTraces) {
+  gen::Gns3Testbed testbed({.scenario = gen::Gns3Scenario::kDefault});
+  probe::Prober prober(testbed.engine(), testbed.vantage_point());
+  std::vector<probe::TraceResult> traces;
+  traces.push_back(prober.Traceroute(testbed.Address("CE2.left")));
+  traces.push_back(prober.Traceroute(testbed.Address("P2.left")));
+  traces.push_back(
+      prober.Traceroute(testbed.Address("PE2.left"), {.flow_id = 9}));
+
+  std::stringstream ss;
+  WriteTraces(ss, traces);
+  const auto back = ReadTraces(ss);
+
+  ASSERT_EQ(back.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const auto& a = traces[i];
+    const auto& b = back[i];
+    EXPECT_EQ(a.source, b.source);
+    EXPECT_EQ(a.target, b.target);
+    EXPECT_EQ(a.flow_id, b.flow_id);
+    EXPECT_EQ(a.reached, b.reached);
+    EXPECT_EQ(a.unreachable, b.unreachable);
+    ASSERT_EQ(a.hops.size(), b.hops.size());
+    for (std::size_t h = 0; h < a.hops.size(); ++h) {
+      EXPECT_EQ(a.hops[h].probe_ttl, b.hops[h].probe_ttl);
+      EXPECT_EQ(a.hops[h].address, b.hops[h].address);
+      EXPECT_EQ(a.hops[h].reply_kind, b.hops[h].reply_kind);
+      EXPECT_EQ(a.hops[h].reply_ip_ttl, b.hops[h].reply_ip_ttl);
+      EXPECT_EQ(a.hops[h].labels, b.hops[h].labels);
+      EXPECT_NEAR(a.hops[h].rtt_ms, b.hops[h].rtt_ms, 1e-3);
+    }
+  }
+}
+
+TEST(Tracefile, RoundTripsTimeoutsAndLabels) {
+  probe::TraceResult trace;
+  trace.source = netbase::Ipv4Address(5, 0, 0, 1);
+  trace.target = netbase::Ipv4Address(5, 1, 0, 1);
+  trace.flow_id = 17;
+  probe::Hop silent;
+  silent.probe_ttl = 1;
+  trace.hops.push_back(silent);
+  probe::Hop labeled;
+  labeled.probe_ttl = 2;
+  labeled.address = netbase::Ipv4Address(5, 0, 0, 9);
+  labeled.reply_kind = netbase::PacketKind::kTimeExceeded;
+  labeled.reply_ip_ttl = 247;
+  labeled.labels = {{19, 0, true, 1}, {24, 0, false, 3}};
+  trace.hops.push_back(labeled);
+
+  std::stringstream ss;
+  WriteTrace(ss, trace);
+  const auto back = ReadTraces(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_FALSE(back[0].hops[0].address.has_value());
+  ASSERT_EQ(back[0].hops[1].labels.size(), 2u);
+  EXPECT_EQ(back[0].hops[1].labels[0].label, 19u);
+  EXPECT_EQ(back[0].hops[1].labels[1].ttl, 3);
+}
+
+TEST(Tracefile, RejectsMalformedInput) {
+  const auto reject = [](const std::string& text) {
+    std::stringstream ss(text);
+    EXPECT_THROW(ReadTraces(ss), std::runtime_error) << text;
+  };
+  reject("H 1 5.0.0.1 x 255 0.1\n");             // hop outside a trace
+  reject("T 5.0.0.1 5.0.0.2 0 1 0\nT 5.0.0.1 5.0.0.2 0 1 0\n");  // nested
+  reject("T 5.0.0.1 5.0.0.2 0 1 0\n");            // unterminated
+  reject("T bogus 5.0.0.2 0 1 0\n.\n");           // bad address
+  reject("T 5.0.0.1 5.0.0.2 0 1 0\nH 1 5.0.0.3 z 255 0.1\n.\n");  // bad kind
+  reject("Z nonsense\n");                          // unknown tag
+  reject("T 5.0.0.1 5.0.0.2 0 1 0\nH 1 5.0.0.3 x 255 0.1 Lbroken\n.\n");
+}
+
+TEST(Tracefile, IgnoresCommentsAndBlankLines) {
+  std::stringstream ss(
+      "# a comment\n\nT 5.0.0.1 5.0.0.2 3 0 0\n# inside\nH 1 *\n.\n");
+  const auto traces = ReadTraces(ss);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].flow_id, 3);
+  EXPECT_EQ(traces[0].hops.size(), 1u);
+}
+
+}  // namespace
+}  // namespace wormhole::io

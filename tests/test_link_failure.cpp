@@ -1,0 +1,174 @@
+// Link failure + reconvergence, and the MPLS path-stability effect the
+// paper's related work measures (Al-Qudah et al.: invisible tunnels make
+// Internet paths *look* more stable, because interior reroutes are hidden
+// from traceroute).
+#include <gtest/gtest.h>
+
+#include "mpls/config.h"
+#include "probe/prober.h"
+#include "reveal/revelator.h"
+#include "sim/network.h"
+#include "topo/topology.h"
+
+namespace wormhole {
+namespace {
+
+using topo::RouterId;
+using topo::Vendor;
+
+// gw | in -< a | b >- out | dst with unequal branch costs: the IGP prefers
+// via a; failing link in-a forces the b detour.
+struct FailoverWorld {
+  topo::Topology topology;
+  std::unique_ptr<mpls::MplsConfigMap> configs;
+  std::unique_ptr<sim::Network> network;
+  netbase::Ipv4Address vp;
+  RouterId gw, in, a, b, out, dst;
+  topo::LinkId in_a = topo::kNoLink;
+
+  explicit FailoverWorld(bool invisible) {
+    topology.AddAs(1, "src");
+    topology.AddAs(2, "mpls");
+    topology.AddAs(3, "dst");
+    gw = topology.AddRouter(1, "gw", Vendor::kCiscoIos);
+    in = topology.AddRouter(2, "in", Vendor::kCiscoIos);
+    a = topology.AddRouter(2, "a", Vendor::kCiscoIos);
+    b = topology.AddRouter(2, "b", Vendor::kCiscoIos);
+    out = topology.AddRouter(2, "out", Vendor::kCiscoIos);
+    dst = topology.AddRouter(3, "dst", Vendor::kCiscoIos);
+    topology.AddLink(gw, in);
+    in_a = topology.AddLink(in, a);
+    topology.AddLink(a, out);
+    topology.AddLink(in, b, {.igp_metric = 5});
+    topology.AddLink(b, out, {.igp_metric = 5});
+    topology.AddLink(out, dst);
+    vp = topology.AttachHost(gw, "VP");
+    configs = std::make_unique<mpls::MplsConfigMap>(topology);
+    configs->EnableAs(2, {.ttl_propagate = !invisible});
+    Converge();
+  }
+
+  void Converge() {
+    network = std::make_unique<sim::Network>(
+        topology, *configs, routing::BgpPolicy{.stub_ases = {1, 3}});
+  }
+
+  std::vector<std::string> Path(netbase::Ipv4Address target) {
+    probe::Prober prober(network->engine(), vp);
+    std::vector<std::string> names;
+    for (const auto& hop : prober.Traceroute(target).hops) {
+      if (hop.address) {
+        names.push_back(
+            topology.router(*topology.FindRouterByAddress(*hop.address))
+                .name);
+      }
+    }
+    return names;
+  }
+};
+
+TEST(LinkFailure, ReconvergenceReroutesAroundTheFailure) {
+  FailoverWorld world(/*invisible=*/false);
+  const auto target = world.topology.router(world.dst).loopback;
+  EXPECT_EQ(world.Path(target),
+            (std::vector<std::string>{"gw", "in", "a", "out", "dst"}));
+
+  world.topology.SetLinkUp(world.in_a, false);
+  world.Converge();
+  EXPECT_EQ(world.Path(target),
+            (std::vector<std::string>{"gw", "in", "b", "out", "dst"}));
+
+  world.topology.SetLinkUp(world.in_a, true);
+  world.Converge();
+  EXPECT_EQ(world.Path(target),
+            (std::vector<std::string>{"gw", "in", "a", "out", "dst"}));
+}
+
+TEST(LinkFailure, InvisibleTunnelHidesTheReroute) {
+  // With the cloud invisible, the observable path is identical before and
+  // after the interior failure — the Al-Qudah effect: MPLS makes paths
+  // look stable even when the LSP reroutes underneath.
+  FailoverWorld world(/*invisible=*/true);
+  const auto target = world.topology.router(world.dst).loopback;
+  const auto before = world.Path(target);
+  EXPECT_EQ(before, (std::vector<std::string>{"gw", "in", "out", "dst"}));
+
+  world.topology.SetLinkUp(world.in_a, false);
+  world.Converge();
+  EXPECT_EQ(world.Path(target), before);  // identical observable path
+
+  // But revelation tells the truth: the hidden hop changed from a to b.
+  // As in the real methodology, the candidate endpoints come from the
+  // trace itself (the egress responds from its *current* incoming
+  // interface).
+  probe::Prober prober(world.network->engine(), world.vp);
+  const auto trace = prober.Traceroute(target);
+  const auto last3 = trace.LastResponders(3);
+  ASSERT_EQ(last3.size(), 3u);
+  reveal::Revelator revelator(prober);
+  const auto result = revelator.Reveal(last3[0], last3[1]);
+  ASSERT_TRUE(result.succeeded());
+  ASSERT_EQ(result.revealed.size(), 1u);
+  EXPECT_EQ(world.topology.FindRouterByAddress(result.revealed[0]),
+            std::optional<RouterId>(world.b));
+}
+
+TEST(LinkFailure, DownEbgpLinkShiftsToAnotherProvider) {
+  // Two providers; failing the primary eBGP link must reroute the AS-level
+  // path without black-holing.
+  topo::Topology topology;
+  topology.AddAs(1, "stub");
+  topology.AddAs(2, "provider-a");
+  topology.AddAs(3, "provider-b");
+  topology.AddAs(4, "dst");
+  const auto s = topology.AddRouter(1, "s", Vendor::kCiscoIos);
+  const auto pa = topology.AddRouter(2, "pa", Vendor::kCiscoIos);
+  const auto pb = topology.AddRouter(3, "pb", Vendor::kCiscoIos);
+  const auto d = topology.AddRouter(4, "d", Vendor::kCiscoIos);
+  const auto primary = topology.AddLink(s, pa);
+  topology.AddLink(s, pb);
+  topology.AddLink(pa, d);
+  topology.AddLink(pb, d);
+  const auto vp = topology.AttachHost(s, "VP");
+  mpls::MplsConfigMap configs(topology);
+  routing::BgpPolicy policy{.stub_ases = {1, 4}};
+
+  sim::Network before(topology, configs, policy);
+  probe::Prober prober_before(before.engine(), vp);
+  ASSERT_TRUE(
+      prober_before.Traceroute(topology.router(d).loopback).reached);
+
+  topology.SetLinkUp(primary, false);
+  sim::Network after(topology, configs, policy);
+  probe::Prober prober_after(after.engine(), vp);
+  const auto trace = prober_after.Traceroute(topology.router(d).loopback);
+  ASSERT_TRUE(trace.reached);
+  // The path now runs via provider B.
+  bool via_b = false;
+  for (const auto& hop : trace.hops) {
+    if (hop.address &&
+        topology.FindRouterByAddress(*hop.address) == pb) {
+      via_b = true;
+    }
+  }
+  EXPECT_TRUE(via_b);
+}
+
+TEST(LinkFailure, IsolatedRouterBecomesUnreachable) {
+  FailoverWorld world(/*invisible=*/false);
+  // Cut both of a's links: it vanishes from the IGP and stops answering.
+  world.topology.SetLinkUp(world.in_a, false);
+  for (const auto& [neighbor, link] : world.topology.Neighbors(world.a)) {
+    world.topology.SetLinkUp(link, false);
+  }
+  world.Converge();
+  probe::Prober prober(world.network->engine(), world.vp);
+  const auto ping = prober.Ping(world.topology.router(world.a).loopback);
+  EXPECT_FALSE(ping.responded);
+  // The rest of the AS still works.
+  EXPECT_TRUE(
+      prober.Ping(world.topology.router(world.out).loopback).responded);
+}
+
+}  // namespace
+}  // namespace wormhole

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "gen/gns3.h"
+#include "mpls/config.h"
+#include "mpls/ldp.h"
+#include "routing/igp.h"
+
+namespace wormhole::mpls {
+namespace {
+
+using topo::Vendor;
+
+TEST(MplsConfig, VendorDefaults) {
+  EXPECT_EQ(DefaultConfigFor(Vendor::kCiscoIos).ldp_policy,
+            LdpPolicy::kAllPrefixes);
+  EXPECT_EQ(DefaultConfigFor(Vendor::kJuniperJunos).ldp_policy,
+            LdpPolicy::kLoopbacksOnly);
+  EXPECT_FALSE(DefaultConfigFor(Vendor::kCiscoIos).enabled);
+  EXPECT_TRUE(DefaultConfigFor(Vendor::kCiscoIos).ttl_propagate);
+  EXPECT_TRUE(DefaultConfigFor(Vendor::kCiscoIos).rfc4950);
+}
+
+TEST(MplsConfigMap, EnableAsAppliesOverrides) {
+  gen::Gns3Testbed testbed({.scenario = gen::Gns3Scenario::kDefault});
+  const auto& t = testbed.topology();
+  MplsConfigMap configs(t);
+  MplsConfigMap::AsOptions options;
+  options.ttl_propagate = false;
+  options.popping = Popping::kUhp;
+  options.ldp_policy = LdpPolicy::kLoopbacksOnly;
+  configs.EnableAs(2, options);
+
+  const auto pe1 = *t.FindRouterByName("PE1");
+  EXPECT_TRUE(configs.For(pe1).enabled);
+  EXPECT_FALSE(configs.For(pe1).ttl_propagate);
+  EXPECT_EQ(configs.For(pe1).popping, Popping::kUhp);
+  EXPECT_EQ(configs.For(pe1).ldp_policy, LdpPolicy::kLoopbacksOnly);
+  // Routers outside AS2 stay disabled.
+  EXPECT_FALSE(configs.For(*t.FindRouterByName("CE1")).enabled);
+}
+
+// Builds the Fig. 2 testbed and inspects its LDP domain.
+class LdpTest : public ::testing::Test {
+ protected:
+  void Build(gen::Gns3Scenario scenario) {
+    testbed_ = std::make_unique<gen::Gns3Testbed>(
+        gen::Gns3Options{.scenario = scenario});
+  }
+  topo::RouterId Router(const std::string& name) const {
+    return *testbed_->topology().FindRouterByName(name);
+  }
+  const LdpDomain* Domain() const {
+    return testbed_->network().ldp().DomainOf(2);
+  }
+  std::unique_ptr<gen::Gns3Testbed> testbed_;
+};
+
+TEST_F(LdpTest, AllPrefixPolicyBindsEveryInternalPrefix) {
+  Build(gen::Gns3Scenario::kDefault);
+  const auto* domain = Domain();
+  ASSERT_NE(domain, nullptr);
+  const auto& t = testbed_->topology();
+  const auto fecs = domain->FecsOf(Router("P2"));
+  // 5 loopbacks + 4 internal link subnets.
+  EXPECT_EQ(fecs.size(), t.InternalPrefixes(2).size());
+}
+
+TEST_F(LdpTest, LoopbackOnlyPolicyBindsHostsOnly) {
+  Build(gen::Gns3Scenario::kExplicitRoute);
+  const auto* domain = Domain();
+  ASSERT_NE(domain, nullptr);
+  for (const auto& fec : domain->FecsOf(Router("P2"))) {
+    EXPECT_TRUE(fec.is_host()) << fec.ToString();
+  }
+  EXPECT_EQ(domain->FecsOf(Router("P2")).size(), 5u);
+}
+
+TEST_F(LdpTest, ConnectedFecAdvertisesImplicitNull) {
+  Build(gen::Gns3Scenario::kDefault);
+  const auto* domain = Domain();
+  const auto pe2 = Router("PE2");
+  const auto binding = domain->BindingOf(
+      pe2, netbase::Prefix::Host(testbed_->topology().router(pe2).loopback));
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->kind, BindingKind::kImplicitNull);
+}
+
+TEST_F(LdpTest, UhpAdvertisesExplicitNull) {
+  Build(gen::Gns3Scenario::kTotallyInvisible);
+  const auto* domain = Domain();
+  const auto pe2 = Router("PE2");
+  const auto binding = domain->BindingOf(
+      pe2, netbase::Prefix::Host(testbed_->topology().router(pe2).loopback));
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->kind, BindingKind::kExplicitNull);
+}
+
+TEST_F(LdpTest, TransitRoutersAdvertiseRealLabels) {
+  Build(gen::Gns3Scenario::kDefault);
+  const auto* domain = Domain();
+  const auto p1 = Router("P1");
+  const auto fec =
+      netbase::Prefix::Host(testbed_->topology().router(Router("PE2")).loopback);
+  const auto binding = domain->BindingOf(p1, fec);
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->kind, BindingKind::kLabel);
+  EXPECT_GE(binding->label, netbase::kFirstUnreservedLabel);
+  // Reverse lookup resolves the FEC.
+  EXPECT_EQ(domain->FecOfLabel(p1, binding->label), fec);
+}
+
+TEST_F(LdpTest, RoutersOutsideTheDomainHaveNoBindings) {
+  Build(gen::Gns3Scenario::kDefault);
+  const auto* domain = Domain();
+  EXPECT_TRUE(domain->FecsOf(Router("CE1")).empty());
+  EXPECT_EQ(testbed_->network().ldp().DomainOf(1), nullptr);
+  EXPECT_EQ(testbed_->network().ldp().DomainOf(3), nullptr);
+}
+
+TEST_F(LdpTest, LabelsAreUniquePerRouter) {
+  Build(gen::Gns3Scenario::kDefault);
+  const auto* domain = Domain();
+  for (const char* name : {"PE1", "P1", "P2", "P3", "PE2"}) {
+    const auto rid = Router(name);
+    std::set<std::uint32_t> seen;
+    for (const auto& fec : domain->FecsOf(rid)) {
+      const auto b = domain->BindingOf(rid, fec);
+      ASSERT_TRUE(b.has_value());
+      if (b->kind == BindingKind::kLabel) {
+        EXPECT_TRUE(seen.insert(b->label).second)
+            << name << " reused label " << b->label;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wormhole::mpls

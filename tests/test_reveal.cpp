@@ -1,0 +1,223 @@
+// The four techniques on the emulation testbed: the heart of the paper.
+#include <gtest/gtest.h>
+
+#include "gen/gns3.h"
+#include "probe/prober.h"
+#include "reveal/frpla.h"
+#include "reveal/revelator.h"
+#include "reveal/rtla.h"
+
+namespace wormhole::reveal {
+namespace {
+
+class RevealTest : public ::testing::Test {
+ protected:
+  void Build(gen::Gns3Scenario scenario,
+             topo::Vendor vendor = topo::Vendor::kCiscoIos) {
+    testbed_ = std::make_unique<gen::Gns3Testbed>(
+        gen::Gns3Options{.scenario = scenario, .as2_vendor = vendor});
+    prober_ = std::make_unique<probe::Prober>(testbed_->engine(),
+                                              testbed_->vantage_point());
+  }
+
+  /// Traces to CE2 and runs the revelator on the last AS2-internal pair.
+  RevelationResult RevealTunnel() {
+    const auto trace =
+        prober_->Traceroute(testbed_->Address("CE2.left"));
+    // Suspected endpoints: PE1 (ingress) and PE2 (egress) appear adjacent.
+    Revelator revelator(*prober_);
+    return revelator.Reveal(testbed_->Address("PE1.left"),
+                            testbed_->Address("PE2.left"));
+  }
+
+  std::vector<std::string> Names(
+      const std::vector<netbase::Ipv4Address>& addresses) const {
+    std::vector<std::string> names;
+    names.reserve(addresses.size());
+    for (const auto a : addresses) names.push_back(testbed_->NameOf(a));
+    return names;
+  }
+
+  std::unique_ptr<gen::Gns3Testbed> testbed_;
+  std::unique_ptr<probe::Prober> prober_;
+};
+
+// --- BRPR on the all-prefix (Cisco default) configuration ------------------
+TEST_F(RevealTest, BrprPeelsTheTunnelBackwards) {
+  Build(gen::Gns3Scenario::kBackwardRecursive);
+  const RevelationResult result = RevealTunnel();
+  EXPECT_EQ(result.method, RevelationMethod::kBrpr);
+  EXPECT_EQ(Names(result.revealed),
+            (std::vector<std::string>{"P1.left", "P2.left", "P3.left"}));
+  EXPECT_EQ(result.tunnel_length(), 4);
+  // One trace per revealed hop plus the final fruitless one.
+  EXPECT_EQ(result.traces_used, 4);
+  EXPECT_EQ(result.batch_sizes, (std::vector<int>{1, 1, 1}));
+}
+
+// --- DPR on the loopback-only (Juniper default) configuration --------------
+TEST_F(RevealTest, DprRevealsTheTunnelInOneTrace) {
+  Build(gen::Gns3Scenario::kExplicitRoute);
+  const RevelationResult result = RevealTunnel();
+  EXPECT_EQ(result.method, RevelationMethod::kDpr);
+  EXPECT_EQ(Names(result.revealed),
+            (std::vector<std::string>{"P1.left", "P2.left", "P3.left"}));
+  EXPECT_EQ(result.batch_sizes, (std::vector<int>{3}));
+  // The whole content came from the first extra trace; the second stops.
+  EXPECT_EQ(result.traces_used, 2);
+}
+
+// --- UHP: nothing can be revealed -------------------------------------------
+TEST_F(RevealTest, UhpTunnelStaysInvisible) {
+  Build(gen::Gns3Scenario::kTotallyInvisible);
+  const RevelationResult result = RevealTunnel();
+  EXPECT_EQ(result.method, RevelationMethod::kNone);
+  EXPECT_TRUE(result.revealed.empty());
+}
+
+// --- Explicit tunnels: nothing new to reveal (cross-validation base case) --
+TEST_F(RevealTest, ExplicitTunnelRevealsNothingNew) {
+  Build(gen::Gns3Scenario::kDefault);
+  // All hops already visible; the revelator adds nothing between PE1/PE2's
+  // *known* neighbors... it re-discovers the same addresses, which are not
+  // "new" relative to an original trace that already contained them.
+  const auto original = prober_->Traceroute(testbed_->Address("CE2.left"));
+  EXPECT_TRUE(original.HasExplicitMpls());
+  Revelator revelator(*prober_);
+  const auto result = revelator.Reveal(testbed_->Address("P3.left"),
+                                       testbed_->Address("PE2.left"));
+  // P3 and PE2 are true neighbors: nothing hides between them.
+  EXPECT_EQ(result.method, RevelationMethod::kNone);
+}
+
+// --- FRPLA -------------------------------------------------------------------
+TEST_F(RevealTest, FrplaSeesTheShiftOnInvisibleEgress) {
+  Build(gen::Gns3Scenario::kBackwardRecursive);
+  const auto trace = prober_->Traceroute(testbed_->Address("CE2.left"));
+  ASSERT_TRUE(trace.reached);
+
+  // Hop 3 = PE2 (egress of the invisible tunnel): forward length 3, return
+  // length (255-250)+1 = 6 -> RFA = +3 = the number of hidden LSRs (the
+  // return counts P1..P3 via the min rule; routing here is symmetric).
+  const auto& egress_hop = trace.hops[2];
+  const auto rfa = ObserveRfa(egress_hop);
+  ASSERT_TRUE(rfa.has_value());
+  EXPECT_EQ(rfa->forward_length, 3);
+  EXPECT_EQ(rfa->return_length, 6);
+  EXPECT_EQ(rfa->rfa(), 3);
+
+  // Hop 2 = PE1 (before the tunnel): no shift.
+  const auto rfa_ingress = ObserveRfa(trace.hops[1]);
+  ASSERT_TRUE(rfa_ingress.has_value());
+  EXPECT_EQ(rfa_ingress->rfa(), 0);  // (255-254)+1 return vs 2 forward
+}
+
+TEST_F(RevealTest, FrplaSeesNoShiftOnExplicitTunnel) {
+  Build(gen::Gns3Scenario::kDefault);
+  const auto trace = prober_->Traceroute(testbed_->Address("CE2.left"));
+  // Hop 6 = PE2: forward 6; return 255-250 = 5 -> RFA -1: no positive shift.
+  const auto rfa = ObserveRfa(trace.hops[5]);
+  ASSERT_TRUE(rfa.has_value());
+  EXPECT_EQ(rfa->forward_length, 6);
+  EXPECT_LE(rfa->rfa(), 0);
+}
+
+TEST(FrplaAnalysis, AggregatesPerAsAndRole) {
+  FrplaAnalysis analysis;
+  RfaObservation obs;
+  obs.forward_length = 3;
+  obs.return_length = 7;
+  analysis.Add(2, ResponderRole::kEgressRevealed, obs);
+  obs.return_length = 6;
+  analysis.Add(2, ResponderRole::kEgressRevealed, obs);
+  obs.return_length = 3;
+  analysis.Add(2, ResponderRole::kOther, obs);
+
+  EXPECT_EQ(analysis.Distribution(2, ResponderRole::kEgressRevealed).total(),
+            2u);
+  EXPECT_EQ(analysis.Combined(ResponderRole::kOther).Median(), 0);
+  const auto estimate = analysis.EstimatedTunnelLength(2);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_EQ(*estimate, 3);  // median of {4, 3}
+  EXPECT_EQ(analysis.Ases(), std::vector<topo::AsNumber>{2});
+  EXPECT_FALSE(analysis.EstimatedTunnelLength(99).has_value());
+}
+
+// --- RTLA --------------------------------------------------------------------
+TEST_F(RevealTest, RtlaComputesExactReturnTunnelLength) {
+  Build(gen::Gns3Scenario::kBackwardRecursive, topo::Vendor::kJuniperJunos);
+  const auto trace = prober_->Traceroute(testbed_->Address("CE2.left"));
+  const auto& egress_hop = trace.hops[2];  // PE2, time-exceeded
+  ASSERT_TRUE(egress_hop.address.has_value());
+  const auto ping = prober_->Ping(*egress_hop.address);
+  ASSERT_TRUE(ping.responded);
+
+  const auto observation = ObserveRtla(*egress_hop.address,
+                                       egress_hop.reply_ip_ttl,
+                                       ping.reply_ip_ttl);
+  ASSERT_TRUE(observation.has_value());
+  // The return LSP PE2 -> P3 -> P2 -> P1 -> PE1 hides 3 LSRs.
+  EXPECT_EQ(observation->return_tunnel_length(), 3);
+}
+
+TEST_F(RevealTest, RtlaNotApplicableToCisco) {
+  Build(gen::Gns3Scenario::kBackwardRecursive, topo::Vendor::kCiscoIos);
+  const auto trace = prober_->Traceroute(testbed_->Address("CE2.left"));
+  const auto& egress_hop = trace.hops[2];
+  const auto ping = prober_->Ping(*egress_hop.address);
+  EXPECT_FALSE(ObserveRtla(*egress_hop.address, egress_hop.reply_ip_ttl,
+                           ping.reply_ip_ttl)
+                   .has_value());
+}
+
+TEST(RtlaAnalysis, AggregatesAndEstimates) {
+  RtlaAnalysis analysis;
+  RtlaObservation obs;
+  obs.te_return_length = 8;
+  obs.er_return_length = 5;
+  analysis.Add(7, obs);
+  obs.er_return_length = 4;
+  analysis.Add(7, obs);
+  EXPECT_EQ(analysis.Distribution(7).total(), 2u);
+  const auto estimate = analysis.EstimatedTunnelLength(7);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_EQ(*estimate, 3);  // median of {3, 4}
+  EXPECT_EQ(analysis.Combined().total(), 2u);
+  EXPECT_FALSE(analysis.EstimatedTunnelLength(8).has_value());
+}
+
+TEST_F(RevealTest, MaxRecursionBoundsTheProbingCost) {
+  Build(gen::Gns3Scenario::kBackwardRecursive);
+  Revelator revelator(*prober_, {.max_recursion = 2});
+  const auto result = revelator.Reveal(testbed_->Address("PE1.left"),
+                                       testbed_->Address("PE2.left"));
+  // Two rounds reveal P3 and P2 only; the tunnel stays partial.
+  EXPECT_EQ(result.traces_used, 2);
+  EXPECT_EQ(result.revealed.size(), 2u);
+  EXPECT_EQ(result.method, RevelationMethod::kBrpr);
+}
+
+TEST_F(RevealTest, RevealIsIdempotentAcrossRepeats) {
+  Build(gen::Gns3Scenario::kExplicitRoute);
+  Revelator revelator(*prober_);
+  const auto first = revelator.Reveal(testbed_->Address("PE1.left"),
+                                      testbed_->Address("PE2.left"));
+  const auto second = revelator.Reveal(testbed_->Address("PE1.left"),
+                                       testbed_->Address("PE2.left"));
+  EXPECT_EQ(first.revealed, second.revealed);
+  EXPECT_EQ(first.method, second.method);
+}
+
+// --- Classification ----------------------------------------------------------
+TEST(ClassifyBatches, CoversAllCases) {
+  EXPECT_EQ(ClassifyBatches({}), RevelationMethod::kNone);
+  EXPECT_EQ(ClassifyBatches({1}), RevelationMethod::kEither);
+  EXPECT_EQ(ClassifyBatches({3}), RevelationMethod::kDpr);
+  EXPECT_EQ(ClassifyBatches({2, 2}), RevelationMethod::kDpr);
+  EXPECT_EQ(ClassifyBatches({1, 1, 1}), RevelationMethod::kBrpr);
+  EXPECT_EQ(ClassifyBatches({3, 1}), RevelationMethod::kHybrid);
+  EXPECT_EQ(ClassifyBatches({1, 2}), RevelationMethod::kHybrid);
+}
+
+}  // namespace
+}  // namespace wormhole::reveal

@@ -1,0 +1,110 @@
+// The configuration emitter must render exactly the knobs each scenario
+// sets — it documents what the simulated behaviours mean on real hardware.
+#include <gtest/gtest.h>
+
+#include "gen/gns3.h"
+#include "gen/router_config.h"
+
+namespace wormhole::gen {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+class RouterConfigTest : public ::testing::Test {
+ protected:
+  std::string ConfigOf(Gns3Scenario scenario, const char* router,
+                       topo::Vendor vendor = topo::Vendor::kCiscoIos) {
+    Gns3Testbed testbed({.scenario = scenario, .as2_vendor = vendor});
+    const auto rid = *testbed.topology().FindRouterByName(router);
+    if (vendor == topo::Vendor::kJuniperJunos) {
+      return JunosStyleConfig(testbed.topology(), testbed.configs(), rid);
+    }
+    return CiscoStyleConfig(testbed.topology(), testbed.configs(), rid);
+  }
+};
+
+TEST_F(RouterConfigTest, DefaultScenarioHasNoHidingKnobs) {
+  const std::string config = ConfigOf(Gns3Scenario::kDefault, "PE1");
+  EXPECT_TRUE(Contains(config, "hostname PE1"));
+  EXPECT_TRUE(Contains(config, "mpls ip"));
+  EXPECT_FALSE(Contains(config, "no mpls ip propagate-ttl"));
+  EXPECT_FALSE(Contains(config, "host-routes"));
+  EXPECT_FALSE(Contains(config, "explicit-null"));
+}
+
+TEST_F(RouterConfigTest, BackwardRecursiveDisablesTtlPropagation) {
+  const std::string config =
+      ConfigOf(Gns3Scenario::kBackwardRecursive, "PE1");
+  EXPECT_TRUE(Contains(config, "no mpls ip propagate-ttl"));
+  EXPECT_FALSE(Contains(config, "host-routes"));
+}
+
+TEST_F(RouterConfigTest, ExplicitRouteFiltersToHostRoutes) {
+  const std::string config = ConfigOf(Gns3Scenario::kExplicitRoute, "P2");
+  EXPECT_TRUE(
+      Contains(config, "mpls ldp label allocate global host-routes"));
+  EXPECT_TRUE(Contains(config, "no mpls ip propagate-ttl"));
+}
+
+TEST_F(RouterConfigTest, TotallyInvisibleEnablesExplicitNull) {
+  const std::string config =
+      ConfigOf(Gns3Scenario::kTotallyInvisible, "PE2");
+  EXPECT_TRUE(Contains(config, "mpls ldp explicit-null"));
+  EXPECT_TRUE(Contains(config, "no mpls ip propagate-ttl"));
+}
+
+TEST_F(RouterConfigTest, NonMplsRouterHasNoMplsCommands) {
+  const std::string config = ConfigOf(Gns3Scenario::kDefault, "CE1");
+  EXPECT_TRUE(Contains(config, "hostname CE1"));
+  EXPECT_FALSE(Contains(config, "mpls"));
+  EXPECT_TRUE(Contains(config, "router ospf 1"));
+}
+
+TEST_F(RouterConfigTest, BorderRoutersSpeakBgp) {
+  const std::string pe1 = ConfigOf(Gns3Scenario::kDefault, "PE1");
+  EXPECT_TRUE(Contains(pe1, "router bgp 2"));
+  EXPECT_TRUE(Contains(pe1, "remote-as 1"));
+  const std::string p2 = ConfigOf(Gns3Scenario::kDefault, "P2");
+  EXPECT_FALSE(Contains(p2, "router bgp"));
+}
+
+TEST_F(RouterConfigTest, EbgpInterfacesStayOutOfIgpAndMpls) {
+  Gns3Testbed testbed({.scenario = Gns3Scenario::kDefault});
+  const auto pe2 = *testbed.topology().FindRouterByName("PE2");
+  const std::string config =
+      CiscoStyleConfig(testbed.topology(), testbed.configs(), pe2);
+  // PE2's interface towards CE2 (inter-AS) must not carry "mpls ip"; its
+  // internal one (towards P3) must.
+  const auto left = config.find("description PE2.left");
+  const auto right = config.find("description PE2.right");
+  ASSERT_NE(left, std::string::npos);
+  ASSERT_NE(right, std::string::npos);
+  const std::string left_block = config.substr(left, 120);
+  const std::string right_block = config.substr(right, 120);
+  EXPECT_TRUE(Contains(left_block, "mpls ip"));
+  EXPECT_FALSE(Contains(right_block, "mpls ip"));
+}
+
+TEST_F(RouterConfigTest, JunosSyntaxForJuniperTestbed) {
+  const std::string config = ConfigOf(Gns3Scenario::kBackwardRecursive,
+                                      "P1", topo::Vendor::kJuniperJunos);
+  EXPECT_TRUE(Contains(config, "set system host-name P1"));
+  EXPECT_TRUE(Contains(config, "set protocols mpls no-propagate-ttl"));
+  // Backward-recursive forces all-prefix advertisement, which on Junos
+  // needs an egress policy.
+  EXPECT_TRUE(Contains(config, "egress-policy advertise-all-igp"));
+}
+
+TEST_F(RouterConfigTest, TestbedConfigsCoverEveryRouter) {
+  Gns3Testbed testbed({.scenario = Gns3Scenario::kDefault});
+  const std::string all =
+      TestbedConfigs(testbed.topology(), testbed.configs());
+  for (const char* name : {"CE1", "PE1", "P1", "P2", "P3", "PE2", "CE2"}) {
+    EXPECT_TRUE(Contains(all, std::string("=== ") + name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wormhole::gen

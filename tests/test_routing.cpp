@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "routing/bgp.h"
+#include "routing/fib.h"
+#include "routing/igp.h"
+#include "topo/topology.h"
+
+namespace wormhole::routing {
+namespace {
+
+using topo::RouterId;
+using topo::Topology;
+using topo::Vendor;
+
+// A 2x2 grid inside one AS (ECMP between opposite corners):
+//   r0 - r1
+//   |     |
+//   r2 - r3
+Topology Grid() {
+  Topology t;
+  t.AddAs(1, "grid");
+  for (const char* name : {"r0", "r1", "r2", "r3"}) {
+    t.AddRouter(1, name, Vendor::kCiscoIos);
+  }
+  t.AddLink(0, 1);
+  t.AddLink(0, 2);
+  t.AddLink(1, 3);
+  t.AddLink(2, 3);
+  return t;
+}
+
+TEST(Fib, LongestPrefixMatchWins) {
+  Fib fib;
+  FibEntry wide;
+  wide.prefix = *netbase::Prefix::Parse("5.0.0.0/8");
+  wide.source = RouteSource::kBgp;
+  fib.AddRoute(wide);
+  FibEntry narrow;
+  narrow.prefix = *netbase::Prefix::Parse("5.1.0.0/16");
+  narrow.source = RouteSource::kIgp;
+  fib.AddRoute(narrow);
+
+  const FibEntry* hit = fib.Lookup(*netbase::Ipv4Address::Parse("5.1.2.3"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->prefix.length(), 16);
+  hit = fib.Lookup(*netbase::Ipv4Address::Parse("5.2.2.3"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->prefix.length(), 8);
+  EXPECT_EQ(fib.Lookup(*netbase::Ipv4Address::Parse("9.0.0.1")), nullptr);
+}
+
+TEST(Fib, ExactMatchAndReplace) {
+  Fib fib;
+  FibEntry e;
+  e.prefix = *netbase::Prefix::Parse("5.0.0.0/16");
+  e.metric = 5;
+  fib.AddRoute(e);
+  e.metric = 2;
+  fib.AddRoute(e);  // replaces
+  const FibEntry* hit = fib.LookupExact(e.prefix);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->metric, 2);
+  EXPECT_EQ(fib.size(), 1u);
+}
+
+TEST(Fib, DeduplicatesNextHops) {
+  Fib fib;
+  FibEntry e;
+  e.prefix = *netbase::Prefix::Parse("5.0.0.0/16");
+  e.next_hops = {{3, 7}, {1, 5}, {3, 7}};
+  fib.AddRoute(e);
+  const FibEntry* hit = fib.LookupExact(e.prefix);
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->next_hops.size(), 2u);
+  EXPECT_EQ(hit->next_hops[0], (NextHop{1, 5}));
+}
+
+TEST(Spf, DistancesOnGrid) {
+  const Topology t = Grid();
+  const SpfResult spf = ComputeSpf(t, 0);
+  EXPECT_EQ(spf.distance[0], 0);
+  EXPECT_EQ(spf.distance[1], 1);
+  EXPECT_EQ(spf.distance[2], 1);
+  EXPECT_EQ(spf.distance[3], 2);
+  EXPECT_EQ(spf.hop_count[3], 2);
+}
+
+TEST(Spf, EcmpKeepsBothNextHops) {
+  const Topology t = Grid();
+  const SpfResult spf = ComputeSpf(t, 0);
+  EXPECT_EQ(spf.next_hops[3].size(), 2u);  // via r1 and via r2
+  EXPECT_EQ(spf.next_hops[1].size(), 1u);
+}
+
+TEST(Spf, RespectsMetrics) {
+  Topology t;
+  t.AddAs(1, "m");
+  t.AddRouter(1, "a", Vendor::kCiscoIos);
+  t.AddRouter(1, "b", Vendor::kCiscoIos);
+  t.AddRouter(1, "c", Vendor::kCiscoIos);
+  t.AddLink(0, 1, {.igp_metric = 10});
+  t.AddLink(0, 2, {.igp_metric = 1});
+  t.AddLink(2, 1, {.igp_metric = 1});
+  const SpfResult spf = ComputeSpf(t, 0);
+  EXPECT_EQ(spf.distance[1], 2);  // via c, not the direct metric-10 link
+  ASSERT_EQ(spf.next_hops[1].size(), 1u);
+  EXPECT_EQ(spf.next_hops[1][0].neighbor, 2u);
+}
+
+TEST(Spf, StaysInsideTheAs) {
+  Topology t;
+  t.AddAs(1, "one");
+  t.AddAs(2, "two");
+  t.AddRouter(1, "a", Vendor::kCiscoIos);
+  t.AddRouter(2, "b", Vendor::kCiscoIos);
+  t.AddLink(0, 1);
+  const SpfResult spf = ComputeSpf(t, 0);
+  EXPECT_EQ(spf.distance[1], kUnreachable);
+  EXPECT_EQ(IgpDistance(t, 0, 1), kUnreachable);
+}
+
+TEST(Igp, InstallsRoutesForAllInternalPrefixes) {
+  const Topology t = Grid();
+  std::vector<Fib> fibs(t.router_count());
+  InstallIgpRoutes(t, 1, fibs);
+  // r0 must reach every loopback and every link subnet.
+  for (RouterId r = 0; r < 4; ++r) {
+    const FibEntry* e =
+        fibs[0].LookupExact(netbase::Prefix::Host(t.router(r).loopback));
+    ASSERT_NE(e, nullptr) << "loopback of r" << r;
+    if (r == 0) {
+      EXPECT_EQ(e->source, RouteSource::kConnected);
+    } else {
+      EXPECT_EQ(e->source, RouteSource::kIgp);
+      EXPECT_FALSE(e->next_hops.empty());
+    }
+  }
+  for (const topo::Link& link : t.links()) {
+    EXPECT_NE(fibs[0].LookupExact(link.subnet), nullptr);
+  }
+}
+
+TEST(Igp, SharedLinkSubnetRoutedViaNearestOwner) {
+  // Chain a - b - c; the b-c subnet seen from a should be reached via b
+  // (the nearer owner), which is the property PHP/BRPR relies on.
+  Topology t;
+  t.AddAs(1, "chain");
+  t.AddRouter(1, "a", Vendor::kCiscoIos);
+  t.AddRouter(1, "b", Vendor::kCiscoIos);
+  t.AddRouter(1, "c", Vendor::kCiscoIos);
+  t.AddLink(0, 1);
+  const topo::LinkId bc = t.AddLink(1, 2);
+  std::vector<Fib> fibs(t.router_count());
+  InstallIgpRoutes(t, 1, fibs);
+  const FibEntry* e = fibs[0].LookupExact(t.link(bc).subnet);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->metric, 1);  // distance to b, not to c
+  ASSERT_EQ(e->next_hops.size(), 1u);
+  EXPECT_EQ(e->next_hops[0].neighbor, 1u);
+}
+
+// --- BGP ------------------------------------------------------------------
+
+// AS chain 1 - 2 - 3 with AS2 as transit; plus a shortcut 1 - 4 - 3 to
+// exercise path selection.
+struct BgpWorld {
+  Topology t;
+  std::vector<Fib> fibs;
+};
+
+BgpWorld MakeBgpWorld(bool with_shortcut) {
+  BgpWorld w;
+  w.t.AddAs(1, "one");
+  w.t.AddAs(2, "two");
+  w.t.AddAs(3, "three");
+  const RouterId a = w.t.AddRouter(1, "a", Vendor::kCiscoIos);
+  const RouterId b1 = w.t.AddRouter(2, "b1", Vendor::kCiscoIos);
+  const RouterId b2 = w.t.AddRouter(2, "b2", Vendor::kCiscoIos);
+  const RouterId c = w.t.AddRouter(3, "c", Vendor::kCiscoIos);
+  w.t.AddLink(a, b1);
+  w.t.AddLink(b1, b2);
+  w.t.AddLink(b2, c);
+  if (with_shortcut) {
+    w.t.AddAs(4, "four");
+    const RouterId d = w.t.AddRouter(4, "d", Vendor::kCiscoIos);
+    w.t.AddLink(a, d);
+    w.t.AddLink(d, c);
+  }
+  w.fibs.resize(w.t.router_count());
+  for (const topo::AsNumber asn : w.t.AsNumbers()) {
+    InstallIgpRoutes(w.t, asn, w.fibs);
+  }
+  InstallBgpRoutes(w.t, {}, w.fibs);
+  return w;
+}
+
+TEST(Bgp, InstallsRoutesAcrossAses) {
+  const BgpWorld w = MakeBgpWorld(false);
+  // a must have a BGP route to AS3's block via its eBGP link to b1.
+  const FibEntry* e = w.fibs[0].Lookup(w.t.router(3).loopback);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->source, RouteSource::kBgp);
+  ASSERT_EQ(e->next_hops.size(), 1u);
+  EXPECT_EQ(e->next_hops[0].neighbor, 1u);  // b1
+  EXPECT_TRUE(e->bgp_next_hop.is_unspecified());  // direct eBGP exit
+}
+
+TEST(Bgp, NonBorderRoutersUseEgressLoopbackNextHop) {
+  const BgpWorld w = MakeBgpWorld(false);
+  // b1's route to AS3 goes via egress b2 with next-hop-self.
+  const FibEntry* e = w.fibs[1].Lookup(w.t.router(3).loopback);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->bgp_next_hop, w.t.router(2).loopback);
+}
+
+TEST(Bgp, PrefersShorterAsPath) {
+  const BgpWorld w = MakeBgpWorld(true);
+  // From AS1, AS3 is reachable via AS2 (2 AS hops) or AS4 (2 AS hops);
+  // tie-break prefers the lower next ASN: AS2.
+  EXPECT_EQ(BgpNextAs(w.t, {}, 1, 3), 2u);
+}
+
+TEST(Bgp, StubAsesDoNotTransit) {
+  BgpPolicy policy;
+  policy.stub_ases = {2};
+  const BgpWorld w = MakeBgpWorld(true);
+  // With AS2 declared a stub, traffic AS1 -> AS3 must go via AS4.
+  EXPECT_EQ(BgpNextAs(w.t, policy, 1, 3), 4u);
+}
+
+TEST(Bgp, InjectsExternalLinkSubnetsViaIbgp) {
+  const BgpWorld w = MakeBgpWorld(false);
+  // The b2-c eBGP link subnet is NOT in AS2's IGP, but b1 must still reach
+  // it — via iBGP with next-hop-self b2 (this is what keeps traces to such
+  // addresses inside LSPs).
+  const topo::Link& ebgp_link = w.t.links()[2];
+  const FibEntry* e = w.fibs[1].LookupExact(ebgp_link.subnet);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->source, RouteSource::kBgp);
+  EXPECT_EQ(e->bgp_next_hop, w.t.router(2).loopback);
+}
+
+}  // namespace
+}  // namespace wormhole::routing

@@ -1,0 +1,215 @@
+// RSVP-TE extension: explicit-route tunnels, steering, and their
+// interaction with traceroute visibility (the paper's "UHP is mainly for
+// TE" observation).
+#include <gtest/gtest.h>
+
+#include "mpls/rsvp_te.h"
+#include "probe/prober.h"
+#include "reveal/revelator.h"
+#include "sim/network.h"
+#include "topo/topology.h"
+
+namespace wormhole::mpls {
+namespace {
+
+using topo::RouterId;
+using topo::Vendor;
+
+// AS1(gw) | AS2: in - a - b - out  plus a detour in - c - d - out | AS3(dst)
+struct TeWorld {
+  topo::Topology topology;
+  std::unique_ptr<MplsConfigMap> configs;
+  TeDatabase te;
+  std::unique_ptr<sim::Network> network;
+  netbase::Ipv4Address vp;
+  RouterId gw, in, a, b, c, d, out, dst;
+
+  TeWorld() {
+    topology.AddAs(1, "src");
+    topology.AddAs(2, "mpls");
+    topology.AddAs(3, "dst");
+    gw = topology.AddRouter(1, "gw", Vendor::kCiscoIos);
+    in = topology.AddRouter(2, "in", Vendor::kCiscoIos);
+    a = topology.AddRouter(2, "a", Vendor::kCiscoIos);
+    b = topology.AddRouter(2, "b", Vendor::kCiscoIos);
+    c = topology.AddRouter(2, "c", Vendor::kCiscoIos);
+    d = topology.AddRouter(2, "d", Vendor::kCiscoIos);
+    out = topology.AddRouter(2, "out", Vendor::kCiscoIos);
+    dst = topology.AddRouter(3, "dst", Vendor::kCiscoIos);
+    topology.AddLink(gw, in);
+    // Short IGP path (2 interior hops)...
+    topology.AddLink(in, a);
+    topology.AddLink(a, b);
+    topology.AddLink(b, out);
+    // ...and a longer detour the TE tunnel will pin.
+    topology.AddLink(in, c, {.igp_metric = 10});
+    topology.AddLink(c, d, {.igp_metric = 10});
+    topology.AddLink(d, out, {.igp_metric = 10});
+    topology.AddLink(out, dst);
+    vp = topology.AttachHost(gw, "VP");
+    configs = std::make_unique<MplsConfigMap>(topology);
+    // LDP off: this is a pure RSVP-TE domain (enabled, but loopback-only
+    // LDP with no bindings used for steered traffic either way).
+    MplsConfigMap::AsOptions options;
+    options.ttl_propagate = false;
+    configs->EnableAs(2, options);
+  }
+
+  void Converge() {
+    network = std::make_unique<sim::Network>(
+        topology, *configs, routing::BgpPolicy{.stub_ases = {1, 3}},
+        sim::EngineOptions{}, &te);
+  }
+};
+
+TEST(TeDatabase, RejectsBadSpecs) {
+  TeWorld world;
+  TeTunnelSpec spec;
+  spec.path = {world.in};
+  EXPECT_THROW(world.te.AddTunnel(world.topology, spec),
+               std::invalid_argument);
+  spec.path = {world.in, world.b};  // not adjacent
+  EXPECT_THROW(world.te.AddTunnel(world.topology, spec),
+               std::invalid_argument);
+  spec.path = {world.gw, world.in};  // crosses the AS boundary
+  EXPECT_THROW(world.te.AddTunnel(world.topology, spec),
+               std::invalid_argument);
+}
+
+TEST(TeDatabase, InstallsSwapChainAndSteering) {
+  TeWorld world;
+  TeTunnelSpec spec;
+  spec.path = {world.in, world.c, world.d, world.out};
+  spec.steered_prefixes = {world.topology.as(3).block};
+  world.te.AddTunnel(world.topology, spec);
+
+  const auto* steering = world.te.SteeringFor(
+      world.in, world.topology.as(3).block.At(7));
+  ASSERT_NE(steering, nullptr);
+  EXPECT_EQ(steering->next, world.c);
+  EXPECT_TRUE(steering->labeled);
+  EXPECT_GE(steering->label, kTeLabelBase);
+
+  // c swaps, d pops (penultimate under PHP).
+  const auto op_c = world.te.OpFor(world.c, steering->label);
+  ASSERT_TRUE(op_c.has_value());
+  EXPECT_EQ(op_c->kind, TeLabelOp::Kind::kSwap);
+  const auto op_d = world.te.OpFor(world.d, op_c->out_label);
+  ASSERT_TRUE(op_d.has_value());
+  EXPECT_EQ(op_d->kind, TeLabelOp::Kind::kPop);
+  EXPECT_EQ(op_d->next, world.out);
+
+  // Unknown routers/labels resolve to nothing.
+  EXPECT_FALSE(world.te.OpFor(world.a, steering->label).has_value());
+  EXPECT_EQ(world.te.SteeringFor(world.a,
+                                 world.topology.as(3).block.At(7)),
+            nullptr);
+}
+
+TEST(TeTunnel, SteersTrafficOntoTheExplicitRoute) {
+  TeWorld world;
+  TeTunnelSpec spec;
+  spec.path = {world.in, world.c, world.d, world.out};
+  spec.steered_prefixes = {world.topology.as(3).block};
+  world.te.AddTunnel(world.topology, spec);
+  world.Converge();
+
+  probe::Prober prober(world.network->engine(), world.vp);
+  // With no-ttl-propagate the TE interior (c, d) is hidden: gw, in, out,
+  // dst. Crucially the path is the *detour*, which we can see from the
+  // RTT: detour links cost the same 1 ms, so check hop count instead —
+  // "out" appears at hop 3 even though the IGP path also has 2 interior
+  // hops; instead verify by making the tunnel visible below.
+  const auto trace =
+      prober.Traceroute(world.topology.router(world.dst).loopback);
+  ASSERT_TRUE(trace.reached);
+  EXPECT_EQ(trace.hops.size(), 4u);  // gw, in, out, dst — c/d hidden
+
+  // Turn propagation on: the detour c, d must appear (proof the packet
+  // took the pinned route, not the IGP one via a, b).
+  for (const topo::Router& router : world.topology.routers()) {
+    if (router.asn == 2) {
+      world.configs->Mutable(router.id).ttl_propagate = true;
+    }
+  }
+  world.Converge();
+  probe::Prober visible_prober(world.network->engine(), world.vp);
+  const auto visible =
+      visible_prober.Traceroute(world.topology.router(world.dst).loopback);
+  ASSERT_TRUE(visible.reached);
+  ASSERT_EQ(visible.hops.size(), 6u);
+  const auto name_of = [&](std::size_t i) {
+    return world.topology
+        .router(*world.topology.FindRouterByAddress(*visible.hops[i].address))
+        .name;
+  };
+  EXPECT_EQ(name_of(2), "c");
+  EXPECT_EQ(name_of(3), "d");
+  // RFC 4950: the TE labels are quoted like any MPLS labels.
+  EXPECT_TRUE(visible.hops[2].has_labels());
+  EXPECT_GE(visible.hops[2].labels[0].label, kTeLabelBase);
+}
+
+TEST(TeTunnel, UhpTeTunnelIsTotallyInvisible) {
+  TeWorld world;
+  TeTunnelSpec spec;
+  spec.path = {world.in, world.c, world.d, world.out};
+  spec.popping = Popping::kUhp;
+  spec.steered_prefixes = {world.topology.as(3).block};
+  world.te.AddTunnel(world.topology, spec);
+  world.Converge();
+
+  probe::Prober prober(world.network->engine(), world.vp);
+  const auto trace =
+      prober.Traceroute(world.topology.router(world.dst).loopback);
+  ASSERT_TRUE(trace.reached);
+  // Even the egress "out" disappears: gw, in, dst.
+  EXPECT_EQ(trace.hops.size(), 3u);
+
+  // And revelation gets nothing (the paper's conclusion about RSVP-TE+UHP).
+  reveal::Revelator revelator(prober);
+  const auto last3 = trace.LastResponders(3);
+  ASSERT_EQ(last3.size(), 3u);
+  const auto result = revelator.Reveal(last3[0], last3[1]);
+  EXPECT_FALSE(result.succeeded());
+}
+
+TEST(TeTunnel, PhpTeTunnelStillLeaksViaFrpla) {
+  TeWorld world;
+  TeTunnelSpec spec;
+  spec.path = {world.in, world.c, world.d, world.out};
+  spec.steered_prefixes = {world.topology.as(3).block};
+  world.te.AddTunnel(world.topology, spec);
+  world.Converge();
+
+  probe::Prober prober(world.network->engine(), world.vp);
+  const auto trace =
+      prober.Traceroute(world.topology.router(world.dst).loopback);
+  ASSERT_TRUE(trace.reached);
+  // The egress is hop 3; its time-exceeded reply returns over plain IGP
+  // (no return TE tunnel), whose path is the short one — the return TTL
+  // still counts more hops than the forward trace shows.
+  const auto& egress_hop = trace.hops[2];
+  ASSERT_TRUE(egress_hop.address.has_value());
+  EXPECT_EQ(world.topology.FindRouterByAddress(*egress_hop.address),
+            std::optional<topo::RouterId>(world.out));
+}
+
+TEST(TeTunnel, OneHopTunnelDegeneratesGracefully) {
+  TeWorld world;
+  TeTunnelSpec spec;
+  spec.path = {world.in, world.a};
+  spec.steered_prefixes = {world.topology.as(3).block};
+  world.te.AddTunnel(world.topology, spec);
+  world.Converge();
+
+  probe::Prober prober(world.network->engine(), world.vp);
+  const auto trace =
+      prober.Traceroute(world.topology.router(world.dst).loopback);
+  // PHP with a one-hop tunnel = pop at push: plain forwarding to "a",
+  // then normal IGP the rest of the way. Everything stays reachable.
+  EXPECT_TRUE(trace.reached);
+}
+
+}  // namespace
+}  // namespace wormhole::mpls

@@ -1,0 +1,187 @@
+// SR-MPLS extension: node-SID stacks, waypoint steering, and traceroute
+// visibility of SR policies.
+#include <gtest/gtest.h>
+
+#include "mpls/segment_routing.h"
+#include "probe/prober.h"
+#include "sim/network.h"
+#include "topo/topology.h"
+
+namespace wormhole::mpls {
+namespace {
+
+using topo::RouterId;
+using topo::Vendor;
+
+// AS1(gw) | AS2 ring: in - a - b - out and in - c - out | AS3(dst).
+// The IGP prefers in-c-out (shorter); SR policies detour via a, b.
+struct SrWorld {
+  topo::Topology topology;
+  std::unique_ptr<MplsConfigMap> configs;
+  SrDatabase sr;
+  std::unique_ptr<sim::Network> network;
+  netbase::Ipv4Address vp;
+  RouterId gw, in, a, b, c, out, dst;
+
+  explicit SrWorld(bool propagate = true) {
+    topology.AddAs(1, "src");
+    topology.AddAs(2, "sr");
+    topology.AddAs(3, "dst");
+    gw = topology.AddRouter(1, "gw", Vendor::kCiscoIos);
+    in = topology.AddRouter(2, "in", Vendor::kCiscoIos);
+    a = topology.AddRouter(2, "a", Vendor::kCiscoIos);
+    b = topology.AddRouter(2, "b", Vendor::kCiscoIos);
+    c = topology.AddRouter(2, "c", Vendor::kCiscoIos);
+    out = topology.AddRouter(2, "out", Vendor::kCiscoIos);
+    dst = topology.AddRouter(3, "dst", Vendor::kCiscoIos);
+    topology.AddLink(gw, in);
+    topology.AddLink(in, a);
+    topology.AddLink(a, b);
+    topology.AddLink(b, out);
+    topology.AddLink(in, c);
+    topology.AddLink(c, out);
+    topology.AddLink(out, dst);
+    vp = topology.AttachHost(gw, "VP");
+
+    configs = std::make_unique<MplsConfigMap>(topology);
+    MplsConfigMap::AsOptions options;
+    options.ttl_propagate = propagate;
+    // LDP loopback-only so plain traffic stays IP unless SR steers it
+    // (keeps the test focused on the SR labels).
+    options.ldp_policy = LdpPolicy::kLoopbacksOnly;
+    configs->EnableAs(2, options);
+    sr.EnableAs(topology, 2);
+  }
+
+  void Converge() {
+    network = std::make_unique<sim::Network>(
+        topology, *configs, routing::BgpPolicy{.stub_ases = {1, 3}},
+        sim::EngineOptions{}, nullptr, &sr);
+  }
+
+  std::string Name(netbase::Ipv4Address address) const {
+    const auto router = topology.FindRouterByAddress(address);
+    return router ? topology.router(*router).name : address.ToString();
+  }
+};
+
+TEST(SrDatabase, ValidatesPolicies) {
+  SrWorld world;
+  SrPolicy empty;
+  empty.ingress = world.in;
+  EXPECT_THROW(world.sr.AddPolicy(world.topology, empty),
+               std::invalid_argument);
+  SrPolicy foreign;
+  foreign.ingress = world.in;
+  foreign.waypoints = {world.gw};  // not in the SR domain
+  EXPECT_THROW(world.sr.AddPolicy(world.topology, foreign),
+               std::invalid_argument);
+  SrPolicy bad_ingress;
+  bad_ingress.ingress = world.gw;
+  bad_ingress.waypoints = {world.a};
+  EXPECT_THROW(world.sr.AddPolicy(world.topology, bad_ingress),
+               std::invalid_argument);
+}
+
+TEST(SrDatabase, SidLookup) {
+  SrWorld world;
+  EXPECT_EQ(world.sr.RouterOfSid(NodeSid(world.a)),
+            std::optional<RouterId>(world.a));
+  EXPECT_FALSE(world.sr.RouterOfSid(NodeSid(world.gw)).has_value());
+  EXPECT_FALSE(world.sr.RouterOfSid(17).has_value());
+}
+
+TEST(SrPolicySteering, DetoursViaWaypoints) {
+  SrWorld world(/*propagate=*/true);
+  SrPolicy policy;
+  policy.ingress = world.in;
+  policy.prefix = world.topology.as(3).block;
+  policy.waypoints = {world.b, world.out};  // forces the long way via a-b
+  world.sr.AddPolicy(world.topology, policy);
+  world.Converge();
+
+  probe::Prober prober(world.network->engine(), world.vp);
+  const auto trace =
+      prober.Traceroute(world.topology.router(world.dst).loopback);
+  ASSERT_TRUE(trace.reached);
+  // gw, in, a, b, out, dst — the detour, not in-c-out.
+  std::vector<std::string> names;
+  for (const auto& hop : trace.hops) {
+    ASSERT_TRUE(hop.address.has_value());
+    names.push_back(world.Name(*hop.address));
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"gw", "in", "a", "b", "out",
+                                             "dst"}));
+  // Mid-segment hops quote the SID (RFC 4950 applies to SR-MPLS too).
+  EXPECT_TRUE(trace.hops[2].has_labels());
+  EXPECT_EQ(trace.hops[2].labels[0].label, NodeSid(world.b));
+}
+
+TEST(SrPolicySteering, InvisibleWithoutTtlPropagate) {
+  SrWorld world(/*propagate=*/false);
+  SrPolicy policy;
+  policy.ingress = world.in;
+  policy.prefix = world.topology.as(3).block;
+  policy.waypoints = {world.b, world.out};
+  world.sr.AddPolicy(world.topology, policy);
+  world.Converge();
+
+  probe::Prober prober(world.network->engine(), world.vp);
+  const auto trace =
+      prober.Traceroute(world.topology.router(world.dst).loopback);
+  ASSERT_TRUE(trace.reached);
+  // The SR detour hides a and b: gw, in, [a, b hidden], "b is waypoint —
+  // also hidden: it handles the packet in label space], out, dst.
+  std::vector<std::string> names;
+  for (const auto& hop : trace.hops) {
+    if (hop.address) names.push_back(world.Name(*hop.address));
+  }
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"gw", "in", "out", "dst"}));
+}
+
+TEST(SrPolicySteering, AdjacentFirstWaypointSkipsItsSid) {
+  SrWorld world;
+  SrPolicy policy;
+  policy.ingress = world.in;
+  policy.prefix = world.topology.as(3).block;
+  policy.waypoints = {world.a, world.out};  // a is adjacent to in
+  world.sr.AddPolicy(world.topology, policy);
+  world.Converge();
+
+  probe::Prober prober(world.network->engine(), world.vp);
+  const auto trace =
+      prober.Traceroute(world.topology.router(world.dst).loopback);
+  ASSERT_TRUE(trace.reached);
+  std::vector<std::string> names;
+  for (const auto& hop : trace.hops) {
+    if (hop.address) names.push_back(world.Name(*hop.address));
+  }
+  // Path goes via a (waypoint honoured) and then a's shortest way to out
+  // (via b).
+  EXPECT_EQ(names, (std::vector<std::string>{"gw", "in", "a", "b", "out",
+                                             "dst"}));
+}
+
+TEST(SrPolicySteering, MostSpecificPrefixWins) {
+  SrWorld world;
+  SrPolicy broad;
+  broad.ingress = world.in;
+  broad.prefix = world.topology.as(3).block;
+  broad.waypoints = {world.c};
+  world.sr.AddPolicy(world.topology, broad);
+  SrPolicy narrow;
+  narrow.ingress = world.in;
+  narrow.prefix =
+      netbase::Prefix::Host(world.topology.router(world.dst).loopback);
+  narrow.waypoints = {world.b};
+  world.sr.AddPolicy(world.topology, narrow);
+
+  const auto* chosen = world.sr.PolicyFor(
+      world.in, world.topology.router(world.dst).loopback);
+  ASSERT_NE(chosen, nullptr);
+  EXPECT_EQ(chosen->waypoints.front(), world.b);
+}
+
+}  // namespace
+}  // namespace wormhole::mpls

@@ -1,0 +1,213 @@
+// wormhole — command-line frontend to the library.
+//
+//   wormhole emulate <default|brpr|dpr|uhp>   Fig. 4-style testbed traces
+//   wormhole configs <default|brpr|dpr|uhp>   router configs for a scenario
+//   wormhole campaign [seed] [tracefile]      full measurement campaign
+//   wormhole crossval [seed]                  Table-3 cross-validation
+//   wormhole replay <tracefile>               analyse a persisted tracefile
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/campaign_report.h"
+#include "analysis/correct.h"
+#include "analysis/metrics.h"
+#include "analysis/report.h"
+#include "analysis/tables.h"
+#include "campaign/campaign.h"
+#include "campaign/crossval.h"
+#include "gen/gns3.h"
+#include "gen/internet.h"
+#include "gen/router_config.h"
+#include "io/tracefile.h"
+#include "probe/prober.h"
+
+namespace {
+
+using namespace wormhole;
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  wormhole emulate <default|brpr|dpr|uhp>\n"
+      "  wormhole configs <default|brpr|dpr|uhp>\n"
+      "  wormhole campaign [seed] [tracefile.out]\n"
+      "  wormhole report [seed] [outdir]\n"
+      "  wormhole crossval [seed]\n"
+      "  wormhole replay <tracefile>\n";
+  return 2;
+}
+
+std::optional<gen::Gns3Scenario> ParseScenario(const std::string& name) {
+  if (name == "default") return gen::Gns3Scenario::kDefault;
+  if (name == "brpr") return gen::Gns3Scenario::kBackwardRecursive;
+  if (name == "dpr") return gen::Gns3Scenario::kExplicitRoute;
+  if (name == "uhp") return gen::Gns3Scenario::kTotallyInvisible;
+  return std::nullopt;
+}
+
+int Emulate(const std::string& scenario_name) {
+  const auto scenario = ParseScenario(scenario_name);
+  if (!scenario) return Usage();
+  gen::Gns3Testbed testbed({.scenario = *scenario});
+  probe::Prober prober(testbed.engine(), testbed.vantage_point());
+  std::cout << "=== " << ToString(*scenario) << " ===\n";
+  for (const char* target : {"CE2.left", "PE2.left"}) {
+    std::cout << prober.Traceroute(testbed.Address(target))
+                     .Format([&](netbase::Ipv4Address a) {
+                       return testbed.NameOf(a);
+                     })
+              << "\n";
+  }
+  return 0;
+}
+
+int Configs(const std::string& scenario_name) {
+  const auto scenario = ParseScenario(scenario_name);
+  if (!scenario) return Usage();
+  gen::Gns3Testbed testbed({.scenario = *scenario});
+  std::cout << gen::TestbedConfigs(testbed.topology(), testbed.configs());
+  return 0;
+}
+
+int RunCampaign(std::uint64_t seed, const std::string& tracefile) {
+  gen::SyntheticInternet net({.seed = seed});
+  std::cout << "world: " << net.profiles().size() << " ASes, "
+            << net.topology().router_count() << " routers\n";
+  campaign::Campaign campaign(net.engine(), net.vantage_points(), {});
+  const auto result = campaign.Run(net.AllLoopbacks());
+  std::cout << "campaign: " << result.probes_sent << " probes, "
+            << result.revelations.size() << " candidate pairs, "
+            << result.revealed_count() << " tunnels revealed\n\n";
+
+  const auto corrected = analysis::CorrectedCopy(
+      result.inferred, result.revelations,
+      campaign::TruthResolver(net.topology()), net.topology());
+  analysis::TextTable table({"AS", "pairs", "%rev", "LSR IPs", "density",
+                             "->"});
+  for (const auto& row : analysis::MakeDiscoveryTable(
+           result, corrected, net.topology(), 8)) {
+    table.AddRow({"AS" + std::to_string(row.asn),
+                  analysis::TextTable::Num(row.ie_pairs),
+                  analysis::TextTable::Pct(row.pct_revealed, 0),
+                  analysis::TextTable::Num(row.lsr_ips),
+                  analysis::TextTable::Real(row.density_before, 2),
+                  analysis::TextTable::Real(row.density_after, 2)});
+  }
+  std::cout << table.ToString();
+
+  std::cout << "\ngraph: degree max "
+            << result.inferred.DegreeDistribution().Max() << " -> "
+            << corrected.DegreeDistribution().Max()
+            << ", clustering "
+            << analysis::TextTable::Real(
+                   analysis::AverageClustering(result.inferred), 3)
+            << " -> "
+            << analysis::TextTable::Real(
+                   analysis::AverageClustering(corrected), 3)
+            << "\n";
+  if (!tracefile.empty()) {
+    std::ofstream out(tracefile);
+    io::WriteTraces(out, result.traces);
+    std::cout << "wrote " << result.traces.size() << " traces to "
+              << tracefile << "\n";
+  }
+  return 0;
+}
+
+int RunReport(std::uint64_t seed, const std::string& directory) {
+  gen::SyntheticInternet net({.seed = seed});
+  campaign::Campaign campaign(net.engine(), net.vantage_points(), {});
+  const auto result = campaign.Run(net.AllLoopbacks());
+  const auto path = analysis::WriteCampaignArtifacts(directory, result,
+                                                     net.topology());
+  std::cout << "wrote " << path << " plus CSV series to " << directory
+            << "\n";
+  return 0;
+}
+
+int RunCrossval(std::uint64_t seed) {
+  gen::SyntheticInternet net({.seed = seed});
+  net.ForceTtlPropagation(true);
+  std::vector<probe::Prober> probers;
+  for (const auto vp : net.vantage_points()) {
+    probers.emplace_back(net.engine(), vp);
+  }
+  std::vector<probe::TraceResult> traces;
+  for (auto& prober : probers) {
+    for (const auto loopback : net.AllLoopbacks()) {
+      traces.push_back(prober.Traceroute(loopback, {.first_ttl = 2}));
+    }
+  }
+  const auto tunnels =
+      campaign::ExtractExplicitTunnels(traces, net.topology());
+  const auto summary =
+      campaign::CrossValidateAll(probers, tunnels, {.first_ttl = 2});
+  std::cout << "explicit tunnels: " << tunnels.size()
+            << "  rerun failed: " << summary.rerun_failed << "\n";
+  const auto pct = [&](std::size_t v) {
+    return 100.0 * static_cast<double>(v) /
+           static_cast<double>(std::max<std::size_t>(1, summary.validated()));
+  };
+  std::cout << "fail " << pct(summary.fail) << "%  DPR " << pct(summary.dpr)
+            << "%  BRPR " << pct(summary.brpr) << "%  hybrid "
+            << pct(summary.hybrid) << "%  either " << pct(summary.either)
+            << "%\n";
+  return 0;
+}
+
+int Replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  const auto traces = io::ReadTraces(in);
+  std::cout << traces.size() << " traces\n";
+  topo::Topology empty;
+  const auto dataset = campaign::BuildDataset(
+      traces, campaign::InterfaceResolver(), empty);
+  const auto degrees = dataset.DegreeDistribution();
+  std::cout << "interface-level graph: " << dataset.node_count()
+            << " nodes, " << dataset.link_count() << " links, max degree "
+            << (degrees.empty() ? 0 : degrees.Max()) << "\n";
+  netbase::IntDistribution lengths;
+  std::size_t with_mpls = 0;
+  for (const auto& trace : traces) {
+    if (trace.LastRespondingTtl() > 0) lengths.Add(trace.LastRespondingTtl());
+    if (trace.HasExplicitMpls()) ++with_mpls;
+  }
+  if (!lengths.empty()) {
+    std::cout << "path length: median " << lengths.Median() << ", mean "
+              << analysis::TextTable::Real(lengths.Mean(), 2) << "\n";
+  }
+  std::cout << "traces with explicit MPLS labels: " << with_mpls << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "emulate" && argc >= 3) return Emulate(argv[2]);
+  if (command == "configs" && argc >= 3) return Configs(argv[2]);
+  if (command == "campaign") {
+    const std::uint64_t seed =
+        argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 29;
+    return RunCampaign(seed, argc >= 4 ? argv[3] : "");
+  }
+  if (command == "report") {
+    const std::uint64_t seed =
+        argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 29;
+    return RunReport(seed, argc >= 4 ? argv[3] : "wormhole-report");
+  }
+  if (command == "crossval") {
+    const std::uint64_t seed =
+        argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 29;
+    return RunCrossval(seed);
+  }
+  if (command == "replay" && argc >= 3) return Replay(argv[2]);
+  return Usage();
+}
