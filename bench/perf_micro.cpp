@@ -112,6 +112,38 @@ void BM_FullCampaign(benchmark::State& state) {
 }
 BENCHMARK(BM_FullCampaign)->Unit(benchmark::kMillisecond);
 
+void BM_CampaignParallelScaling(benchmark::State& state) {
+  // One fixed synthetic Internet (built once, shared across thread
+  // counts), 8 vantage points so every jobs level up to 8 has a full
+  // shard to chew on. Compare the per-iteration times across the
+  // jobs=1/2/4/8 rows for the end-to-end campaign speedup; the campaign
+  // result itself is identical for every row.
+  static gen::SyntheticInternet* net =
+      new gen::SyntheticInternet({.seed = 42,
+                                  .transit_count = 6,
+                                  .stub_count = 16,
+                                  .vp_count = 8});
+  const auto loopbacks = net->AllLoopbacks();
+  campaign::CampaignOptions options;
+  options.jobs = static_cast<std::size_t>(state.range(0));
+  std::uint64_t probes = 0;
+  for (auto _ : state) {
+    campaign::Campaign campaign(net->engine(), net->vantage_points(),
+                                options);
+    const auto result = campaign.Run(loopbacks);
+    benchmark::DoNotOptimize(result.revelations.size());
+    probes += result.probes_sent;
+  }
+  state.counters["jobs"] = static_cast<double>(options.jobs);
+  state.counters["probes/s"] = benchmark::Counter(
+      static_cast<double>(probes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignParallelScaling)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

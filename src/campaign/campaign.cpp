@@ -33,10 +33,12 @@ netbase::IntDistribution CampaignResult::AllTunnelLengths() const {
   return d;
 }
 
-Campaign::Campaign(sim::Engine& engine,
+Campaign::Campaign(const sim::Engine& engine,
                    std::vector<netbase::Ipv4Address> vps,
                    CampaignOptions options)
-    : engine_(&engine), options_(options) {
+    : engine_(&engine),
+      options_(options),
+      pool_(options.jobs != 0 ? options.jobs : exec::HardwareConcurrency()) {
   probers_.reserve(vps.size());
   for (const netbase::Ipv4Address vp : vps) {
     probers_.emplace_back(engine, vp);
@@ -46,16 +48,32 @@ Campaign::Campaign(sim::Engine& engine,
   }
 }
 
-std::vector<probe::TraceResult> Campaign::RunDiscovery(
-    const std::vector<netbase::Ipv4Address>& targets) {
-  std::vector<probe::TraceResult> traces;
-  traces.reserve(targets.size());
-  const auto shards = ShardTargets(targets, probers_.size());
-  for (std::size_t vp = 0; vp < probers_.size(); ++vp) {
+std::vector<std::vector<probe::TraceResult>> Campaign::TraceShards(
+    const std::vector<std::vector<netbase::Ipv4Address>>& shards) {
+  // One task per vantage point: probers_[vp] is touched by that task only,
+  // and it walks its shard in order, so the probe-id stream of every
+  // prober — and with it every simulated reply — is independent of the
+  // worker count and of scheduling.
+  std::vector<std::vector<probe::TraceResult>> per_vp(probers_.size());
+  exec::ParallelFor(pool_, probers_.size(), [&](std::size_t vp) {
+    per_vp[vp].reserve(shards[vp].size());
     for (const netbase::Ipv4Address target : shards[vp]) {
-      traces.push_back(
+      per_vp[vp].push_back(
           probers_[vp].Traceroute(target, options_.trace_options));
     }
+  });
+  return per_vp;
+}
+
+std::vector<probe::TraceResult> Campaign::RunDiscovery(
+    const std::vector<netbase::Ipv4Address>& targets) {
+  const auto shards = ShardTargets(targets, probers_.size());
+  auto per_vp = TraceShards(shards);
+
+  std::vector<probe::TraceResult> traces;
+  traces.reserve(targets.size());
+  for (auto& vp_traces : per_vp) {
+    for (auto& trace : vp_traces) traces.push_back(std::move(trace));
   }
   return traces;
 }
@@ -72,18 +90,30 @@ CampaignResult Campaign::Run(
 
   // Phase 1: HDN-guided probing.
   result.targets = SelectTargets(result.inferred, options_.hdn_threshold);
+  const std::unordered_set<topo::NodeId> hdn_set(
+      result.targets.hdns.begin(), result.targets.hdns.end());
   auto shards = options_.shard_targets
                     ? ShardTargets(result.targets.all, probers_.size())
                     : std::vector<std::vector<netbase::Ipv4Address>>(
                           probers_.size(), result.targets.all);
 
+  // Probing (the traceroutes do not read the evolving dataset) runs
+  // concurrently across VP shards; the order-dependent part — dataset
+  // mutation, candidate analysis, revelation dedup — is a sequential
+  // reduce over the merged traces in (vp, target-index) order, exactly
+  // the order the sequential implementation used.
+  auto per_vp = TraceShards(shards);
+  std::size_t total_traces = 0;
+  for (const auto& vp_traces : per_vp) total_traces += vp_traces.size();
+
   std::vector<std::optional<EndpointPair>> trace_pair;
+  trace_pair.reserve(total_traces);
+  result.traces.reserve(total_traces);
   for (std::size_t vp = 0; vp < probers_.size(); ++vp) {
-    for (const netbase::Ipv4Address target : shards[vp]) {
-      probe::TraceResult trace =
-          probers_[vp].Traceroute(target, options_.trace_options);
+    for (probe::TraceResult& trace : per_vp[vp]) {
       AddTraceToDataset(result.inferred, trace, resolver, topology);
-      trace_pair.push_back(AnalyzeTrace(trace, result, probers_[vp]));
+      trace_pair.push_back(
+          AnalyzeTrace(trace, result, probers_[vp], hdn_set));
       result.traces.push_back(std::move(trace));
     }
   }
@@ -114,7 +144,8 @@ CampaignResult Campaign::Run(
 
 std::optional<EndpointPair> Campaign::AnalyzeTrace(
     const probe::TraceResult& trace, CampaignResult& result,
-    probe::Prober& prober) {
+    probe::Prober& prober,
+    const std::unordered_set<topo::NodeId>& hdn_set) {
   // UHP signatures: attribute each duplicate-hop suspicion to the AS of
   // the hop before it (the suspected Ingress LER of the invisible cloud).
   for (const auto& suspicion : reveal::DetectUhpSuspicions(trace)) {
@@ -159,12 +190,9 @@ std::optional<EndpointPair> Campaign::AnalyzeTrace(
   if (!hop_x || !hop_y || *hop_y != *hop_x + 1) return std::nullopt;
 
   if (options_.require_hdn_endpoints) {
-    const auto is_hdn = [&](topo::NodeId node) {
-      return std::find(result.targets.hdns.begin(),
-                       result.targets.hdns.end(),
-                       node) != result.targets.hdns.end();
-    };
-    if (!is_hdn(*nx) || !is_hdn(*ny)) return std::nullopt;
+    if (!hdn_set.contains(*nx) || !hdn_set.contains(*ny)) {
+      return std::nullopt;
+    }
   }
 
   const EndpointPair pair{x, y};

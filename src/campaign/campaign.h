@@ -5,10 +5,12 @@
 #pragma once
 
 #include <map>
+#include <unordered_set>
 #include <vector>
 
 #include "campaign/dataset.h"
 #include "campaign/targets.h"
+#include "exec/thread_pool.h"
 #include "fingerprint/signature.h"
 #include "netbase/stats.h"
 #include "probe/prober.h"
@@ -43,6 +45,10 @@ struct CampaignOptions {
   /// views per suspicious AS — the discovery phase stays sharded either
   /// way.
   bool shard_targets = false;
+  /// Worker threads probing vantage-point shards concurrently; 0 means
+  /// hardware concurrency. The result is bit-identical for every value
+  /// (see "Concurrency model" in docs/semantics.md).
+  std::size_t jobs = 0;
 };
 
 /// Everything the campaign measured. Figures/tables are derived from this.
@@ -86,10 +92,17 @@ struct CampaignResult {
   [[nodiscard]] netbase::IntDistribution AllTunnelLengths() const;
 };
 
+/// Runs the measurement pipeline, spreading the probing load over a
+/// per-VP worker pool (options.jobs threads). Parallelism never changes
+/// the result: probing is sharded per vantage point (each prober is
+/// driven by exactly one task, so its probe-id sequence is fixed), and
+/// everything order-dependent — dataset mutation, candidate analysis,
+/// revelation dedup — happens in a sequential post-merge pass over the
+/// traces in (vp, target-index) order.
 class Campaign {
  public:
   /// One prober per vantage point is created on `engine`.
-  Campaign(sim::Engine& engine, std::vector<netbase::Ipv4Address> vps,
+  Campaign(const sim::Engine& engine, std::vector<netbase::Ipv4Address> vps,
            CampaignOptions options = {});
 
   /// Runs the whole pipeline. `discovery_targets` seeds the plain campaign
@@ -101,18 +114,28 @@ class Campaign {
   std::vector<probe::TraceResult> RunDiscovery(
       const std::vector<netbase::Ipv4Address>& targets);
 
+  /// The worker count actually in use (resolves jobs == 0).
+  [[nodiscard]] std::size_t jobs() const { return pool_.size(); }
+
  private:
+  /// Traceroutes every shard concurrently (shard i drives probers_[i]);
+  /// returns the traces per VP, each inner vector in shard order.
+  std::vector<std::vector<probe::TraceResult>> TraceShards(
+      const std::vector<std::vector<netbase::Ipv4Address>>& shards);
+
   /// Returns the candidate endpoint pair extracted from the trace, if any.
-  std::optional<EndpointPair> AnalyzeTrace(const probe::TraceResult& trace,
-                                           CampaignResult& result,
-                                           probe::Prober& prober);
+  std::optional<EndpointPair> AnalyzeTrace(
+      const probe::TraceResult& trace, CampaignResult& result,
+      probe::Prober& prober,
+      const std::unordered_set<topo::NodeId>& hdn_set);
   void ClassifyFrpla(CampaignResult& result) const;
   static void RfaSampleFromCandidate(const CandidateRecord& record,
                                      CampaignResult& result);
 
-  sim::Engine* engine_;
+  const sim::Engine* engine_;
   std::vector<probe::Prober> probers_;
   CampaignOptions options_;
+  exec::ThreadPool pool_;
 };
 
 }  // namespace wormhole::campaign

@@ -1,0 +1,97 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace wormhole::exec {
+
+std::size_t HardwareConcurrency() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::size_t ThreadSlot(std::size_t modulus) {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id % std::max<std::size_t>(1, modulus);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = std::max<std::size_t>(1, threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool.size() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Join {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t pending;
+    std::exception_ptr error;
+  } join;
+  join.pending = n;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.Submit([&join, &fn, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(join.mutex);
+        if (!join.error) join.error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(join.mutex);
+      if (--join.pending == 0) join.cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(join.mutex);
+  join.cv.wait(lock, [&join] { return join.pending == 0; });
+  if (join.error) std::rethrow_exception(join.error);
+}
+
+StripedMutex::StripedMutex(std::size_t stripes)
+    : stripes_(std::max<std::size_t>(1, stripes)),
+      mutexes_(std::make_unique<std::mutex[]>(stripes_)) {}
+
+}  // namespace wormhole::exec

@@ -1,0 +1,79 @@
+// Minimal parallel-execution primitives for campaign-scale fan-out.
+//
+// The design goal is deterministic parallelism: work is split into
+// per-worker shards whose *contents* are fixed up front (not stolen
+// dynamically), so every run issues exactly the same operations per shard
+// regardless of scheduling, and results can be merged in a fixed order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace wormhole::exec {
+
+/// std::thread::hardware_concurrency(), but never 0.
+std::size_t HardwareConcurrency();
+
+/// A small stable slot index in [0, modulus) for the calling thread.
+/// Distinct live threads get distinct slots until `modulus` is exhausted;
+/// after that slots are reused (callers must tolerate sharing, e.g. with
+/// atomic counters). The slot is assigned on first call and never changes
+/// for the lifetime of the thread.
+std::size_t ThreadSlot(std::size_t modulus);
+
+/// Fixed-size worker pool. Workers are spawned once in the constructor and
+/// joined in the destructor; tasks are run FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. Never blocks.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Runs fn(0), ..., fn(n-1) and blocks until all complete. With a
+/// single-worker pool (or n <= 1) everything runs inline on the calling
+/// thread — the jobs=1 path adds no synchronisation at all. Exceptions
+/// from tasks are captured and the first one is rethrown on the caller.
+/// Must not be called from inside a pool worker (the caller blocks).
+void ParallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+/// A striped lock: maps a hash to one of a fixed set of mutexes, so
+/// unrelated keys of a shared map rarely contend.
+class StripedMutex {
+ public:
+  explicit StripedMutex(std::size_t stripes = 16);
+
+  [[nodiscard]] std::size_t stripes() const { return stripes_; }
+  [[nodiscard]] std::mutex& For(std::size_t hash) {
+    return mutexes_[hash % stripes_];
+  }
+
+ private:
+  std::size_t stripes_;
+  std::unique_ptr<std::mutex[]> mutexes_;
+};
+
+}  // namespace wormhole::exec

@@ -7,7 +7,7 @@ namespace wormhole::probe {
 using netbase::Packet;
 using netbase::PacketKind;
 
-Prober::Prober(sim::Engine& engine, netbase::Ipv4Address vantage_point)
+Prober::Prober(const sim::Engine& engine, netbase::Ipv4Address vantage_point)
     : engine_(&engine), source_(vantage_point) {
   if (engine.topology().FindHost(vantage_point) == nullptr) {
     throw std::invalid_argument("Prober: vantage point is not a host");

@@ -26,7 +26,11 @@ struct TraceOptions {
 class Prober {
  public:
   /// `vantage_point` must be a host attached via Topology::AttachHost.
-  Prober(sim::Engine& engine, netbase::Ipv4Address vantage_point);
+  /// The engine is only ever read (Engine::Send is thread-safe), so many
+  /// probers — one per worker thread — can share one engine; a single
+  /// Prober instance is still single-threaded (it owns the probe-id
+  /// sequence).
+  Prober(const sim::Engine& engine, netbase::Ipv4Address vantage_point);
 
   [[nodiscard]] netbase::Ipv4Address vantage_point() const { return source_; }
 
@@ -42,7 +46,7 @@ class Prober {
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
 
  private:
-  sim::Engine* engine_;
+  const sim::Engine* engine_;
   netbase::Ipv4Address source_;
   std::uint32_t next_probe_id_ = 1;
   std::uint64_t probes_sent_ = 0;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "exec/thread_pool.h"
 #include "sim/vendor.h"
 
 namespace wormhole::sim {
@@ -132,12 +133,30 @@ std::optional<Engine::LabelOp> Engine::ResolveLabel(
   return op;
 }
 
-Engine::Outcome Engine::Send(netbase::Packet probe) {
+EngineStats Engine::stats() const {
+  EngineStats total;
+  for (const StatShard& shard : stat_shards_) {
+    total.packets_injected +=
+        shard.packets_injected.load(std::memory_order_relaxed);
+    total.hops_processed +=
+        shard.hops_processed.load(std::memory_order_relaxed);
+    total.icmp_generated +=
+        shard.icmp_generated.load(std::memory_order_relaxed);
+    total.labels_pushed +=
+        shard.labels_pushed.load(std::memory_order_relaxed);
+    total.labels_popped +=
+        shard.labels_popped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Engine::Outcome Engine::Send(netbase::Packet probe) const {
   const topo::Host* origin = topology_->FindHost(probe.src);
   if (origin == nullptr) {
     throw std::invalid_argument("Send: probe.src is not an attached host");
   }
-  ++stats_.packets_injected;
+  EngineStats local;
+  ++local.packets_injected;
 
   Transit transit;
   transit.packet = std::move(probe);
@@ -146,33 +165,51 @@ Engine::Outcome Engine::Send(netbase::Packet probe) {
   transit.in_interface = origin->stub_interface;
 
   const netbase::Ipv4Address origin_address = origin->address;
+  Outcome final;
   while (true) {
     if (transit.packet.hops_traversed > options_.max_hops) {
-      return Outcome{.received = false, .loss = LossReason::kTtlLoop};
+      final = Outcome{.received = false, .loss = LossReason::kTtlLoop};
+      break;
     }
-    ++stats_.hops_processed;
+    ++local.hops_processed;
 
     // Delivery to the origin host happens at its gateway, after the
     // gateway's normal forwarding decrement (handled inside ProcessIp).
-    StepResult step = ProcessAt(std::move(transit));
+    StepResult step = ProcessAt(std::move(transit), local);
     if (step.outcome) {
       // Only packets addressed to the origin terminate the simulation.
-      if (step.outcome->reply.dst == origin_address) return *step.outcome;
-      return Outcome{.received = false, .loss = LossReason::kDropped};
+      final = step.outcome->reply.dst == origin_address
+                  ? *step.outcome
+                  : Outcome{.received = false, .loss = LossReason::kDropped};
+      break;
     }
     if (!step.next) {
-      return Outcome{.received = false, .loss = step.loss};
+      final = Outcome{.received = false, .loss = step.loss};
+      break;
     }
     transit = std::move(*step.next);
   }
+
+  StatShard& shard = stat_shards_[exec::ThreadSlot(kStatShards)];
+  shard.packets_injected.fetch_add(local.packets_injected,
+                                   std::memory_order_relaxed);
+  shard.hops_processed.fetch_add(local.hops_processed,
+                                 std::memory_order_relaxed);
+  shard.icmp_generated.fetch_add(local.icmp_generated,
+                                 std::memory_order_relaxed);
+  shard.labels_pushed.fetch_add(local.labels_pushed,
+                                std::memory_order_relaxed);
+  shard.labels_popped.fetch_add(local.labels_popped,
+                                std::memory_order_relaxed);
+  return final;
 }
 
-Engine::StepResult Engine::ProcessAt(Transit t) {
-  if (t.packet.has_labels()) return ProcessMpls(std::move(t));
-  return ProcessIp(std::move(t));
+Engine::StepResult Engine::ProcessAt(Transit t, EngineStats& stats) const {
+  if (t.packet.has_labels()) return ProcessMpls(std::move(t), stats);
+  return ProcessIp(std::move(t), stats);
 }
 
-Engine::StepResult Engine::ProcessMpls(Transit t) {
+Engine::StepResult Engine::ProcessMpls(Transit t, EngineStats& stats) const {
   const RouterId r = t.router;
   LabelStackEntry& top = t.packet.labels.front();
 
@@ -187,15 +224,15 @@ Engine::StepResult Engine::ProcessMpls(Transit t) {
       }
       t.packet.labels = received;  // quote the stack as received
       return OriginateError(t, PacketKind::kTimeExceeded,
-                            /*quote_labels=*/true);
+                            /*quote_labels=*/true, stats);
     }
     t.packet.labels.erase(t.packet.labels.begin());
-    ++stats_.labels_popped;
+    ++stats.labels_popped;
     // Emulation-calibrated: decrement without an expiry check, no min copy
     // (see engine.h); then a fresh IP pass with no further decrement.
     if (t.packet.ip_ttl > 0) --t.packet.ip_ttl;
     t.skip_ip_decrement = true;
-    return ProcessIp(std::move(t));
+    return ProcessIp(std::move(t), stats);
   }
 
   const auto op = ResolveLabel(r, top.label, t.packet);
@@ -209,7 +246,7 @@ Engine::StepResult Engine::ProcessMpls(Transit t) {
     }
     t.packet.labels = received;  // quote pre-decrement values (RFC 4950)
     return OriginateError(t, PacketKind::kTimeExceeded,
-                          /*quote_labels=*/true);
+                          /*quote_labels=*/true, stats);
   }
 
   switch (op->kind) {
@@ -220,7 +257,7 @@ Engine::StepResult Engine::ProcessMpls(Transit t) {
       // SID lists) or the IP header (RFC 3443 §5.4).
       const auto popped = static_cast<int>(top.ttl);
       t.packet.labels.erase(t.packet.labels.begin());
-      ++stats_.labels_popped;
+      ++stats.labels_popped;
       if (configs_->For(r).min_ttl_on_pop) {
         if (!t.packet.labels.empty()) {
           LabelStackEntry& exposed = t.packet.labels.front();
@@ -242,7 +279,7 @@ Engine::StepResult Engine::ProcessMpls(Transit t) {
   return StepResult{.next = Forward(t, op->hop)};
 }
 
-Engine::StepResult Engine::ProcessIp(Transit t) {
+Engine::StepResult Engine::ProcessIp(Transit t, EngineStats& stats) const {
   const RouterId r = t.router;
   const topo::Router& router = topology_->router(r);
   Packet& p = t.packet;
@@ -260,7 +297,7 @@ Engine::StepResult Engine::ProcessIp(Transit t) {
     }
     const VendorBehavior behavior = BehaviorOf(router.vendor);
     Packet reply = MakeEchoReply(t, p.dst, behavior.initial_ttl_echo_reply);
-    ++stats_.icmp_generated;
+    ++stats.icmp_generated;
     Transit next;
     next.packet = std::move(reply);
     next.router = r;
@@ -277,7 +314,7 @@ Engine::StepResult Engine::ProcessIp(Transit t) {
         return StepResult{.loss = LossReason::kReplyExpired};
       }
       return OriginateError(t, PacketKind::kTimeExceeded,
-                            /*quote_labels=*/false);
+                            /*quote_labels=*/false, stats);
     }
   }
   t.locally_originated = false;
@@ -297,7 +334,7 @@ Engine::StepResult Engine::ProcessIp(Transit t) {
     // An echo-request probing the host itself: the host answers.
     Packet reply = MakeEchoReply(t, p.dst, kHostEchoReplyTtl);
     reply.elapsed_ms += 2 * options_.host_stub_delay_ms;
-    ++stats_.icmp_generated;
+    ++stats.icmp_generated;
     Transit next;
     next.packet = std::move(reply);
     next.router = r;
@@ -328,7 +365,7 @@ Engine::StepResult Engine::ProcessIp(Transit t) {
           stack.erase(stack.begin());  // PHP at push for the first segment
         }
         p.labels.insert(p.labels.begin(), stack.begin(), stack.end());
-        stats_.labels_pushed += stack.size();
+        stats.labels_pushed += stack.size();
         return StepResult{.next = Forward(t, hop)};
       }
     }
@@ -344,7 +381,7 @@ Engine::StepResult Engine::ProcessIp(Transit t) {
         lse.ttl = static_cast<std::uint8_t>(
             configs_->For(r).ttl_propagate ? p.ip_ttl : 255);
         p.labels.insert(p.labels.begin(), lse);
-        ++stats_.labels_pushed;
+        ++stats.labels_pushed;
       }
       return StepResult{
           .next = Forward(t, NextHop{steering->link, steering->next})};
@@ -357,7 +394,7 @@ Engine::StepResult Engine::ProcessIp(Transit t) {
       return StepResult{.loss = LossReason::kNoRoute};
     }
     return OriginateError(t, PacketKind::kDestinationUnreachable,
-                          /*quote_labels=*/false);
+                          /*quote_labels=*/false, stats);
   }
 
   if (entry->next_hops.empty()) {
@@ -379,17 +416,18 @@ Engine::StepResult Engine::ProcessIp(Transit t) {
       return StepResult{.loss = LossReason::kNoRoute};
     }
     return OriginateError(t, PacketKind::kDestinationUnreachable,
-                          /*quote_labels=*/false);
+                          /*quote_labels=*/false, stats);
   }
 
   const NextHop& hop = PickNextHop(entry->next_hops, p);
-  MaybeImpose(t, *entry, hop, p);
+  MaybeImpose(t, *entry, hop, p, stats);
   return StepResult{.next = Forward(t, hop)};
 }
 
 Engine::StepResult Engine::OriginateError(const Transit& t,
                                           netbase::PacketKind kind,
-                                          bool quote_labels) {
+                                          bool quote_labels,
+                                          EngineStats& stats) const {
   const RouterId r = t.router;
   const topo::Router& router = topology_->router(r);
   const mpls::MplsConfig& config = configs_->For(r);
@@ -397,7 +435,7 @@ Engine::StepResult Engine::OriginateError(const Transit& t,
     return StepResult{.loss = LossReason::kDropped};
   }
   const VendorBehavior behavior = BehaviorOf(router.vendor);
-  ++stats_.icmp_generated;
+  ++stats.icmp_generated;
 
   Packet reply;
   reply.kind = kind;
@@ -426,7 +464,7 @@ Engine::StepResult Engine::OriginateError(const Transit& t,
       lse.ttl = static_cast<std::uint8_t>(
           config.ttl_propagate ? reply.ip_ttl : 255);
       reply.labels = {lse};
-      ++stats_.labels_pushed;
+      ++stats.labels_pushed;
       Transit next;
       next.packet = std::move(reply);
       next.router = r;
@@ -490,7 +528,8 @@ const routing::NextHop& Engine::PickNextHop(
 
 void Engine::MaybeImpose(const Transit& t, const routing::FibEntry& entry,
                          const routing::NextHop& hop,
-                         netbase::Packet& packet) {
+                         netbase::Packet& packet,
+                         EngineStats& stats) const {
   const mpls::MplsConfig& config = configs_->For(t.router);
   if (!config.enabled) return;
   const mpls::LdpDomain* domain =
@@ -523,7 +562,7 @@ void Engine::MaybeImpose(const Transit& t, const routing::FibEntry& entry,
   lse.ttl =
       static_cast<std::uint8_t>(config.ttl_propagate ? packet.ip_ttl : 255);
   packet.labels.insert(packet.labels.begin(), lse);
-  ++stats_.labels_pushed;
+  ++stats.labels_pushed;
 }
 
 bool Engine::IsLocalAddress(topo::RouterId router,

@@ -27,6 +27,8 @@
 //    expiring reply is silently dropped (the probe times out).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -72,6 +74,16 @@ struct EngineStats {
   std::uint64_t icmp_generated = 0;
   std::uint64_t labels_pushed = 0;
   std::uint64_t labels_popped = 0;
+
+  EngineStats& operator+=(const EngineStats& other) {
+    packets_injected += other.packets_injected;
+    hops_processed += other.hops_processed;
+    icmp_generated += other.icmp_generated;
+    labels_pushed += other.labels_pushed;
+    labels_popped += other.labels_popped;
+    return *this;
+  }
+  friend bool operator==(const EngineStats&, const EngineStats&) = default;
 };
 
 class Engine {
@@ -96,9 +108,14 @@ class Engine {
   /// Injects `probe` from the host owning `probe.src` and runs the data
   /// plane until a reply returns to that host or the packet dies.
   /// `probe.src` must be an attached host address.
-  Outcome Send(netbase::Packet probe);
+  ///
+  /// Thread-safe: Send is logically const — routing/LDP/topology state is
+  /// shared read-only, and the stats counters are sharded per thread — so
+  /// any number of probers may inject packets concurrently.
+  Outcome Send(netbase::Packet probe) const;
 
-  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  /// Totals merged across the per-thread stat shards.
+  [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] const topo::Topology& topology() const { return *topology_; }
 
  private:
@@ -137,14 +154,17 @@ class Engine {
       topo::RouterId router, std::uint32_t label,
       const netbase::Packet& packet) const;
 
-  StepResult ProcessAt(Transit t);
-  StepResult ProcessMpls(Transit t);
-  StepResult ProcessIp(Transit t);
+  // The per-packet walk accumulates counters into a caller-local
+  // EngineStats (no shared mutation on the hot path); Send flushes it
+  // into this thread's shard once per injected packet.
+  StepResult ProcessAt(Transit t, EngineStats& stats) const;
+  StepResult ProcessMpls(Transit t, EngineStats& stats) const;
+  StepResult ProcessIp(Transit t, EngineStats& stats) const;
 
   /// Builds an ICMP error about `offender` at router `r`, sourced from the
   /// incoming interface, and hands it to routing (possibly along the LSP).
   StepResult OriginateError(const Transit& t, netbase::PacketKind kind,
-                            bool quote_labels);
+                            bool quote_labels, EngineStats& stats) const;
   netbase::Packet MakeEchoReply(const Transit& t,
                                 netbase::Ipv4Address reply_src,
                                 int initial_ttl) const;
@@ -160,7 +180,8 @@ class Engine {
 
   /// Pushes a label if the route and LDP tables call for it.
   void MaybeImpose(const Transit& t, const routing::FibEntry& entry,
-                   const routing::NextHop& hop, netbase::Packet& packet);
+                   const routing::NextHop& hop, netbase::Packet& packet,
+                   EngineStats& stats) const;
 
   [[nodiscard]] bool IsLocalAddress(topo::RouterId router,
                                     netbase::Ipv4Address address) const;
@@ -172,7 +193,19 @@ class Engine {
   const mpls::TeDatabase* te_;  ///< may be null
   const mpls::SrDatabase* sr_;  ///< may be null
   EngineOptions options_;
-  EngineStats stats_;
+
+  // Cache-line-sized stat shards, one per thread slot (threads beyond the
+  // shard count share slots, hence the relaxed atomics). stats() merges on
+  // read.
+  static constexpr std::size_t kStatShards = 32;
+  struct alignas(64) StatShard {
+    std::atomic<std::uint64_t> packets_injected{0};
+    std::atomic<std::uint64_t> hops_processed{0};
+    std::atomic<std::uint64_t> icmp_generated{0};
+    std::atomic<std::uint64_t> labels_pushed{0};
+    std::atomic<std::uint64_t> labels_popped{0};
+  };
+  mutable std::array<StatShard, kStatShards> stat_shards_;
 };
 
 }  // namespace wormhole::sim

@@ -1,0 +1,100 @@
+// Unit tests for the parallel-execution primitives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace wormhole::exec {
+namespace {
+
+TEST(Exec, HardwareConcurrencyIsAtLeastOne) {
+  EXPECT_GE(HardwareConcurrency(), 1u);
+}
+
+TEST(Exec, ThreadSlotIsStableAndInRange) {
+  const std::size_t slot = ThreadSlot(8);
+  EXPECT_LT(slot, 8u);
+  EXPECT_EQ(ThreadSlot(8), slot);  // stable for the same thread
+
+  std::size_t other = 0;
+  std::thread t([&other] { other = ThreadSlot(1u << 20); });
+  t.join();
+  EXPECT_NE(other, ThreadSlot(1u << 20));  // distinct live threads differ
+}
+
+TEST(Exec, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(pool, hits.size(),
+              [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(Exec, ParallelForRunsInlineOnSingleWorkerPool) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(8);
+  ParallelFor(pool, ran.size(),
+              [&](std::size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (const auto id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(Exec, ParallelForWritesToDistinctShardsNeedNoLocking) {
+  ThreadPool pool(4);
+  std::vector<std::vector<int>> shards(16);
+  ParallelFor(pool, shards.size(), [&](std::size_t i) {
+    shards[i].resize(1000);
+    std::iota(shards[i].begin(), shards[i].end(), static_cast<int>(i));
+  });
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    ASSERT_EQ(shards[i].size(), 1000u);
+    EXPECT_EQ(shards[i].front(), static_cast<int>(i));
+    EXPECT_EQ(shards[i].back(), static_cast<int>(i) + 999);
+  }
+}
+
+TEST(Exec, ParallelForRethrowsTaskExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(pool, 16,
+                           [](std::size_t i) {
+                             if (i == 7) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<int> count{0};
+  ParallelFor(pool, 16, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(Exec, StripedMutexMapsHashesWithinStripeCount) {
+  StripedMutex striped(8);
+  EXPECT_EQ(striped.stripes(), 8u);
+  // Same hash, same stripe: lock/unlock through both paths must agree.
+  std::mutex& a = striped.For(13);
+  std::mutex& b = striped.For(13 + 8);
+  EXPECT_EQ(&a, &b);
+  std::lock_guard<std::mutex> lock(a);
+}
+
+TEST(Exec, StripedMutexSerialisesContendingWriters) {
+  ThreadPool pool(4);
+  StripedMutex striped(4);
+  std::vector<long> totals(4, 0);
+  ParallelFor(pool, 64, [&](std::size_t i) {
+    const std::size_t key = i % totals.size();
+    std::lock_guard<std::mutex> lock(striped.For(key));
+    totals[key] += static_cast<long>(i);
+  });
+  long sum = 0;
+  for (const long t : totals) sum += t;
+  EXPECT_EQ(sum, 63 * 64 / 2);
+}
+
+}  // namespace
+}  // namespace wormhole::exec

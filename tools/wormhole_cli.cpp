@@ -5,10 +5,14 @@
 //   wormhole campaign [seed] [tracefile]      full measurement campaign
 //   wormhole crossval [seed]                  Table-3 cross-validation
 //   wormhole replay <tracefile>               analyse a persisted tracefile
+//
+// --jobs N spreads campaign probing over N worker threads (default: the
+// hardware concurrency); the results are identical for every N.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/campaign_report.h"
 #include "analysis/correct.h"
@@ -32,11 +36,31 @@ int Usage() {
       "usage:\n"
       "  wormhole emulate <default|brpr|dpr|uhp>\n"
       "  wormhole configs <default|brpr|dpr|uhp>\n"
-      "  wormhole campaign [seed] [tracefile.out]\n"
-      "  wormhole report [seed] [outdir]\n"
+      "  wormhole campaign [--jobs N] [seed] [tracefile.out]\n"
+      "  wormhole report [--jobs N] [seed] [outdir]\n"
       "  wormhole crossval [seed]\n"
-      "  wormhole replay <tracefile>\n";
+      "  wormhole replay <tracefile>\n"
+      "\n"
+      "  --jobs N   worker threads for campaign probing\n"
+      "             (0 or omitted: hardware concurrency)\n";
   return 2;
+}
+
+/// Strips `--jobs N` / `--jobs=N` from `args` and returns N (0 = default).
+std::size_t ExtractJobs(std::vector<std::string>& args) {
+  std::size_t jobs = 0;
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--jobs" && i + 1 < args.size()) {
+      jobs = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i].rfind("--jobs=", 0) == 0) {
+      jobs = std::strtoull(args[i].c_str() + 7, nullptr, 10);
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  args = std::move(rest);
+  return jobs;
 }
 
 std::optional<gen::Gns3Scenario> ParseScenario(const std::string& name) {
@@ -71,11 +95,14 @@ int Configs(const std::string& scenario_name) {
   return 0;
 }
 
-int RunCampaign(std::uint64_t seed, const std::string& tracefile) {
+int RunCampaign(std::uint64_t seed, const std::string& tracefile,
+                std::size_t jobs) {
   gen::SyntheticInternet net({.seed = seed});
   std::cout << "world: " << net.profiles().size() << " ASes, "
             << net.topology().router_count() << " routers\n";
-  campaign::Campaign campaign(net.engine(), net.vantage_points(), {});
+  campaign::Campaign campaign(net.engine(), net.vantage_points(),
+                              {.jobs = jobs});
+  std::cout << "probing with " << campaign.jobs() << " worker thread(s)\n";
   const auto result = campaign.Run(net.AllLoopbacks());
   std::cout << "campaign: " << result.probes_sent << " probes, "
             << result.revelations.size() << " candidate pairs, "
@@ -116,9 +143,11 @@ int RunCampaign(std::uint64_t seed, const std::string& tracefile) {
   return 0;
 }
 
-int RunReport(std::uint64_t seed, const std::string& directory) {
+int RunReport(std::uint64_t seed, const std::string& directory,
+              std::size_t jobs) {
   gen::SyntheticInternet net({.seed = seed});
-  campaign::Campaign campaign(net.engine(), net.vantage_points(), {});
+  campaign::Campaign campaign(net.engine(), net.vantage_points(),
+                              {.jobs = jobs});
   const auto result = campaign.Run(net.AllLoopbacks());
   const auto path = analysis::WriteCampaignArtifacts(directory, result,
                                                      net.topology());
@@ -191,23 +220,26 @@ int Replay(const std::string& path) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  if (command == "emulate" && argc >= 3) return Emulate(argv[2]);
-  if (command == "configs" && argc >= 3) return Configs(argv[2]);
+  std::vector<std::string> args(argv + 2, argv + argc);
+  const std::size_t jobs = ExtractJobs(args);
+  if (command == "emulate" && !args.empty()) return Emulate(args[0]);
+  if (command == "configs" && !args.empty()) return Configs(args[0]);
   if (command == "campaign") {
     const std::uint64_t seed =
-        argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 29;
-    return RunCampaign(seed, argc >= 4 ? argv[3] : "");
+        !args.empty() ? std::strtoull(args[0].c_str(), nullptr, 10) : 29;
+    return RunCampaign(seed, args.size() >= 2 ? args[1] : "", jobs);
   }
   if (command == "report") {
     const std::uint64_t seed =
-        argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 29;
-    return RunReport(seed, argc >= 4 ? argv[3] : "wormhole-report");
+        !args.empty() ? std::strtoull(args[0].c_str(), nullptr, 10) : 29;
+    return RunReport(seed, args.size() >= 2 ? args[1] : "wormhole-report",
+                     jobs);
   }
   if (command == "crossval") {
     const std::uint64_t seed =
-        argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 29;
+        !args.empty() ? std::strtoull(args[0].c_str(), nullptr, 10) : 29;
     return RunCrossval(seed);
   }
-  if (command == "replay" && argc >= 3) return Replay(argv[2]);
+  if (command == "replay" && !args.empty()) return Replay(args[0]);
   return Usage();
 }
