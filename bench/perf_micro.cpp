@@ -8,8 +8,11 @@
 #include "gen/gns3.h"
 #include "gen/internet.h"
 #include "mpls/ldp.h"
+#include "netbase/label.h"
+#include "netbase/packet.h"
 #include "probe/prober.h"
 #include "reveal/revelator.h"
+#include "routing/fib.h"
 #include "routing/igp.h"
 
 namespace {
@@ -60,6 +63,83 @@ void BM_LdpDomainBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LdpDomainBuild);
+
+void BM_FibLookup(benchmark::State& state) {
+  // A representative mid-size table: one default route, a spread of /16
+  // and /24 aggregates and a band of /32 host routes (loopbacks), like a
+  // transit router's FIB in the synthetic Internet. The Arg selects the
+  // matched prefix length: 32 (host-route hit), 24 (aggregate hit) or 0
+  // (nothing more specific — the lookup walks every populated length and
+  // lands on the default route).
+  routing::Fib fib;
+  routing::FibEntry e;
+  e.prefix = *netbase::Prefix::Parse("0.0.0.0/0");
+  fib.AddRoute(e);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    e.prefix = netbase::Prefix(netbase::Ipv4Address((10u << 24) | (i << 16)),
+                               16);
+    fib.AddRoute(e);
+    e.prefix = netbase::Prefix(
+        netbase::Ipv4Address((20u << 24) | (i << 8)), 24);
+    fib.AddRoute(e);
+    e.prefix = netbase::Prefix(netbase::Ipv4Address((30u << 24) | i), 32);
+    fib.AddRoute(e);
+  }
+  fib.Seal();
+  netbase::Ipv4Address target;
+  switch (state.range(0)) {
+    case 32: target = netbase::Ipv4Address((30u << 24) | 17); break;
+    case 24: target = netbase::Ipv4Address((20u << 24) | (17u << 8) | 5); break;
+    default: target = netbase::Ipv4Address(99u << 24); break;  // default route
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fib.Lookup(target));
+  }
+  state.counters["routes"] = static_cast<double>(fib.size());
+}
+BENCHMARK(BM_FibLookup)->Arg(32)->Arg(24)->Arg(0);
+
+void BM_LabelStackPushPop(benchmark::State& state) {
+  // The per-hop stack discipline at inline depth: imposition of a full
+  // 4-deep SID list followed by the pops along the path. Zero-allocation
+  // by construction (tests/test_fastpath.cpp asserts it); this measures
+  // the residual cost.
+  for (auto _ : state) {
+    netbase::LabelStack stack;
+    for (std::uint32_t i = 0; i < netbase::kInlineLabelStackDepth; ++i) {
+      netbase::LabelStackEntry lse;
+      lse.label = 16 + i;
+      lse.ttl = 255;
+      stack.push_back(lse);
+    }
+    while (!stack.empty()) stack.pop_back();
+    benchmark::DoNotOptimize(stack);
+  }
+}
+BENCHMARK(BM_LabelStackPushPop);
+
+void BM_MplsSwapPath(benchmark::State& state) {
+  // One ping straight through the BRPR tunnel: imposition at PE1, swaps
+  // across P1..P3, PHP pop, delivery, and the reply's return LSP. This is
+  // the steady-state per-packet cost of the MPLS data plane, without the
+  // traceroute TTL sweep around it.
+  gen::Gns3Testbed testbed(
+      {.scenario = gen::Gns3Scenario::kBackwardRecursive});
+  const sim::Engine& engine = testbed.engine();
+  netbase::Packet probe;
+  probe.kind = netbase::PacketKind::kEchoRequest;
+  probe.src = testbed.vantage_point();
+  probe.dst = testbed.Address("CE2.left");
+  probe.ip_ttl = 64;
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    probe.probe_id = ++id;
+    benchmark::DoNotOptimize(engine.Send(probe));
+  }
+  state.counters["packets/s"] =
+      benchmark::Counter(static_cast<double>(id), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MplsSwapPath);
 
 void BM_TracerouteThroughTunnel(benchmark::State& state) {
   gen::Gns3Testbed testbed(

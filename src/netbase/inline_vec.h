@@ -1,0 +1,148 @@
+// A small-buffer vector: the first N elements live inline (no heap), and
+// only growing past N spills to an ordinary heap buffer.
+//
+// This is the storage behind netbase::LabelStack — the data-plane label
+// stack of every simulated packet — so the steady-state MPLS swap path
+// (push/pop/quote of stacks up to N deep) performs zero allocations per
+// hop. The container is deliberately restricted to trivially copyable
+// element types: relocation is a memcpy, copies never run user code, and
+// the whole thing stays cheap enough to live inside a by-value Packet.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+#include <utility>
+
+namespace wormhole::netbase {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(N > 0, "inline capacity must be non-zero");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is restricted to trivially copyable types");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVec() = default;
+  InlineVec(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+
+  InlineVec(const InlineVec& other) { assign(other.begin(), other.end()); }
+  InlineVec(InlineVec&& other) noexcept { StealFrom(other); }
+
+  InlineVec& operator=(const InlineVec& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+  InlineVec& operator=(InlineVec&& other) noexcept {
+    if (this != &other) {
+      FreeHeap();
+      StealFrom(other);
+    }
+    return *this;
+  }
+  InlineVec& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  ~InlineVec() { FreeHeap(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// True while the elements still live in the inline buffer (no heap).
+  [[nodiscard]] bool is_inline() const { return data_ == inline_; }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data_[size_++] = value;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void assign(const T* first, const T* last) {
+    const auto n = static_cast<std::size_t>(last - first);
+    if (n > capacity_) Grow(n);
+    if (n > 0) std::memmove(data_, first, n * sizeof(T));
+    size_ = n;
+  }
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  void Grow(std::size_t target) {
+    const std::size_t new_capacity = std::max(target, capacity_ * 2);
+    T* heap = new T[new_capacity];
+    if (size_ > 0) std::memcpy(heap, data_, size_ * sizeof(T));
+    FreeHeap();
+    data_ = heap;
+    capacity_ = new_capacity;
+  }
+
+  void FreeHeap() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  /// Takes `other`'s heap buffer (or copies its inline elements) and
+  /// leaves `other` empty with its inline storage.
+  void StealFrom(InlineVec& other) {
+    if (other.data_ == other.inline_) {
+      data_ = inline_;
+      capacity_ = N;
+      size_ = other.size_;
+      if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.capacity_ = N;
+    }
+    other.size_ = 0;
+  }
+
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+  T* data_ = inline_;
+  T inline_[N] = {};
+};
+
+}  // namespace wormhole::netbase

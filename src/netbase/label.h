@@ -3,7 +3,8 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
+
+#include "netbase/inline_vec.h"
 
 namespace wormhole::netbase {
 
@@ -30,8 +31,34 @@ struct LabelStackEntry {
                          const LabelStackEntry&) = default;
 };
 
-/// A full label stack, top of stack first (index 0).
-using LabelStack = std::vector<LabelStackEntry>;
+/// Stacks up to this deep never touch the heap (see InlineVec). Real
+/// campaigns rarely exceed depth 2 (LDP transport + one inner label); SR
+/// SID lists are the only way past 4, and those spill gracefully.
+inline constexpr std::size_t kInlineLabelStackDepth = 4;
+
+/// A full label stack. Two orderings are in use, per field:
+///
+///  * In-flight stacks (`Packet::labels`): TOP of stack LAST (`back()`),
+///    so the data plane's push/swap/pop are O(1) writes at the end and
+///    never shift or reallocate.
+///  * Quoted/wire-order stacks (`Packet::quoted_labels`,
+///    `probe::Hop::labels`, trace files): top of stack FIRST (index 0),
+///    matching RFC 4950 extension order and the paper's Fig. 4 output.
+///
+/// `QuoteStack` converts from the former to the latter.
+using LabelStack = InlineVec<LabelStackEntry, kInlineLabelStackDepth>;
+
+/// Copies an in-flight stack (top at back) into wire order (top first), as
+/// an RFC 4950 quotation does. Allocation-free for stacks within the
+/// inline depth.
+inline LabelStack QuoteStack(const LabelStack& in_flight) {
+  LabelStack quoted;
+  quoted.reserve(in_flight.size());
+  for (auto it = in_flight.end(); it != in_flight.begin();) {
+    quoted.push_back(*--it);
+  }
+  return quoted;
+}
 
 /// Renders "Label 19 TTL=1" like the paris-traceroute output of Fig. 4a.
 inline std::string ToString(const LabelStackEntry& lse) {

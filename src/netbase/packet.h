@@ -39,7 +39,9 @@ struct Packet {
   /// IP header TTL. `int` rather than uint8_t so that arithmetic never
   /// silently wraps (ES.106); the data plane clamps/expires explicitly.
   int ip_ttl = 64;
-  /// MPLS shim, top of stack first; empty when not encapsulated.
+  /// MPLS shim, in-flight order: TOP of stack at the BACK (push/pop are
+  /// O(1) and allocation-free up to kInlineLabelStackDepth); empty when
+  /// not encapsulated.
   LabelStack labels;
 
   /// Flow identifier standing in for the (ports, ICMP checksum) fields that
@@ -50,8 +52,9 @@ struct Packet {
 
   // --- reply-only fields (quotation of the offending packet) -------------
   /// RFC 4950: label stack of the packet whose TTL expired, as quoted by the
-  /// replying router. Empty if the router does not implement RFC 4950 or the
-  /// packet carried no labels.
+  /// replying router — in WIRE order (top of stack first, see QuoteStack).
+  /// Empty if the router does not implement RFC 4950 or the packet carried
+  /// no labels.
   LabelStack quoted_labels;
   /// Address the offending probe was heading to (quoted IP header).
   Ipv4Address quoted_dst;

@@ -1,8 +1,34 @@
 #include "routing/fib.h"
 
 #include <algorithm>
+#include <bit>
+#include <mutex>
 
 namespace wormhole::routing {
+
+namespace {
+
+// splitmix64 finalizer: avalanches the packed (address, length) key so
+// linear probing sees a uniform slot distribution.
+std::uint64_t HashKey(std::uint64_t key) {
+  key += 0x9E3779B97F4A7C15ull;
+  key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ull;
+  key = (key ^ (key >> 27)) * 0x94D049BB133111EBull;
+  return key ^ (key >> 31);
+}
+
+constexpr std::uint32_t MaskAddress(std::uint32_t address, int length) {
+  return length <= 0 ? 0 : address & (~std::uint32_t{0} << (32 - length));
+}
+
+// One mutex for all FIBs: sealing is a rare, short, build-time event, and
+// a per-Fib mutex would cost 40 bytes on every router for nothing.
+std::mutex& SealMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
 
 void Fib::AddRoute(FibEntry entry) {
   std::sort(entry.next_hops.begin(), entry.next_hops.end());
@@ -12,21 +38,62 @@ void Fib::AddRoute(FibEntry entry) {
   const auto key = std::make_pair(entry.prefix.address().value(),
                                   entry.prefix.length());
   routes_.insert_or_assign(key, std::move(entry));
+  Invalidate();
+}
+
+void Fib::Seal() const {
+  std::lock_guard<std::mutex> lock(SealMutex());
+  if (sealed_.load(std::memory_order_relaxed)) return;
+
+  // Load factor <= 0.5: next power of two >= 2 * size (minimum 8 so the
+  // empty-slot terminator always exists).
+  const std::uint64_t capacity =
+      std::bit_ceil(std::max<std::uint64_t>(8, 2 * routes_.size()));
+  slots_.assign(capacity, Slot{});
+  slot_mask_ = capacity - 1;
+  populated_lengths_ = 0;
+
+  for (const auto& [key, entry] : routes_) {
+    populated_lengths_ |= std::uint64_t{1} << key.second;
+    const std::uint64_t packed = KeyOf(key.first, key.second);
+    std::uint64_t i = HashKey(packed) & slot_mask_;
+    while (slots_[i].key != 0) i = (i + 1) & slot_mask_;
+    slots_[i] = Slot{packed, &entry};
+  }
+  sealed_.store(true, std::memory_order_release);
+}
+
+const FibEntry* Fib::FindSealed(std::uint32_t address, int length) const {
+  const std::uint64_t packed = KeyOf(address, length);
+  for (std::uint64_t i = HashKey(packed) & slot_mask_;;
+       i = (i + 1) & slot_mask_) {
+    const Slot& slot = slots_[i];
+    if (slot.key == packed) return slot.entry;
+    if (slot.key == 0) return nullptr;
+  }
 }
 
 const FibEntry* Fib::Lookup(Ipv4Address dst) const {
-  // Probe each possible length from most to least specific; with at most 33
-  // probes into a flat map this is plenty fast for simulation scale.
-  for (int length = 32; length >= 0; --length) {
-    const Prefix candidate(dst, length);
-    const auto it = routes_.find(
-        {candidate.address().value(), candidate.length()});
-    if (it != routes_.end()) return &it->second;
+  if (!sealed_.load(std::memory_order_acquire)) Seal();
+  // Probe only the prefix lengths that exist, most specific first: the
+  // highest set bit of the remaining mask is the next candidate length.
+  std::uint64_t lengths = populated_lengths_;
+  const std::uint32_t address = dst.value();
+  while (lengths != 0) {
+    const int length = std::bit_width(lengths) - 1;
+    lengths &= ~(std::uint64_t{1} << length);
+    if (const FibEntry* entry =
+            FindSealed(MaskAddress(address, length), length)) {
+      return entry;
+    }
   }
   return nullptr;
 }
 
 const FibEntry* Fib::LookupExact(const Prefix& prefix) const {
+  if (sealed_.load(std::memory_order_acquire)) {
+    return FindSealed(prefix.address().value(), prefix.length());
+  }
   const auto it = routes_.find({prefix.address().value(), prefix.length()});
   return it == routes_.end() ? nullptr : &it->second;
 }

@@ -4,8 +4,20 @@
 // (external prefixes). Longest-prefix-match lookup; entries carry their ECMP
 // next-hop set and, for BGP routes, the recursive next hop (the egress LER
 // loopback) that drives MPLS label imposition.
+//
+// Two-sided design: AddRoute fills a mutable build-side (an ordered map,
+// which also serves deterministic enumeration), and Seal() compiles an
+// immutable flat query-side — a populated-prefix-length bitmask plus an
+// open-addressing hash over (masked address, length) — that Lookup probes.
+// LPM then touches only the handful of prefix lengths that actually exist
+// in the table instead of walking all 33, and each probe is a single hash
+// slot chase instead of a red-black-tree descent. Sealing happens lazily on
+// the first Lookup (thread-safely) or eagerly via Seal(); AddRoute
+// invalidates the index, so build → query → rebuild cycles just work.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <vector>
@@ -50,24 +62,79 @@ struct FibEntry {
 
 class Fib {
  public:
-  /// Inserts or replaces the route for `entry.prefix`.
+  Fib() = default;
+  // The sealed index holds pointers into this object's own route map, so
+  // copies and moves transfer only the build-side and re-seal lazily.
+  Fib(const Fib& other) : routes_(other.routes_) {}
+  Fib(Fib&& other) noexcept : routes_(std::move(other.routes_)) {}
+  Fib& operator=(const Fib& other) {
+    if (this != &other) {
+      routes_ = other.routes_;
+      Invalidate();
+    }
+    return *this;
+  }
+  Fib& operator=(Fib&& other) noexcept {
+    if (this != &other) {
+      routes_ = std::move(other.routes_);
+      Invalidate();
+    }
+    return *this;
+  }
+
+  /// Inserts or replaces the route for `entry.prefix`. Build-side only:
+  /// not safe to call concurrently with Lookup.
   void AddRoute(FibEntry entry);
+
+  /// Compiles the flat query index (idempotent, thread-safe). The first
+  /// Lookup seals automatically; calling this eagerly after route
+  /// installation (sim::Network does) keeps the first packet fast.
+  void Seal() const;
 
   /// Longest-prefix-match; nullptr when no route covers `dst`.
   [[nodiscard]] const FibEntry* Lookup(Ipv4Address dst) const;
 
   /// Exact-match on a prefix (FEC lookup for LDP); nullptr if absent.
+  /// Uses the sealed index when available, the build map otherwise (so
+  /// interleaved AddRoute/LookupExact during route installation never
+  /// pays for resealing).
   [[nodiscard]] const FibEntry* LookupExact(const Prefix& prefix) const;
 
   [[nodiscard]] std::size_t size() const { return routes_.size(); }
 
-  /// All entries, most-specific first within each address.
+  /// All entries, in (address, length-ascending) order.
   [[nodiscard]] std::vector<const FibEntry*> Entries() const;
 
  private:
-  // Keyed by (address, -length) so that lower_bound walks from the most
-  // specific candidate; LPM scans a handful of shorter candidates.
+  struct Slot {
+    std::uint64_t key = 0;  ///< 0 = empty (KeyOf never returns 0)
+    const FibEntry* entry = nullptr;
+  };
+
+  /// Packs (masked address, length) so that no valid route collides with
+  /// the empty-slot sentinel: length 0..32 maps to low bits 1..33.
+  static constexpr std::uint64_t KeyOf(std::uint32_t address, int length) {
+    return (std::uint64_t{address} << 8) |
+           static_cast<std::uint64_t>(length + 1);
+  }
+
+  [[nodiscard]] const FibEntry* FindSealed(std::uint32_t address,
+                                           int length) const;
+  void Invalidate() { sealed_.store(false, std::memory_order_release); }
+
+  // Build side. Ordered so Entries() is deterministic; node-based so
+  // sealed-slot and caller-held FibEntry pointers stay valid across
+  // further AddRoute calls.
   std::map<std::pair<std::uint32_t, int>, FibEntry> routes_;
+
+  // Query side, built by Seal(). `sealed_` is the publication point:
+  // readers acquire-load it before touching the index.
+  mutable std::atomic<bool> sealed_{false};
+  mutable std::vector<Slot> slots_;
+  mutable std::uint64_t slot_mask_ = 0;
+  /// Bit l set ⇔ some /l route exists; Lookup probes only these lengths,
+  /// most-specific first.
+  mutable std::uint64_t populated_lengths_ = 0;
 };
 
 }  // namespace wormhole::routing

@@ -63,7 +63,63 @@ Engine::Engine(const topo::Topology& topology,
       ldp_(&ldp),
       te_(te),
       sr_(sr),
-      options_(options) {}
+      options_(options) {
+  // Resolve every per-router hash lookup (config, LDP domain, FIB) once,
+  // up front; the forwarding loop then indexes straight into this vector.
+  router_cache_.reserve(topology.router_count());
+  for (RouterId r = 0; r < topology.router_count(); ++r) {
+    RouterCache rc;
+    rc.router = &topology.router(r);
+    rc.config = &configs.For(r);
+    rc.domain = ldp.DomainOf(rc.router->asn);
+    rc.fib = &fibs.at(r);
+
+    rc.local_addresses.reserve(rc.router->interfaces.size() + 1);
+    rc.local_addresses.push_back(rc.router->loopback);
+    for (const topo::InterfaceId iid : rc.router->interfaces) {
+      rc.local_addresses.push_back(topology.interface(iid).address);
+    }
+
+    // Pre-resolve every LDP in-label this router can receive into the
+    // per-next-hop LabelOp the swap path would compute: exactly the
+    // FecOfLabel → LookupExact → BindingOf chain of the converged
+    // tables, evaluated once per (label, neighbor) here instead of per
+    // packet. Labels are dense from kFirstUnreservedLabel, so the table
+    // is a plain vector.
+    if (rc.domain != nullptr) {
+      for (const netbase::Prefix& fec : rc.domain->FecsOf(r)) {
+        const auto own = rc.domain->BindingOf(r, fec);
+        if (!own || own->kind != mpls::BindingKind::kLabel) continue;
+        const routing::FibEntry* route = rc.fib->LookupExact(fec);
+        if (route == nullptr || route->next_hops.empty()) continue;
+        const std::size_t index =
+            own->label - netbase::kFirstUnreservedLabel;
+        if (index >= rc.ldp_ops.size()) rc.ldp_ops.resize(index + 1);
+        std::vector<LabelOp>& per_hop = rc.ldp_ops[index];
+        per_hop.reserve(route->next_hops.size());
+        for (const NextHop& hop : route->next_hops) {
+          LabelOp op;
+          op.hop = hop;
+          const auto out = rc.domain->BindingOf(hop.neighbor, fec);
+          if (!out || out->kind == mpls::BindingKind::kImplicitNull) {
+            op.kind = LabelOp::Kind::kPop;
+          } else if (out->kind == mpls::BindingKind::kExplicitNull) {
+            op.kind = LabelOp::Kind::kSwapExplicitNull;
+          } else {
+            op.kind = LabelOp::Kind::kSwap;
+            op.out_label = out->label;
+          }
+          per_hop.push_back(op);
+        }
+      }
+    }
+    router_cache_.push_back(std::move(rc));
+  }
+  for (const topo::Host& host : topology.hosts()) {
+    router_cache_[host.gateway].hosts.push_back(
+        AttachedHost{host.address, host.stub_interface});
+  }
+}
 
 std::optional<Engine::LabelOp> Engine::ResolveLabel(
     topo::RouterId router, std::uint32_t label,
@@ -73,7 +129,7 @@ std::optional<Engine::LabelOp> Engine::ResolveLabel(
   // next SID (or the bare IP packet) directly.
   if (sr_ != nullptr) {
     if (const auto target = sr_->RouterOfSid(label)) {
-      const FibEntry* route = fibs_->at(router).LookupExact(
+      const FibEntry* route = router_cache_[router].fib->LookupExact(
           netbase::Prefix::Host(topology_->router(*target).loopback));
       if (route != nullptr && !route->next_hops.empty()) {
         LabelOp op;
@@ -111,26 +167,18 @@ std::optional<Engine::LabelOp> Engine::ResolveLabel(
     }
   }
 
-  const mpls::LdpDomain* domain =
-      ldp_->DomainOf(topology_->router(router).asn);
-  if (domain == nullptr) return std::nullopt;
-  const auto fec = domain->FecOfLabel(router, label);
-  if (!fec) return std::nullopt;
-  const FibEntry* route = fibs_->at(router).LookupExact(*fec);
-  if (route == nullptr || route->next_hops.empty()) return std::nullopt;
-
-  LabelOp op;
-  op.hop = PickNextHop(route->next_hops, packet);
-  const auto out = domain->BindingOf(op.hop.neighbor, *fec);
-  if (!out || out->kind == mpls::BindingKind::kImplicitNull) {
-    op.kind = LabelOp::Kind::kPop;
-  } else if (out->kind == mpls::BindingKind::kExplicitNull) {
-    op.kind = LabelOp::Kind::kSwapExplicitNull;
-  } else {
-    op.kind = LabelOp::Kind::kSwap;
-    op.out_label = out->label;
-  }
-  return op;
+  // LDP: the constructor pre-resolved every (in-label, next hop) pair
+  // into router_cache_; what remains is the ECMP choice, which must match
+  // PickNextHop bit-for-bit (the ops are parallel to the route's sorted
+  // next_hops).
+  if (label < netbase::kFirstUnreservedLabel) return std::nullopt;
+  const RouterCache& rc = router_cache_[router];
+  const std::size_t index = label - netbase::kFirstUnreservedLabel;
+  if (index >= rc.ldp_ops.size()) return std::nullopt;
+  const std::vector<LabelOp>& per_hop = rc.ldp_ops[index];
+  if (per_hop.empty()) return std::nullopt;
+  if (per_hop.size() == 1 || !options_.ecmp_enabled) return per_hop.front();
+  return per_hop[FlowHash(packet) % per_hop.size()];
 }
 
 EngineStats Engine::stats() const {
@@ -175,19 +223,19 @@ Engine::Outcome Engine::Send(netbase::Packet probe) const {
 
     // Delivery to the origin host happens at its gateway, after the
     // gateway's normal forwarding decrement (handled inside ProcessIp).
-    StepResult step = ProcessAt(std::move(transit), local);
+    // Each step advances `transit` in place.
+    StepResult step = ProcessAt(transit, local);
     if (step.outcome) {
       // Only packets addressed to the origin terminate the simulation.
       final = step.outcome->reply.dst == origin_address
-                  ? *step.outcome
+                  ? std::move(*step.outcome)
                   : Outcome{.received = false, .loss = LossReason::kDropped};
       break;
     }
-    if (!step.next) {
+    if (step.loss != LossReason::kNone) {
       final = Outcome{.received = false, .loss = step.loss};
       break;
     }
-    transit = std::move(*step.next);
   }
 
   StatShard& shard = stat_shards_[exec::ThreadSlot(kStatShards)];
@@ -204,50 +252,57 @@ Engine::Outcome Engine::Send(netbase::Packet probe) const {
   return final;
 }
 
-Engine::StepResult Engine::ProcessAt(Transit t, EngineStats& stats) const {
-  if (t.packet.has_labels()) return ProcessMpls(std::move(t), stats);
-  return ProcessIp(std::move(t), stats);
+Engine::StepResult Engine::ProcessAt(Transit& t, EngineStats& stats) const {
+  if (t.packet.has_labels()) return ProcessMpls(t, stats);
+  return ProcessIp(t, stats);
 }
 
-Engine::StepResult Engine::ProcessMpls(Transit t, EngineStats& stats) const {
+Engine::StepResult Engine::ProcessMpls(Transit& t, EngineStats& stats) const {
   const RouterId r = t.router;
-  LabelStackEntry& top = t.packet.labels.front();
+  // In-flight stacks keep the top of stack at the BACK: push/swap/pop are
+  // O(1) writes at the end, and the expiry path below is the only place
+  // the stack is ever copied (for the RFC 4950 quotation) — an untouched
+  // pre-decrement stack is quoted directly, so the non-expiring hop never
+  // copies anything.
+  LabelStackEntry& top = t.packet.labels.back();
 
   if (top.label == kExplicitNull) {
     // UHP disposition at the Egress LER. The LSE-TTL check still applies
     // (it can only fire under ttl-propagate).
-    const LabelStack received = t.packet.labels;
-    top.ttl = static_cast<std::uint8_t>(top.ttl - 1);
-    if (top.ttl == 0) {
+    const auto decremented = static_cast<std::uint8_t>(top.ttl - 1);
+    if (decremented == 0) {
       if (t.packet.kind != PacketKind::kEchoRequest) {
         return StepResult{.loss = LossReason::kReplyExpired};
       }
-      t.packet.labels = received;  // quote the stack as received
+      // Stack still as received: quote it. No table maps explicit-null,
+      // so there is no label operation to forward the ICMP along.
       return OriginateError(t, PacketKind::kTimeExceeded,
                             /*quote_labels=*/true, stats);
     }
-    t.packet.labels.erase(t.packet.labels.begin());
+    t.packet.labels.pop_back();
     ++stats.labels_popped;
     // Emulation-calibrated: decrement without an expiry check, no min copy
     // (see engine.h); then a fresh IP pass with no further decrement.
     if (t.packet.ip_ttl > 0) --t.packet.ip_ttl;
     t.skip_ip_decrement = true;
-    return ProcessIp(std::move(t), stats);
+    return ProcessIp(t, stats);
   }
 
   const auto op = ResolveLabel(r, top.label, t.packet);
   if (!op) return StepResult{.loss = LossReason::kDropped};
 
-  const LabelStack received = t.packet.labels;
-  top.ttl = static_cast<std::uint8_t>(top.ttl - 1);
-  if (top.ttl == 0) {
+  const auto decremented = static_cast<std::uint8_t>(top.ttl - 1);
+  if (decremented == 0) {
     if (t.packet.kind != PacketKind::kEchoRequest) {
       return StepResult{.loss = LossReason::kReplyExpired};
     }
-    t.packet.labels = received;  // quote pre-decrement values (RFC 4950)
+    // Stack still holds the pre-decrement values (RFC 4950 quotes the
+    // packet as received); reuse the op resolved above for the
+    // ICMP-along-the-LSP decision instead of resolving again.
     return OriginateError(t, PacketKind::kTimeExceeded,
-                          /*quote_labels=*/true, stats);
+                          /*quote_labels=*/true, stats, &*op);
   }
+  top.ttl = decremented;
 
   switch (op->kind) {
     case LabelOp::Kind::kPop: {
@@ -255,12 +310,12 @@ Engine::StepResult Engine::ProcessMpls(Transit t, EngineStats& stats) const {
       // effect): the min rule applies between the popped LSE-TTL and
       // whatever gets exposed — the inner label of a stacked packet (SR
       // SID lists) or the IP header (RFC 3443 §5.4).
-      const auto popped = static_cast<int>(top.ttl);
-      t.packet.labels.erase(t.packet.labels.begin());
+      const auto popped = static_cast<int>(decremented);
+      t.packet.labels.pop_back();
       ++stats.labels_popped;
-      if (configs_->For(r).min_ttl_on_pop) {
+      if (router_cache_[r].config->min_ttl_on_pop) {
         if (!t.packet.labels.empty()) {
-          LabelStackEntry& exposed = t.packet.labels.front();
+          LabelStackEntry& exposed = t.packet.labels.back();
           exposed.ttl = static_cast<std::uint8_t>(
               std::min(static_cast<int>(exposed.ttl), popped));
         } else {
@@ -276,12 +331,17 @@ Engine::StepResult Engine::ProcessMpls(Transit t, EngineStats& stats) const {
       top.label = op->out_label;
       break;
   }
-  return StepResult{.next = Forward(t, op->hop)};
+  Forward(t, op->hop);
+  return {};
 }
 
-Engine::StepResult Engine::ProcessIp(Transit t, EngineStats& stats) const {
+Engine::StepResult Engine::ProcessIp(Transit& t, EngineStats& stats) const {
   const RouterId r = t.router;
-  const topo::Router& router = topology_->router(r);
+  const RouterCache& rc = router_cache_[r];
+  const topo::Router& router = *rc.router;
+  // One config resolution per hop: the SR check, the TE check and
+  // MaybeImpose below all read this reference instead of re-fetching.
+  const mpls::MplsConfig& config = *rc.config;
   Packet& p = t.packet;
 
   // Delivery to one of this router's own addresses happens before any
@@ -291,19 +351,15 @@ Engine::StepResult Engine::ProcessIp(Transit t, EngineStats& stats) const {
       // A reply addressed to a router: nothing is waiting for it.
       return StepResult{.loss = LossReason::kDropped};
     }
-    const mpls::MplsConfig& config = configs_->For(r);
     if (config.icmp_silent || IcmpLost(p, r, config.icmp_loss)) {
       return StepResult{.loss = LossReason::kDropped};
     }
     const VendorBehavior behavior = BehaviorOf(router.vendor);
     Packet reply = MakeEchoReply(t, p.dst, behavior.initial_ttl_echo_reply);
     ++stats.icmp_generated;
-    Transit next;
-    next.packet = std::move(reply);
-    next.router = r;
-    next.in_interface = t.in_interface;
-    next.locally_originated = true;
-    return StepResult{.next = std::move(next)};
+    t.packet = std::move(reply);  // answered at the same router
+    t.locally_originated = true;
+    return {};
   }
 
   // Transit decrement (skipped right after local origination or UHP pop).
@@ -321,74 +377,80 @@ Engine::StepResult Engine::ProcessIp(Transit t, EngineStats& stats) const {
   t.skip_ip_decrement = false;
 
   // Delivery to an attached host (after the decrement — the stub segment
-  // is an ordinary IP hop).
-  if (const topo::Host* host = topology_->FindHost(p.dst);
-      host != nullptr && host->gateway == r) {
+  // is an ordinary IP hop). Only hosts gatewayed by THIS router matter,
+  // so the cached per-router list replaces the global host hash.
+  for (const AttachedHost& host : rc.hosts) {
+    if (host.address != p.dst) continue;
     if (p.is_reply()) {
       Outcome outcome;
       outcome.received = true;
-      outcome.reply = p;
       outcome.rtt_ms = p.elapsed_ms + options_.host_stub_delay_ms;
+      outcome.reply = std::move(p);
       return StepResult{.outcome = std::move(outcome)};
     }
     // An echo-request probing the host itself: the host answers.
     Packet reply = MakeEchoReply(t, p.dst, kHostEchoReplyTtl);
     reply.elapsed_ms += 2 * options_.host_stub_delay_ms;
     ++stats.icmp_generated;
-    Transit next;
-    next.packet = std::move(reply);
-    next.router = r;
-    next.in_interface = host->stub_interface;
-    // The gateway forwards (and decrements) the host's reply normally.
-    return StepResult{.next = std::move(next)};
+    t.packet = std::move(reply);
+    t.in_interface = host.stub_interface;
+    // The gateway forwards (and decrements) the host's reply normally:
+    // locally_originated stays false.
+    return {};
   }
 
   // SR steering: the ingress imposes the policy's SID list; the packet
   // then waypoint-hops through the domain.
-  if (sr_ != nullptr && configs_->For(r).enabled) {
+  if (sr_ != nullptr && config.enabled) {
     if (const mpls::SrPolicy* policy = sr_->PolicyFor(r, p.dst)) {
-      const FibEntry* route = fibs_->at(r).LookupExact(netbase::Prefix::Host(
+      const FibEntry* route = rc.fib->LookupExact(netbase::Prefix::Host(
           topology_->router(policy->waypoints.front()).loopback));
       if (route != nullptr && !route->next_hops.empty()) {
         const NextHop hop = PickNextHop(route->next_hops, p);
-        const bool propagate = configs_->For(r).ttl_propagate;
-        netbase::LabelStack stack;
-        for (const topo::RouterId waypoint : policy->waypoints) {
+        const bool propagate = config.ttl_propagate;
+        // Impose the SID list directly onto the in-flight stack: deepest
+        // segment first, so the first waypoint's SID ends up on top (the
+        // back). The deepest new entry carries the bottom-of-stack flag.
+        const std::size_t before = p.labels.size();
+        const auto& waypoints = policy->waypoints;
+        for (auto it = waypoints.rbegin(); it != waypoints.rend(); ++it) {
           LabelStackEntry lse;
-          lse.label = mpls::NodeSid(waypoint);
+          lse.label = mpls::NodeSid(*it);
           lse.ttl = static_cast<std::uint8_t>(propagate ? p.ip_ttl : 255);
           lse.bottom_of_stack = false;
-          stack.push_back(lse);
+          p.labels.push_back(lse);
         }
-        if (!stack.empty()) stack.back().bottom_of_stack = true;
-        if (hop.neighbor == policy->waypoints.front()) {
-          stack.erase(stack.begin());  // PHP at push for the first segment
+        if (p.labels.size() > before) {
+          p.labels[before].bottom_of_stack = true;
         }
-        p.labels.insert(p.labels.begin(), stack.begin(), stack.end());
-        stats.labels_pushed += stack.size();
-        return StepResult{.next = Forward(t, hop)};
+        if (hop.neighbor == waypoints.front()) {
+          p.labels.pop_back();  // PHP at push for the first segment
+        }
+        stats.labels_pushed += p.labels.size() - before;
+        Forward(t, hop);
+        return {};
       }
     }
   }
 
   // RSVP-TE steering: a tunnel ingress pins selected prefixes onto an
   // explicit route, overriding the IGP next hop.
-  if (te_ != nullptr && configs_->For(r).enabled) {
+  if (te_ != nullptr && config.enabled) {
     if (const mpls::TeSteering* steering = te_->SteeringFor(r, p.dst)) {
       if (steering->labeled) {
         LabelStackEntry lse;
         lse.label = steering->label;
         lse.ttl = static_cast<std::uint8_t>(
-            configs_->For(r).ttl_propagate ? p.ip_ttl : 255);
-        p.labels.insert(p.labels.begin(), lse);
+            config.ttl_propagate ? p.ip_ttl : 255);
+        p.labels.push_back(lse);
         ++stats.labels_pushed;
       }
-      return StepResult{
-          .next = Forward(t, NextHop{steering->link, steering->next})};
+      Forward(t, NextHop{steering->link, steering->next});
+      return {};
     }
   }
 
-  const FibEntry* entry = fibs_->at(r).Lookup(p.dst);
+  const FibEntry* entry = rc.fib->Lookup(p.dst);
   if (entry == nullptr) {
     if (p.kind != PacketKind::kEchoRequest) {
       return StepResult{.loss = LossReason::kNoRoute};
@@ -408,8 +470,8 @@ Engine::StepResult Engine::ProcessIp(Transit t, EngineStats& stats) const {
       }
       const topo::Interface& peer = topology_->OtherEnd(iface.link, r);
       if (peer.address == p.dst) {
-        return StepResult{
-            .next = Forward(t, NextHop{iface.link, peer.router})};
+        Forward(t, NextHop{iface.link, peer.router});
+        return {};
       }
     }
     if (p.kind != PacketKind::kEchoRequest) {
@@ -420,21 +482,23 @@ Engine::StepResult Engine::ProcessIp(Transit t, EngineStats& stats) const {
   }
 
   const NextHop& hop = PickNextHop(entry->next_hops, p);
-  MaybeImpose(t, *entry, hop, p, stats);
-  return StepResult{.next = Forward(t, hop)};
+  MaybeImpose(rc, *entry, hop, p, stats);
+  Forward(t, hop);
+  return {};
 }
 
-Engine::StepResult Engine::OriginateError(const Transit& t,
+Engine::StepResult Engine::OriginateError(Transit& t,
                                           netbase::PacketKind kind,
                                           bool quote_labels,
-                                          EngineStats& stats) const {
+                                          EngineStats& stats,
+                                          const LabelOp* lsp_op) const {
   const RouterId r = t.router;
-  const topo::Router& router = topology_->router(r);
-  const mpls::MplsConfig& config = configs_->For(r);
+  const RouterCache& rc = router_cache_[r];
+  const mpls::MplsConfig& config = *rc.config;
   if (config.icmp_silent || IcmpLost(t.packet, r, config.icmp_loss)) {
     return StepResult{.loss = LossReason::kDropped};
   }
-  const VendorBehavior behavior = BehaviorOf(router.vendor);
+  const VendorBehavior behavior = BehaviorOf(rc.router->vendor);
   ++stats.icmp_generated;
 
   Packet reply;
@@ -447,38 +511,34 @@ Engine::StepResult Engine::OriginateError(const Transit& t,
   reply.quoted_dst = t.packet.dst;
   reply.elapsed_ms = t.packet.elapsed_ms;
   reply.hops_traversed = t.packet.hops_traversed;
-  if (quote_labels && config.rfc4950) reply.quoted_labels = t.packet.labels;
+  if (quote_labels && config.rfc4950) {
+    reply.quoted_labels = netbase::QuoteStack(t.packet.labels);
+  }
 
   // An error generated mid-LSP is first forwarded along the tunnel: it is
-  // sent out with the label the offending packet would have carried. When
-  // the operation is a PHP pop (no label left), the reply is routed
-  // directly instead.
+  // sent out with the label the offending packet would have carried
+  // (`lsp_op`, resolved once by the caller). When the operation is a PHP
+  // pop (no label left), the reply is routed directly instead.
   if (quote_labels && config.icmp_along_lsp && !t.packet.labels.empty()) {
-    const auto op =
-        ResolveLabel(r, t.packet.labels.front().label, t.packet);
-    if (op && op->kind != LabelOp::Kind::kPop) {
+    if (lsp_op != nullptr && lsp_op->kind != LabelOp::Kind::kPop) {
       LabelStackEntry lse;
-      lse.label = op->kind == LabelOp::Kind::kSwapExplicitNull
+      lse.label = lsp_op->kind == LabelOp::Kind::kSwapExplicitNull
                       ? kExplicitNull
-                      : op->out_label;
+                      : lsp_op->out_label;
       lse.ttl = static_cast<std::uint8_t>(
           config.ttl_propagate ? reply.ip_ttl : 255);
       reply.labels = {lse};
       ++stats.labels_pushed;
-      Transit next;
-      next.packet = std::move(reply);
-      next.router = r;
-      next.in_interface = t.in_interface;
-      return StepResult{.next = Forward(next, op->hop)};
+      t.packet = std::move(reply);  // same router, same incoming interface
+      Forward(t, lsp_op->hop);
+      return {};
     }
   }
 
-  Transit next;
-  next.packet = std::move(reply);
-  next.router = r;
-  next.in_interface = t.in_interface;
-  next.locally_originated = true;
-  return StepResult{.next = std::move(next)};
+  t.packet = std::move(reply);
+  t.locally_originated = true;
+  t.skip_ip_decrement = false;
+  return {};
 }
 
 netbase::Packet Engine::MakeEchoReply(const Transit& t,
@@ -496,10 +556,7 @@ netbase::Packet Engine::MakeEchoReply(const Transit& t,
   return reply;
 }
 
-Engine::Transit Engine::Forward(const Transit& t,
-                                const routing::NextHop& hop) const {
-  Transit next;
-  next.packet = t.packet;
+void Engine::Forward(Transit& t, const routing::NextHop& hop) const {
   double delay = topology_->link(hop.link).delay_ms;
   if (options_.delay_jitter_fraction > 0.0) {
     // Deterministic per (probe, link) jitter in [-f, +f] of the base delay.
@@ -512,11 +569,14 @@ Engine::Transit Engine::Forward(const Transit& t,
         static_cast<double>(h >> 11) / static_cast<double>(1ull << 53);
     delay *= 1.0 + options_.delay_jitter_fraction * (2.0 * unit - 1.0);
   }
-  next.packet.elapsed_ms += delay;
-  ++next.packet.hops_traversed;
-  next.router = hop.neighbor;
-  next.in_interface = topology_->EndOn(hop.link, hop.neighbor).id;
-  return next;
+  t.packet.elapsed_ms += delay;
+  ++t.packet.hops_traversed;
+  t.router = hop.neighbor;
+  t.in_interface = topology_->EndOn(hop.link, hop.neighbor).id;
+  // The one-shot flags describe the router the packet just left, never the
+  // neighbor it arrives at.
+  t.locally_originated = false;
+  t.skip_ip_decrement = false;
 }
 
 const routing::NextHop& Engine::PickNextHop(
@@ -526,14 +586,14 @@ const routing::NextHop& Engine::PickNextHop(
   return hops[FlowHash(packet) % hops.size()];
 }
 
-void Engine::MaybeImpose(const Transit& t, const routing::FibEntry& entry,
+void Engine::MaybeImpose(const RouterCache& rc,
+                         const routing::FibEntry& entry,
                          const routing::NextHop& hop,
                          netbase::Packet& packet,
                          EngineStats& stats) const {
-  const mpls::MplsConfig& config = configs_->For(t.router);
+  const mpls::MplsConfig& config = *rc.config;
   if (!config.enabled) return;
-  const mpls::LdpDomain* domain =
-      ldp_->DomainOf(topology_->router(t.router).asn);
+  const mpls::LdpDomain* domain = rc.domain;
   if (domain == nullptr) return;
 
   netbase::Prefix fec;
@@ -561,14 +621,19 @@ void Engine::MaybeImpose(const Transit& t, const routing::FibEntry& entry,
                   : binding->label;
   lse.ttl =
       static_cast<std::uint8_t>(config.ttl_propagate ? packet.ip_ttl : 255);
-  packet.labels.insert(packet.labels.begin(), lse);
+  packet.labels.push_back(lse);  // in-flight order: new top goes at the back
   ++stats.labels_pushed;
 }
 
 bool Engine::IsLocalAddress(topo::RouterId router,
                             netbase::Ipv4Address address) const {
-  const auto owner = topology_->FindRouterByAddress(address);
-  return owner && *owner == router;
+  // Scanning this router's few addresses beats the global address hash;
+  // the set is exactly what FindRouterByAddress would map to `router`.
+  for (const netbase::Ipv4Address local :
+       router_cache_[router].local_addresses) {
+    if (local == address) return true;
+  }
+  return false;
 }
 
 }  // namespace wormhole::sim

@@ -130,9 +130,12 @@ class Engine {
     bool skip_ip_decrement = false;
   };
 
-  // Each step returns the next Transit, a final Outcome, or a loss.
+  // Each step either advances the caller's Transit IN PLACE (default
+  // result: no outcome, loss == kNone), finishes with an Outcome, or
+  // loses the packet. Threading one mutable Transit through the loop —
+  // instead of returning a fresh one per hop — keeps the packet (with
+  // its inline label stacks) unmoved in memory across hops.
   struct StepResult {
-    std::optional<Transit> next;
     std::optional<Outcome> outcome;
     LossReason loss = LossReason::kNone;
   };
@@ -149,6 +152,42 @@ class Engine {
     std::uint32_t out_label = 0;
   };
 
+  /// A host hanging off a router, reduced to what the delivery check
+  /// needs per hop.
+  struct AttachedHost {
+    netbase::Ipv4Address address;
+    topo::InterfaceId stub_interface = topo::kNoInterface;
+  };
+
+  /// Per-router hot-path state resolved once at engine construction, so
+  /// the per-hop loop never repeats the config / LDP-domain / FIB hash
+  /// and bounds-checked lookups. Pointees are stable: MplsConfigMap and
+  /// LdpTables are node-based maps that are never erased from, and the
+  /// FIB vector is fixed-size for the engine's lifetime. Config *values*
+  /// may still be tweaked after construction (tests do) — the cache holds
+  /// pointers, not copies, so it always sees the live values. The derived
+  /// tables (addresses, hosts, LDP ops) snapshot structures that the
+  /// simulator never mutates after the control plane converged.
+  struct RouterCache {
+    const topo::Router* router = nullptr;
+    const mpls::MplsConfig* config = nullptr;
+    const mpls::LdpDomain* domain = nullptr;  ///< null: AS not MPLS-enabled
+    const routing::Fib* fib = nullptr;
+    /// Addresses owned by this router (loopback + every interface),
+    /// scanned instead of the global address hash on local delivery.
+    std::vector<netbase::Ipv4Address> local_addresses;
+    /// Hosts whose gateway is this router (usually none or one).
+    std::vector<AttachedHost> hosts;
+    /// LDP forwarding, fully resolved: index (in-label - 16) → one
+    /// LabelOp per ECMP next hop of the FEC's route (empty vector: label
+    /// unbound, or FEC without a usable route — resolves to nullopt).
+    /// Collapses the FecOfLabel → LookupExact → BindingOf hash chain of
+    /// the swap path into a single indexed load; valid because LDP
+    /// labels are allocated densely from kFirstUnreservedLabel and the
+    /// converged tables are immutable.
+    std::vector<std::vector<LabelOp>> ldp_ops;
+  };
+
   /// Resolves `label` at `router`, consulting RSVP-TE then LDP tables.
   [[nodiscard]] std::optional<LabelOp> ResolveLabel(
       topo::RouterId router, std::uint32_t label,
@@ -157,21 +196,27 @@ class Engine {
   // The per-packet walk accumulates counters into a caller-local
   // EngineStats (no shared mutation on the hot path); Send flushes it
   // into this thread's shard once per injected packet.
-  StepResult ProcessAt(Transit t, EngineStats& stats) const;
-  StepResult ProcessMpls(Transit t, EngineStats& stats) const;
-  StepResult ProcessIp(Transit t, EngineStats& stats) const;
+  StepResult ProcessAt(Transit& t, EngineStats& stats) const;
+  StepResult ProcessMpls(Transit& t, EngineStats& stats) const;
+  StepResult ProcessIp(Transit& t, EngineStats& stats) const;
 
-  /// Builds an ICMP error about `offender` at router `r`, sourced from the
+  /// Replaces `t.packet` with an ICMP error about it, sourced from the
   /// incoming interface, and hands it to routing (possibly along the LSP).
-  StepResult OriginateError(const Transit& t, netbase::PacketKind kind,
-                            bool quote_labels, EngineStats& stats) const;
+  /// `lsp_op` is the already-resolved label operation of the offending
+  /// packet's top label (null when none resolved — plain IP expiry or an
+  /// explicit-null top, which no table maps); it drives the
+  /// ICMP-along-the-LSP forwarding without a second ResolveLabel.
+  StepResult OriginateError(Transit& t, netbase::PacketKind kind,
+                            bool quote_labels, EngineStats& stats,
+                            const LabelOp* lsp_op = nullptr) const;
   netbase::Packet MakeEchoReply(const Transit& t,
                                 netbase::Ipv4Address reply_src,
                                 int initial_ttl) const;
 
-  /// Forwards `t.packet` out of `t.router` towards `hop`, accumulating
-  /// link delay; returns the Transit at the neighbor.
-  Transit Forward(const Transit& t, const routing::NextHop& hop) const;
+  /// Forwards `t.packet` out of `t.router` towards `hop` in place:
+  /// accumulates link delay and re-homes `t` at the neighbor. The packet
+  /// bytes never move.
+  void Forward(Transit& t, const routing::NextHop& hop) const;
 
   /// Chooses the ECMP next hop for this packet (stable per flow).
   const routing::NextHop& PickNextHop(
@@ -179,7 +224,7 @@ class Engine {
       const netbase::Packet& packet) const;
 
   /// Pushes a label if the route and LDP tables call for it.
-  void MaybeImpose(const Transit& t, const routing::FibEntry& entry,
+  void MaybeImpose(const RouterCache& rc, const routing::FibEntry& entry,
                    const routing::NextHop& hop, netbase::Packet& packet,
                    EngineStats& stats) const;
 
@@ -193,6 +238,8 @@ class Engine {
   const mpls::TeDatabase* te_;  ///< may be null
   const mpls::SrDatabase* sr_;  ///< may be null
   EngineOptions options_;
+  /// Indexed by RouterId; built once in the constructor.
+  std::vector<RouterCache> router_cache_;
 
   // Cache-line-sized stat shards, one per thread slot (threads beyond the
   // shard count share slots, hence the relaxed atomics). stats() merges on

@@ -15,6 +15,9 @@ Network::Network(const topo::Topology& topology,
   }
   routing::InstallBgpRoutes(topology, bgp_policy, fibs_);
   ldp_ = mpls::LdpTables(topology, configs, fibs_);
+  // Route installation is done: compile every FIB's flat query index now,
+  // off the packet path, instead of lazily on each router's first lookup.
+  for (const routing::Fib& fib : fibs_) fib.Seal();
   engine_ = std::make_unique<Engine>(topology, configs, fibs_, ldp_,
                                      options, te, sr);
 }

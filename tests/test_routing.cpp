@@ -75,6 +75,103 @@ TEST(Fib, DeduplicatesNextHops) {
   EXPECT_EQ(hit->next_hops[0], (NextHop{1, 5}));
 }
 
+TEST(Fib, DefaultRouteCatchesEverythingUncovered) {
+  Fib fib;
+  FibEntry def;
+  def.prefix = *netbase::Prefix::Parse("0.0.0.0/0");
+  def.source = RouteSource::kBgp;
+  fib.AddRoute(def);
+  FibEntry narrow;
+  narrow.prefix = *netbase::Prefix::Parse("5.1.0.0/16");
+  narrow.source = RouteSource::kIgp;
+  fib.AddRoute(narrow);
+
+  // Covered address: the /16 wins over /0.
+  const FibEntry* hit = fib.Lookup(*netbase::Ipv4Address::Parse("5.1.9.9"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->prefix.length(), 16);
+  // Anything else falls through to the default route, never to nullptr.
+  for (const char* addr : {"5.2.0.1", "9.0.0.1", "0.0.0.0",
+                           "255.255.255.255"}) {
+    hit = fib.Lookup(*netbase::Ipv4Address::Parse(addr));
+    ASSERT_NE(hit, nullptr) << addr;
+    EXPECT_EQ(hit->prefix.length(), 0) << addr;
+  }
+}
+
+TEST(Fib, OverlappingPrefixesMostSpecificWins) {
+  // A full nesting chain /8 ⊃ /16 ⊃ /24 ⊃ /32 around one address: each
+  // probe address must land on exactly the deepest prefix covering it.
+  Fib fib;
+  for (const char* p : {"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24",
+                        "10.1.2.3/32"}) {
+    FibEntry e;
+    e.prefix = *netbase::Prefix::Parse(p);
+    fib.AddRoute(e);
+  }
+  const auto probe = [&](const char* addr) {
+    const FibEntry* hit = fib.Lookup(*netbase::Ipv4Address::Parse(addr));
+    return hit == nullptr ? -1 : hit->prefix.length();
+  };
+  EXPECT_EQ(probe("10.1.2.3"), 32);
+  EXPECT_EQ(probe("10.1.2.4"), 24);
+  EXPECT_EQ(probe("10.1.3.3"), 16);
+  EXPECT_EQ(probe("10.2.2.3"), 8);
+  EXPECT_EQ(probe("11.1.2.3"), -1);
+}
+
+TEST(Fib, HostRoutesMatchExactlyOneAddress) {
+  Fib fib;
+  FibEntry host;
+  host.prefix = netbase::Prefix::Host(*netbase::Ipv4Address::Parse("7.7.7.7"));
+  fib.AddRoute(host);
+  const FibEntry* hit = fib.Lookup(*netbase::Ipv4Address::Parse("7.7.7.7"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->prefix.length(), 32);
+  // The neighboring addresses share 31 leading bits but must not match.
+  EXPECT_EQ(fib.Lookup(*netbase::Ipv4Address::Parse("7.7.7.6")), nullptr);
+  EXPECT_EQ(fib.Lookup(*netbase::Ipv4Address::Parse("7.7.7.8")), nullptr);
+}
+
+TEST(Fib, LookupExactMissesOnUnpopulatedLengths) {
+  Fib fib;
+  FibEntry e;
+  e.prefix = *netbase::Prefix::Parse("10.0.0.0/8");
+  fib.AddRoute(e);
+  e.prefix = *netbase::Prefix::Parse("10.1.2.0/24");
+  fib.AddRoute(e);
+  // Force both code paths: unsealed (map) first, then sealed (flat index).
+  for (int pass = 0; pass < 2; ++pass) {
+    EXPECT_EQ(fib.LookupExact(*netbase::Prefix::Parse("10.1.0.0/16")),
+              nullptr) << "pass " << pass;
+    EXPECT_EQ(fib.LookupExact(*netbase::Prefix::Parse("10.0.0.0/9")),
+              nullptr) << "pass " << pass;
+    EXPECT_NE(fib.LookupExact(*netbase::Prefix::Parse("10.1.2.0/24")),
+              nullptr) << "pass " << pass;
+    fib.Seal();
+  }
+}
+
+TEST(Fib, AddRouteAfterLookupRebuildsTheIndex) {
+  Fib fib;
+  FibEntry wide;
+  wide.prefix = *netbase::Prefix::Parse("5.0.0.0/8");
+  fib.AddRoute(wide);
+  const auto addr = *netbase::Ipv4Address::Parse("5.1.2.3");
+  const FibEntry* hit = fib.Lookup(addr);  // seals lazily
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->prefix.length(), 8);
+
+  // Installing a more-specific route after the first Lookup must
+  // invalidate and rebuild the sealed index.
+  FibEntry narrow;
+  narrow.prefix = *netbase::Prefix::Parse("5.1.0.0/16");
+  fib.AddRoute(narrow);
+  hit = fib.Lookup(addr);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->prefix.length(), 16);
+}
+
 TEST(Spf, DistancesOnGrid) {
   const Topology t = Grid();
   const SpfResult spf = ComputeSpf(t, 0);
