@@ -89,7 +89,9 @@ void BM_FibLookup(benchmark::State& state) {
   netbase::Ipv4Address target;
   switch (state.range(0)) {
     case 32: target = netbase::Ipv4Address((30u << 24) | 17); break;
-    case 24: target = netbase::Ipv4Address((20u << 24) | (17u << 8) | 5); break;
+    case 24:
+      target = netbase::Ipv4Address((20u << 24) | (17u << 8) | 5);
+      break;
     default: target = netbase::Ipv4Address(99u << 24); break;  // default route
   }
   for (auto _ : state) {

@@ -31,7 +31,7 @@ std::string TextTable::ToString() const {
     os << '\n';
   };
   emit(headers_);
-  std::size_t total = headers_.size() > 0 ? 2 * (headers_.size() - 1) : 0;
+  std::size_t total = headers_.empty() ? 0 : 2 * (headers_.size() - 1);
   for (const std::size_t w : widths) total += w;
   os << std::string(total, '-') << '\n';
   for (const auto& row : rows_) emit(row);

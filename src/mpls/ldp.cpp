@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "netbase/contracts.h"
+
 namespace wormhole::mpls {
 
 namespace {
@@ -49,6 +51,10 @@ LdpDomain::LdpDomain(const topo::Topology& topology,
       } else {
         binding.kind = BindingKind::kLabel;
         binding.label = next_label++;
+        // Dense allocation from kFirstUnreservedLabel is what lets the
+        // engine pre-resolve bindings into a flat ldp_ops vector.
+        WORMHOLE_ASSERT(binding.label <= netbase::kMaxLabel,
+                        "LDP label space exhausted (20-bit overflow)");
         tables.label_to_fec.emplace(binding.label, fec);
       }
       tables.bindings.emplace(fec, binding);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "netbase/contracts.h"
+
 namespace wormhole::mpls {
 
 namespace {
@@ -42,6 +44,10 @@ std::size_t TeDatabase::AddTunnel(const topo::Topology& topology,
   const std::size_t hops = spec.path.size() - 1;
   std::vector<std::uint32_t> labels(hops, 0);
   for (std::size_t i = 0; i < hops; ++i) labels[i] = next_label_++;
+  // TE labels live in [kTeLabelBase, SRGB base): overflowing the 20-bit
+  // space would alias LDP or SR labels in the shared ResolveLabel switch.
+  WORMHOLE_ASSERT(next_label_ - 1 <= netbase::kMaxLabel,
+                  "RSVP-TE label space overflow");
 
   for (std::size_t i = 1; i < hops; ++i) {
     const topo::RouterId router = spec.path[i];

@@ -1,0 +1,67 @@
+// Hardened runtime contracts.
+//
+// The fast-path rewrite (sealed FIB index, inline label stacks, per-router
+// caches) made several invariants implicit: the sealed index is only read
+// after its publication store, InlineVec indices stay in bounds, TTLs stay
+// in [0, 255], and `ldp_ops` is only indexed with in-range unreserved
+// labels. The golden-campaign test samples those invariants; this layer
+// machine-enforces them when the build opts in.
+//
+// Two macros, by intended cost:
+//
+//  * WORMHOLE_ASSERT(cond, msg) — cheap checks that may live on the per-hop
+//    path. Compiled in iff the WORMHOLE_HARDENED CMake option is ON
+//    (regardless of NDEBUG); otherwise the condition is not evaluated.
+//  * WORMHOLE_DCHECK(cond, msg) — potentially hot or redundant checks.
+//    Under WORMHOLE_HARDENED they behave like WORMHOLE_ASSERT; otherwise
+//    they fall back to plain assert(), so unhardened Debug builds keep
+//    exactly the coverage they had before this header existed.
+//
+// Failures print `file:line: check failed: <cond> — <msg>` to stderr and
+// abort, which every sanitizer job reports with a stack. Checks must never
+// have side effects: hardened and plain builds must produce byte-identical
+// campaign output (tests/test_golden_campaign.cpp holds under both).
+#pragma once
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wormhole::netbase::internal {
+
+[[noreturn]] inline void ContractFailure(const char* file, long line,
+                                         const char* condition,
+                                         const char* message) {
+  std::fprintf(stderr, "%s:%ld: check failed: %s — %s\n", file, line,
+               condition, message);
+  std::abort();
+}
+
+}  // namespace wormhole::netbase::internal
+
+#if defined(WORMHOLE_HARDENED)
+
+#define WORMHOLE_ASSERT(cond, msg)                                  \
+  (static_cast<bool>(cond)                                          \
+       ? static_cast<void>(0)                                       \
+       : ::wormhole::netbase::internal::ContractFailure(            \
+             __FILE__, __LINE__, #cond, msg))
+#define WORMHOLE_DCHECK(cond, msg) WORMHOLE_ASSERT(cond, msg)
+
+#else
+
+// Not evaluated, but still parsed: variables used only in checks stay
+// "used" for -Werror, and bit-rot in the condition is a compile error.
+#define WORMHOLE_ASSERT(cond, msg) \
+  static_cast<void>(sizeof(static_cast<bool>(cond)))
+
+#if defined(NDEBUG)
+// assert() would discard `cond` entirely here; keep it parsed instead so
+// check-only variables do not become -Wunused under -Werror.
+#define WORMHOLE_DCHECK(cond, msg) \
+  static_cast<void>(sizeof(static_cast<bool>(cond)))
+#else
+#define WORMHOLE_DCHECK(cond, msg) assert((cond) && (msg))
+#endif
+
+#endif

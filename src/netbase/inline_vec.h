@@ -10,12 +10,13 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <cstddef>
 #include <cstring>
 #include <initializer_list>
 #include <type_traits>
 #include <utility>
+
+#include "netbase/contracts.h"
 
 namespace wormhole::netbase {
 
@@ -31,7 +32,9 @@ class InlineVec {
   using const_iterator = const T*;
 
   InlineVec() = default;
-  InlineVec(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+  InlineVec(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+  }
 
   InlineVec(const InlineVec& other) { assign(other.begin(), other.end()); }
   InlineVec(InlineVec&& other) noexcept { StealFrom(other); }
@@ -68,11 +71,11 @@ class InlineVec {
   [[nodiscard]] const T* end() const { return data_ + size_; }
 
   [[nodiscard]] T& operator[](std::size_t i) {
-    assert(i < size_);
+    WORMHOLE_DCHECK(i < size_, "InlineVec index out of bounds");
     return data_[i];
   }
   [[nodiscard]] const T& operator[](std::size_t i) const {
-    assert(i < size_);
+    WORMHOLE_DCHECK(i < size_, "InlineVec index out of bounds");
     return data_[i];
   }
   [[nodiscard]] T& front() { return (*this)[0]; }
@@ -86,7 +89,7 @@ class InlineVec {
   }
 
   void pop_back() {
-    assert(size_ > 0);
+    WORMHOLE_DCHECK(size_ > 0, "pop_back on empty InlineVec");
     --size_;
   }
 
@@ -110,6 +113,11 @@ class InlineVec {
  private:
   void Grow(std::size_t target) {
     const std::size_t new_capacity = std::max(target, capacity_ * 2);
+    WORMHOLE_ASSERT(new_capacity > capacity_ && new_capacity >= size_,
+                    "InlineVec growth must strictly enlarge capacity");
+    // The spill past the inline capacity is this container's whole
+    // reason to exist; steady-state stacks (depth <= N) never reach it.
+    // lint:allow-next-line(fastpath-heap): deliberate spill allocation
     T* heap = new T[new_capacity];
     if (size_ > 0) std::memcpy(heap, data_, size_ * sizeof(T));
     FreeHeap();

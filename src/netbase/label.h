@@ -61,6 +61,7 @@ inline LabelStack QuoteStack(const LabelStack& in_flight) {
 }
 
 /// Renders "Label 19 TTL=1" like the paris-traceroute output of Fig. 4a.
+// lint:allow-next-line(fastpath-heap): render-only report helper
 inline std::string ToString(const LabelStackEntry& lse) {
   return "Label " + std::to_string(lse.label) +
          " TTL=" + std::to_string(static_cast<int>(lse.ttl));

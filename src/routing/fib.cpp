@@ -4,6 +4,8 @@
 #include <bit>
 #include <mutex>
 
+#include "netbase/contracts.h"
+
 namespace wormhole::routing {
 
 namespace {
@@ -23,6 +25,9 @@ constexpr std::uint32_t MaskAddress(std::uint32_t address, int length) {
 
 // One mutex for all FIBs: sealing is a rare, short, build-time event, and
 // a per-Fib mutex would cost 40 bytes on every router for nothing.
+// lint:allow-file(raw-threading): the seal lock guards a build-time-only
+// transition; routing cannot depend on exec without inverting layers, and
+// the lock never touches the per-packet path.
 std::mutex& SealMutex() {
   static std::mutex mutex;
   return mutex;
@@ -31,6 +36,9 @@ std::mutex& SealMutex() {
 }  // namespace
 
 void Fib::AddRoute(FibEntry entry) {
+  WORMHOLE_ASSERT(
+      entry.prefix.length() >= 0 && entry.prefix.length() <= 32,
+      "FIB prefix length outside [0, 32]");
   std::sort(entry.next_hops.begin(), entry.next_hops.end());
   entry.next_hops.erase(
       std::unique(entry.next_hops.begin(), entry.next_hops.end()),
@@ -49,6 +57,8 @@ void Fib::Seal() const {
   // empty-slot terminator always exists).
   const std::uint64_t capacity =
       std::bit_ceil(std::max<std::uint64_t>(8, 2 * routes_.size()));
+  WORMHOLE_ASSERT(capacity > routes_.size(),
+                  "sealed index must keep at least one empty slot");
   slots_.assign(capacity, Slot{});
   slot_mask_ = capacity - 1;
   populated_lengths_ = 0;
@@ -56,6 +66,7 @@ void Fib::Seal() const {
   for (const auto& [key, entry] : routes_) {
     populated_lengths_ |= std::uint64_t{1} << key.second;
     const std::uint64_t packed = KeyOf(key.first, key.second);
+    WORMHOLE_DCHECK(packed != 0, "KeyOf must never produce the empty key");
     std::uint64_t i = HashKey(packed) & slot_mask_;
     while (slots_[i].key != 0) i = (i + 1) & slot_mask_;
     slots_[i] = Slot{packed, &entry};
@@ -64,6 +75,12 @@ void Fib::Seal() const {
 }
 
 const FibEntry* Fib::FindSealed(std::uint32_t address, int length) const {
+  // Sealed-state transition contract: the flat index may only be probed
+  // after the Seal() publication store; slot_mask_ == 0 would turn the
+  // probe loop into a single-slot spin on stale data.
+  WORMHOLE_DCHECK(sealed_.load(std::memory_order_acquire),
+                  "FindSealed before Seal() published the index");
+  WORMHOLE_DCHECK(slot_mask_ != 0, "sealed index has no slots");
   const std::uint64_t packed = KeyOf(address, length);
   for (std::uint64_t i = HashKey(packed) & slot_mask_;;
        i = (i + 1) & slot_mask_) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "exec/thread_pool.h"
+#include "netbase/contracts.h"
 #include "sim/vendor.h"
 
 namespace wormhole::sim {
@@ -92,6 +93,11 @@ Engine::Engine(const topo::Topology& topology,
         if (!own || own->kind != mpls::BindingKind::kLabel) continue;
         const routing::FibEntry* route = rc.fib->LookupExact(fec);
         if (route == nullptr || route->next_hops.empty()) continue;
+        // ldp_ops validity: the dense (label - 16) indexing below is only
+        // sound for labels in the unreserved 20-bit range.
+        WORMHOLE_ASSERT(own->label >= netbase::kFirstUnreservedLabel &&
+                            own->label <= netbase::kMaxLabel,
+                        "LDP binding outside the unreserved label range");
         const std::size_t index =
             own->label - netbase::kFirstUnreservedLabel;
         if (index >= rc.ldp_ops.size()) rc.ldp_ops.resize(index + 1);
@@ -124,6 +130,10 @@ Engine::Engine(const topo::Topology& topology,
 std::optional<Engine::LabelOp> Engine::ResolveLabel(
     topo::RouterId router, std::uint32_t label,
     const netbase::Packet& packet) const {
+  WORMHOLE_DCHECK(router < router_cache_.size(),
+                  "ResolveLabel router id outside the cache");
+  WORMHOLE_ASSERT(label <= netbase::kMaxLabel,
+                  "label exceeds the 20-bit MPLS label space");
   // SR node SIDs: forward towards the SID's router along the IGP path; the
   // penultimate hop pops the segment (PHP), so the waypoint receives the
   // next SID (or the bare IP packet) directly.
@@ -259,6 +269,8 @@ Engine::StepResult Engine::ProcessAt(Transit& t, EngineStats& stats) const {
 
 Engine::StepResult Engine::ProcessMpls(Transit& t, EngineStats& stats) const {
   const RouterId r = t.router;
+  WORMHOLE_DCHECK(t.packet.has_labels(),
+                  "ProcessMpls entered without a label stack");
   // In-flight stacks keep the top of stack at the BACK: push/swap/pop are
   // O(1) writes at the end, and the expiry path below is the only place
   // the stack is ever copied (for the RFC 4950 quotation) — an untouched
@@ -337,6 +349,10 @@ Engine::StepResult Engine::ProcessMpls(Transit& t, EngineStats& stats) const {
 
 Engine::StepResult Engine::ProcessIp(Transit& t, EngineStats& stats) const {
   const RouterId r = t.router;
+  // RFC 3443 TTL domain: the IP TTL is an 8-bit field; `int` storage only
+  // exists so arithmetic never silently wraps (see Packet::ip_ttl).
+  WORMHOLE_ASSERT(t.packet.ip_ttl >= 0 && t.packet.ip_ttl <= 255,
+                  "IP TTL outside [0, 255]");
   const RouterCache& rc = router_cache_[r];
   const topo::Router& router = *rc.router;
   // One config resolution per hop: the SR check, the TE check and
@@ -413,9 +429,13 @@ Engine::StepResult Engine::ProcessIp(Transit& t, EngineStats& stats) const {
         // back). The deepest new entry carries the bottom-of-stack flag.
         const std::size_t before = p.labels.size();
         const auto& waypoints = policy->waypoints;
+        WORMHOLE_DCHECK(!propagate || (p.ip_ttl >= 1 && p.ip_ttl <= 255),
+                        "propagated LSE TTL outside [1, 255]");
         for (auto it = waypoints.rbegin(); it != waypoints.rend(); ++it) {
           LabelStackEntry lse;
           lse.label = mpls::NodeSid(*it);
+          WORMHOLE_ASSERT(lse.label <= netbase::kMaxLabel,
+                          "SR node SID exceeds the 20-bit label space");
           lse.ttl = static_cast<std::uint8_t>(propagate ? p.ip_ttl : 255);
           lse.bottom_of_stack = false;
           p.labels.push_back(lse);
@@ -440,6 +460,11 @@ Engine::StepResult Engine::ProcessIp(Transit& t, EngineStats& stats) const {
       if (steering->labeled) {
         LabelStackEntry lse;
         lse.label = steering->label;
+        WORMHOLE_ASSERT(lse.label <= netbase::kMaxLabel,
+                        "TE steering label exceeds the 20-bit label space");
+        WORMHOLE_DCHECK(
+            !config.ttl_propagate || (p.ip_ttl >= 1 && p.ip_ttl <= 255),
+            "propagated LSE TTL outside [1, 255]");
         lse.ttl = static_cast<std::uint8_t>(
             config.ttl_propagate ? p.ip_ttl : 255);
         p.labels.push_back(lse);
@@ -557,6 +582,8 @@ netbase::Packet Engine::MakeEchoReply(const Transit& t,
 }
 
 void Engine::Forward(Transit& t, const routing::NextHop& hop) const {
+  WORMHOLE_DCHECK(hop.link != topo::kNoLink && hop.neighbor != topo::kNoRouter,
+                  "Forward over an unresolved next hop");
   double delay = topology_->link(hop.link).delay_ms;
   if (options_.delay_jitter_fraction > 0.0) {
     // Deterministic per (probe, link) jitter in [-f, +f] of the base delay.
@@ -619,6 +646,13 @@ void Engine::MaybeImpose(const RouterCache& rc,
   lse.label = binding->kind == mpls::BindingKind::kExplicitNull
                   ? kExplicitNull
                   : binding->label;
+  WORMHOLE_ASSERT(lse.label == kExplicitNull ||
+                      (lse.label >= netbase::kFirstUnreservedLabel &&
+                       lse.label <= netbase::kMaxLabel),
+                  "imposed label outside the unreserved range");
+  WORMHOLE_DCHECK(
+      !config.ttl_propagate || (packet.ip_ttl >= 1 && packet.ip_ttl <= 255),
+      "propagated LSE TTL outside [1, 255]");
   lse.ttl =
       static_cast<std::uint8_t>(config.ttl_propagate ? packet.ip_ttl : 255);
   packet.labels.push_back(lse);  // in-flight order: new top goes at the back

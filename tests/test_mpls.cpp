@@ -99,8 +99,8 @@ TEST_F(LdpTest, TransitRoutersAdvertiseRealLabels) {
   Build(gen::Gns3Scenario::kDefault);
   const auto* domain = Domain();
   const auto p1 = Router("P1");
-  const auto fec =
-      netbase::Prefix::Host(testbed_->topology().router(Router("PE2")).loopback);
+  const auto fec = netbase::Prefix::Host(
+      testbed_->topology().router(Router("PE2")).loopback);
   const auto binding = domain->BindingOf(p1, fec);
   ASSERT_TRUE(binding.has_value());
   EXPECT_EQ(binding->kind, BindingKind::kLabel);

@@ -247,7 +247,7 @@ INSTANTIATE_TEST_SUITE_P(
                       RevealCase{4, mpls::LdpPolicy::kLoopbacksOnly},
                       RevealCase{7, mpls::LdpPolicy::kLoopbacksOnly}));
 
-// --- UHP sweep: total invisibility scales with tunnel length -----------------
+// --- UHP sweep: total invisibility scales with tunnel length ----------------
 
 class UhpSweepTest : public ::testing::TestWithParam<int> {};
 

@@ -90,7 +90,7 @@ TEST_F(RevealTest, ExplicitTunnelRevealsNothingNew) {
   EXPECT_EQ(result.method, RevelationMethod::kNone);
 }
 
-// --- FRPLA -------------------------------------------------------------------
+// --- FRPLA ------------------------------------------------------------------
 TEST_F(RevealTest, FrplaSeesTheShiftOnInvisibleEgress) {
   Build(gen::Gns3Scenario::kBackwardRecursive);
   const auto trace = prober_->Traceroute(testbed_->Address("CE2.left"));
@@ -143,7 +143,7 @@ TEST(FrplaAnalysis, AggregatesPerAsAndRole) {
   EXPECT_FALSE(analysis.EstimatedTunnelLength(99).has_value());
 }
 
-// --- RTLA --------------------------------------------------------------------
+// --- RTLA -------------------------------------------------------------------
 TEST_F(RevealTest, RtlaComputesExactReturnTunnelLength) {
   Build(gen::Gns3Scenario::kBackwardRecursive, topo::Vendor::kJuniperJunos);
   const auto trace = prober_->Traceroute(testbed_->Address("CE2.left"));
@@ -208,7 +208,7 @@ TEST_F(RevealTest, RevealIsIdempotentAcrossRepeats) {
   EXPECT_EQ(first.method, second.method);
 }
 
-// --- Classification ----------------------------------------------------------
+// --- Classification ---------------------------------------------------------
 TEST(ClassifyBatches, CoversAllCases) {
   EXPECT_EQ(ClassifyBatches({}), RevelationMethod::kNone);
   EXPECT_EQ(ClassifyBatches({1}), RevelationMethod::kEither);

@@ -1,0 +1,18 @@
+// Fixture: iterating an unordered container in report-producing code
+// must fire unordered-iteration (hash order would reorder output).
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+struct Report {
+  std::unordered_map<int, std::string> rows_;
+
+  void Print() const {
+    for (const auto& [id, text] : rows_) {  // expect: unordered-iteration
+      std::printf("%d %s\n", id, text.c_str());
+    }
+    for (const auto& row : std::unordered_map<int, int>{}) {  // expect: unordered-iteration
+      std::printf("%d\n", row.first);
+    }
+  }
+};

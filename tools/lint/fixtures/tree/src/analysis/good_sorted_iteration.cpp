@@ -1,0 +1,15 @@
+// Fixture: ordered containers (or pre-sorted copies) are the approved way
+// to feed report output.
+#include <cstdio>
+#include <map>
+#include <string>
+
+struct Report {
+  std::map<int, std::string> sorted_rows_;
+
+  void Print() const {
+    for (const auto& [id, text] : sorted_rows_) {
+      std::printf("%d %s\n", id, text.c_str());
+    }
+  }
+};

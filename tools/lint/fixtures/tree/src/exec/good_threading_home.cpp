@@ -1,0 +1,11 @@
+// Fixture: src/exec is the designated home for threading primitives.
+#include <mutex>
+#include <thread>
+
+void Fine() {
+  std::mutex m;
+  std::thread t([] {});
+  m.lock();
+  m.unlock();
+  t.join();
+}

@@ -1,0 +1,16 @@
+// Fixture: label literals outside [16, 2^20-1] (other than the 0
+// sentinel) must fire label-range.
+#include <cstdint>
+
+struct Lse {
+  std::uint32_t label = 0;
+};
+
+void Build() {
+  Lse a;
+  a.label = 3;        // expect: label-range (reserved: use ReservedLabel)
+  a.label = 15;       // expect: label-range
+  a.label = 1048576;  // expect: label-range (past 20 bits)
+  std::uint32_t out_label = 2000000;  // expect: label-range
+  (void)out_label;
+}

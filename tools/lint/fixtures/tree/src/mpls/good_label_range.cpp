@@ -1,0 +1,14 @@
+// Fixture: in-range literals, the 0 sentinel, and suppressed reserved
+// values are all accepted.
+#include <cstdint>
+
+struct Lse {
+  std::uint32_t label = 0;  // 0 = unset sentinel, allowed
+};
+
+void Build() {
+  Lse a;
+  a.label = 16;       // first unreserved label
+  a.label = 1048575;  // 2^20 - 1, the top of the space
+  a.label = 1;  // lint:allow(label-range): router-alert, fixture-only
+}

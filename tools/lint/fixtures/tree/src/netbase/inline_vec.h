@@ -1,0 +1,13 @@
+// Fixture: a justified, explicitly suppressed allocation in a fast-path
+// file must NOT fire (suppression syntax: lint:allow-next-line).
+#pragma once
+
+#include <cstddef>
+
+template <typename T>
+struct Spill {
+  T* Grow(std::size_t n) {
+    // lint:allow-next-line(fastpath-heap): deliberate spill allocation
+    return new T[n];
+  }
+};

@@ -1,0 +1,10 @@
+// Fixture: this path is on the sealed fast-path list, so any
+// heap-allocating construct must fire fastpath-heap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+struct Packet {
+  std::vector<std::uint32_t> labels;  // expect: fastpath-heap
+};

@@ -1,0 +1,11 @@
+// Fixture: raw threading primitives outside src/exec must fire.
+#include <mutex>
+#include <thread>
+
+void Race() {
+  std::mutex m;                    // expect: raw-threading
+  std::thread t([] {});            // expect: raw-threading
+  m.lock();
+  m.unlock();
+  t.join();
+}

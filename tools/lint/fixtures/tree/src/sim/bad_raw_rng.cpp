@@ -1,0 +1,9 @@
+// Fixture: unseeded/raw randomness outside netbase/rng must fire raw-rng.
+#include <cstdlib>
+#include <random>
+
+int Draw() {
+  std::random_device device;              // expect: raw-rng
+  std::mt19937 engine(device());         // expect: raw-rng
+  return static_cast<int>(engine()) + rand();  // expect: raw-rng
+}

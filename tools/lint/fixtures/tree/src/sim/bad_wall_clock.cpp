@@ -1,0 +1,11 @@
+// Fixture: every wall-clock source must fire the wall-clock rule.
+#include <chrono>
+#include <ctime>
+
+double Now() {
+  auto t = std::chrono::system_clock::now();  // expect: wall-clock
+  auto s = std::chrono::steady_clock::now();  // expect: wall-clock
+  long raw = time(nullptr);                   // expect: wall-clock
+  return static_cast<double>(raw) +
+         t.time_since_epoch().count() + s.time_since_epoch().count();
+}

@@ -1,0 +1,8 @@
+// Fixture: matches inside comments and string literals must NOT fire.
+#include <string>
+
+// std::random_device in a comment is fine; so is rand().
+/* block comment: std::mutex, std::chrono::system_clock::now() */
+std::string Describe() {
+  return "uses std::random_device and time(nullptr) and label = 5";
+}

@@ -1,0 +1,17 @@
+// Fixture: all three suppression forms silence their rule (and only
+// their rule).
+// lint:allow-file(wall-clock): fixture exercises the file-level form
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+void Suppressed() {
+  auto t = std::chrono::system_clock::now();  // file-level allow
+  (void)t;
+  std::mutex m;  // lint:allow(raw-threading): same-line form
+  m.lock();
+  m.unlock();
+  // lint:allow-next-line(raw-rng): next-line form
+  int r = rand();
+  (void)r;
+}

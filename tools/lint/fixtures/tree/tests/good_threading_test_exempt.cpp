@@ -1,0 +1,8 @@
+// Fixture: tests/ are exempt from raw-threading (they exercise exec
+// primitives directly).
+#include <thread>
+
+void TestBody() {
+  std::thread t([] {});
+  t.join();
+}

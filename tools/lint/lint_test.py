@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Unit tests for determinism_lint.py, driven by the fixture mini-tree.
+
+Each `bad_*` fixture marks its expected findings with `// expect: <rule>`
+comments; the test asserts the linter reports exactly those (file, line,
+rule) triples. Each `good_*` fixture (including every suppression form)
+must produce zero findings. Run directly or via ctest (lint.fixtures).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import unittest
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+FIXTURE_ROOT = HERE / "fixtures" / "tree"
+
+sys.path.insert(0, str(HERE))
+
+import determinism_lint  # noqa: E402
+
+EXPECT = re.compile(r"//\s*expect:\s*([\w-]+)")
+
+
+def expected_findings() -> set[tuple[str, int, str]]:
+    expected: set[tuple[str, int, str]] = set()
+    for path in sorted(FIXTURE_ROOT.rglob("*")):
+        if path.suffix not in determinism_lint.SOURCE_EXTENSIONS:
+            continue
+        rel = path.relative_to(FIXTURE_ROOT).as_posix()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            for match in EXPECT.finditer(line):
+                expected.add((rel, lineno, match.group(1)))
+    return expected
+
+
+def actual_findings() -> set[tuple[str, int, str]]:
+    files = determinism_lint.gather_files(FIXTURE_ROOT, [])
+    names = determinism_lint.collect_unordered_names(files)
+    found: set[tuple[str, int, str]] = set()
+    for rel, path in files:
+        for finding in determinism_lint.check_file(rel, path, names):
+            found.add((finding.path, finding.line, finding.rule))
+    return found
+
+
+class DeterminismLintTest(unittest.TestCase):
+    def setUp(self):
+        self.assertTrue(
+            FIXTURE_ROOT.is_dir(), f"missing fixture tree: {FIXTURE_ROOT}"
+        )
+        self.expected = expected_findings()
+        self.actual = actual_findings()
+
+    def test_every_annotated_violation_fires(self):
+        missed = self.expected - self.actual
+        self.assertFalse(
+            missed,
+            "annotated violations the linter failed to report: "
+            f"{sorted(missed)}",
+        )
+
+    def test_no_spurious_findings(self):
+        spurious = self.actual - self.expected
+        self.assertFalse(
+            spurious,
+            "findings with no `// expect:` annotation (good fixtures and "
+            f"suppressions must stay clean): {sorted(spurious)}",
+        )
+
+    def test_every_rule_is_exercised(self):
+        fired = {rule for (_, _, rule) in self.expected}
+        self.assertEqual(
+            set(determinism_lint.RULES),
+            fired,
+            "each rule needs at least one bad-fixture line",
+        )
+
+    def test_suppression_forms_are_exercised(self):
+        text = "\n".join(
+            p.read_text(encoding="utf-8")
+            for p in sorted(FIXTURE_ROOT.rglob("*.cpp"))
+        )
+        for form in ("lint:allow(", "lint:allow-next-line(",
+                     "lint:allow-file("):
+            self.assertIn(form, text, f"no fixture exercises {form}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
