@@ -4,6 +4,10 @@
 // scales to campaign sizes.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+#include <vector>
+
 #include "campaign/campaign.h"
 #include "gen/gns3.h"
 #include "gen/internet.h"
@@ -14,6 +18,9 @@
 #include "reveal/revelator.h"
 #include "routing/fib.h"
 #include "routing/igp.h"
+#include "routing/spf_engine.h"
+#include "sim/network.h"
+#include "topo/topology.h"
 
 namespace {
 
@@ -37,22 +44,99 @@ void BM_SpfSingleSource(benchmark::State& state) {
     }
   }
   const auto source = net.topology().as(biggest).routers.front();
+  // A persistent engine so each iteration pays for one Dijkstra, not for
+  // re-snapshotting the whole topology's adjacency.
+  routing::SpfEngine engine(net.topology());
+  const std::vector<topo::RouterId> only_source{source};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(routing::ComputeSpf(net.topology(), source));
+    engine.InvalidateTrees(only_source);
+    benchmark::DoNotOptimize(&engine.TreeOf(source));
   }
   state.counters["routers_in_as"] = static_cast<double>(best);
 }
 BENCHMARK(BM_SpfSingleSource);
 
-void BM_FullControlPlaneConvergence(benchmark::State& state) {
-  gen::InternetOptions options;
-  options.seed = 42;
-  for (auto _ : state) {
-    gen::SyntheticInternet net(options);
-    benchmark::DoNotOptimize(net.topology().router_count());
+/// Pre-built worlds per size class so the convergence benchmarks measure
+/// the control-plane build alone, not topology generation.
+gen::SyntheticInternet& WorldOfSize(int size) {
+  static auto* worlds =
+      new std::map<int, std::unique_ptr<gen::SyntheticInternet>>();
+  std::unique_ptr<gen::SyntheticInternet>& slot = (*worlds)[size];
+  if (!slot) {
+    gen::InternetOptions options;
+    options.seed = 42;
+    switch (size) {
+      case 0:
+        options.transit_count = 4;
+        options.stub_count = 10;
+        break;
+      case 2:
+        options.transit_count = 20;
+        options.stub_count = 72;
+        break;
+      default:
+        break;  // size 1: the stock world
+    }
+    slot = std::make_unique<gen::SyntheticInternet>(options);
   }
+  return *slot;
 }
-BENCHMARK(BM_FullControlPlaneConvergence)->Unit(benchmark::kMillisecond);
+
+void BM_FullControlPlaneConvergence(benchmark::State& state) {
+  // Args: (topology size class, convergence jobs). Compare rows at fixed
+  // size for the thread-scaling curve; the converged state is identical
+  // on every row (tests/test_convergence_parity.cpp).
+  gen::SyntheticInternet& world =
+      WorldOfSize(static_cast<int>(state.range(0)));
+  const auto jobs = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    sim::Network net(world.topology(), world.configs(), world.bgp_policy(),
+                     {}, nullptr, nullptr, jobs);
+    benchmark::DoNotOptimize(net.fibs().size());
+  }
+  state.counters["routers"] =
+      static_cast<double>(world.topology().router_count());
+  state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_FullControlPlaneConvergence)
+    ->ArgNames({"size", "jobs"})
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalReconvergence(benchmark::State& state) {
+  // Flap one core link of the largest MPLS-enabled AS (down + up per
+  // iteration) through Network::OnLinkStateChange — the steady-state cost
+  // of tracking a link-state change without a full rebuild.
+  gen::SyntheticInternet& world = WorldOfSize(1);
+  topo::Topology& topology = world.mutable_topology();
+  topo::LinkId flapped = topo::kNoLink;
+  std::size_t best = 0;
+  for (topo::LinkId l = 0; l < topology.link_count(); ++l) {
+    if (!topology.IsInternalLink(l)) continue;
+    const topo::AsNumber asn =
+        topology.router(topology.interface(topology.link(l).a).router).asn;
+    const std::size_t members = topology.as(asn).routers.size();
+    if (world.profile(asn).mpls && members > best) {
+      best = members;
+      flapped = l;
+    }
+  }
+  sim::Network net(topology, world.configs(), world.bgp_policy(), {},
+                   nullptr, nullptr, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    topology.SetLinkUp(flapped, false);
+    net.OnLinkStateChange(flapped);
+    topology.SetLinkUp(flapped, true);
+    net.OnLinkStateChange(flapped);
+  }
+  state.counters["as_routers"] = static_cast<double>(best);
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_IncrementalReconvergence)
+    ->ArgNames({"jobs"})
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_LdpDomainBuild(benchmark::State& state) {
   gen::Gns3Testbed testbed({.scenario = gen::Gns3Scenario::kDefault});

@@ -90,6 +90,20 @@ void ParallelFor(ThreadPool& pool, std::size_t n,
   if (join.error) std::rethrow_exception(join.error);
 }
 
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr) {
+    ParallelFor(*pool, n, fn);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
+std::size_t ResolveJobs(std::size_t requested) {
+  return requested == 0 ? HardwareConcurrency()
+                        : std::max<std::size_t>(1, requested);
+}
+
 StripedMutex::StripedMutex(std::size_t stripes)
     : stripes_(std::max<std::size_t>(1, stripes)),
       mutexes_(std::make_unique<std::mutex[]>(stripes_)) {}

@@ -60,6 +60,16 @@ class ThreadPool {
 void ParallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn);
 
+/// Null-tolerant variant: with `pool == nullptr` everything runs inline,
+/// in index order, on the calling thread. Lets callers carry one optional
+/// pool pointer instead of branching at every fan-out site.
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+/// Resolves a user-facing jobs count: 0 means "auto" (hardware
+/// concurrency), anything else is taken literally (minimum 1).
+std::size_t ResolveJobs(std::size_t requested);
+
 /// A striped lock: maps a hash to one of a fixed set of mutexes, so
 /// unrelated keys of a shared map rarely contend.
 class StripedMutex {

@@ -59,7 +59,7 @@ const char* ToString(HardwareProfile profile) {
 }
 
 SyntheticInternet::SyntheticInternet(const InternetOptions& options)
-    : configs_(topology_) {
+    : configs_(topology_), convergence_jobs_(options.convergence_jobs) {
   Rng rng(options.seed);
   BuildAsLevel(options, rng);
   Reconverge();
@@ -266,7 +266,9 @@ void SyntheticInternet::BuildAsLevel(const InternetOptions& options,
 }
 
 void SyntheticInternet::Reconverge() {
-  network_ = std::make_unique<sim::Network>(topology_, configs_, bgp_policy_);
+  network_ = std::make_unique<sim::Network>(
+      topology_, configs_, bgp_policy_, sim::EngineOptions{}, nullptr,
+      nullptr, convergence_jobs_);
 }
 
 std::vector<netbase::Ipv4Address> SyntheticInternet::AllLoopbacks() const {

@@ -88,6 +88,10 @@ struct InternetOptions {
   double anonymous_router_probability = 0.0;
   /// Per-reply ICMP loss probability on every router (rate limiting).
   double icmp_loss = 0.0;
+
+  /// Worker threads for control-plane convergence (sim::Network); 0 is
+  /// auto, 1 forces the serial path. Never affects the converged state.
+  std::size_t convergence_jobs = 0;
 };
 
 class SyntheticInternet {
@@ -97,6 +101,9 @@ class SyntheticInternet {
   SyntheticInternet& operator=(const SyntheticInternet&) = delete;
 
   [[nodiscard]] const topo::Topology& topology() const { return topology_; }
+  /// Mutable access for failure experiments (SetLinkUp + the network's
+  /// OnLinkStateChange, or a full Reconverge-style rebuild).
+  [[nodiscard]] topo::Topology& mutable_topology() { return topology_; }
   [[nodiscard]] const mpls::MplsConfigMap& configs() const { return configs_; }
   [[nodiscard]] sim::Network& network() { return *network_; }
   [[nodiscard]] sim::Engine& engine() { return network_->engine(); }
@@ -131,6 +138,7 @@ class SyntheticInternet {
   topo::Topology topology_;
   mpls::MplsConfigMap configs_;
   routing::BgpPolicy bgp_policy_;
+  std::size_t convergence_jobs_ = 0;
   std::map<topo::AsNumber, AsProfile> profiles_;
   std::vector<netbase::Ipv4Address> vantage_points_;
   std::unique_ptr<sim::Network> network_;

@@ -1,7 +1,9 @@
 #include "mpls/ldp.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "exec/thread_pool.h"
 #include "netbase/contracts.h"
 
 namespace wormhole::mpls {
@@ -34,8 +36,13 @@ LdpDomain::LdpDomain(const topo::Topology& topology,
     if (!config.enabled) continue;
 
     RouterTables tables;
+    tables.bindings.reserve(candidate_fecs.size());
     std::uint32_t next_label = netbase::kFirstUnreservedLabel;
 
+    // candidate_fecs is sorted and visited in order, so `bindings` comes
+    // out sorted by FEC and labels come out dense — both flat tables are
+    // built in their final order with zero per-FEC rebalancing. The FIBs
+    // are sealed by the time LDP runs, so LookupExact is an O(1) probe.
     for (const Prefix& fec : candidate_fecs) {
       if (!PolicyAllows(config, fec)) continue;
       const routing::FibEntry* route = fibs.at(rid).LookupExact(fec);
@@ -55,9 +62,9 @@ LdpDomain::LdpDomain(const topo::Topology& topology,
         // engine pre-resolve bindings into a flat ldp_ops vector.
         WORMHOLE_ASSERT(binding.label <= netbase::kMaxLabel,
                         "LDP label space exhausted (20-bit overflow)");
-        tables.label_to_fec.emplace(binding.label, fec);
+        tables.label_to_fec.push_back(fec);
       }
-      tables.bindings.emplace(fec, binding);
+      tables.bindings.emplace_back(fec, binding);
     }
     tables_.emplace(rid, std::move(tables));
   }
@@ -67,8 +74,11 @@ std::optional<Binding> LdpDomain::BindingOf(RouterId advertiser,
                                             const Prefix& fec) const {
   const auto router_it = tables_.find(advertiser);
   if (router_it == tables_.end()) return std::nullopt;
-  const auto it = router_it->second.bindings.find(fec);
-  if (it == router_it->second.bindings.end()) return std::nullopt;
+  const auto& bindings = router_it->second.bindings;
+  const auto it = std::lower_bound(
+      bindings.begin(), bindings.end(), fec,
+      [](const auto& entry, const Prefix& key) { return entry.first < key; });
+  if (it == bindings.end() || it->first != fec) return std::nullopt;
   return it->second;
 }
 
@@ -76,9 +86,11 @@ std::optional<Prefix> LdpDomain::FecOfLabel(RouterId router,
                                             std::uint32_t label) const {
   const auto router_it = tables_.find(router);
   if (router_it == tables_.end()) return std::nullopt;
-  const auto it = router_it->second.label_to_fec.find(label);
-  if (it == router_it->second.label_to_fec.end()) return std::nullopt;
-  return it->second;
+  const auto& label_to_fec = router_it->second.label_to_fec;
+  if (label < netbase::kFirstUnreservedLabel) return std::nullopt;
+  const std::size_t index = label - netbase::kFirstUnreservedLabel;
+  if (index >= label_to_fec.size()) return std::nullopt;
+  return label_to_fec[index];
 }
 
 std::vector<Prefix> LdpDomain::FecsOf(RouterId router) const {
@@ -86,28 +98,57 @@ std::vector<Prefix> LdpDomain::FecsOf(RouterId router) const {
   const auto router_it = tables_.find(router);
   if (router_it == tables_.end()) return out;
   out.reserve(router_it->second.bindings.size());
+  // `bindings` is kept sorted by FEC, so the copy is already in order.
   for (const auto& [fec, binding] : router_it->second.bindings) {
     out.push_back(fec);
   }
-  std::sort(out.begin(), out.end());
   return out;
+}
+
+std::span<const std::pair<Prefix, Binding>> LdpDomain::BindingsOf(
+    RouterId router) const {
+  const auto router_it = tables_.find(router);
+  if (router_it == tables_.end()) return {};
+  return router_it->second.bindings;
 }
 
 LdpTables::LdpTables(const topo::Topology& topology,
                      const MplsConfigMap& configs,
-                     const std::vector<routing::Fib>& fibs) {
+                     const std::vector<routing::Fib>& fibs,
+                     exec::ThreadPool* pool) {
+  std::vector<topo::AsNumber> enabled;
   for (const topo::AsNumber asn : topology.AsNumbers()) {
     const bool any_enabled = std::any_of(
         topology.as(asn).routers.begin(), topology.as(asn).routers.end(),
         [&](topo::RouterId rid) { return configs.For(rid).enabled; });
-    if (!any_enabled) continue;
-    domains_.emplace(asn, LdpDomain(topology, configs, asn, fibs));
+    if (any_enabled) enabled.push_back(asn);
+  }
+
+  // Each domain is a pure function of (topology, configs, its AS's FIBs),
+  // so domains can be built in any order on any thread; installing into
+  // the map in the fixed `enabled` order afterwards makes the table
+  // independent of the pool size.
+  std::vector<LdpDomain> built(enabled.size());
+  exec::ParallelFor(pool, enabled.size(), [&](std::size_t i) {
+    built[i] = LdpDomain(topology, configs, enabled[i], fibs);
+  });
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    domains_.emplace(enabled[i], std::move(built[i]));
   }
 }
 
 const LdpDomain* LdpTables::DomainOf(topo::AsNumber asn) const {
   const auto it = domains_.find(asn);
   return it == domains_.end() ? nullptr : &it->second;
+}
+
+void LdpTables::InstallDomain(topo::AsNumber asn, LdpDomain domain) {
+  const auto it = domains_.find(asn);
+  if (it == domains_.end()) {
+    domains_.emplace(asn, std::move(domain));
+  } else {
+    it->second = std::move(domain);  // node (and pointers to it) reused
+  }
 }
 
 }  // namespace wormhole::mpls

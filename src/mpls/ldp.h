@@ -12,7 +12,9 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mpls/config.h"
@@ -20,6 +22,10 @@
 #include "netbase/label.h"
 #include "routing/fib.h"
 #include "topo/topology.h"
+
+namespace wormhole::exec {
+class ThreadPool;
+}  // namespace wormhole::exec
 
 namespace wormhole::mpls {
 
@@ -42,6 +48,9 @@ struct Binding {
 /// The converged label state of one MPLS-enabled AS.
 class LdpDomain {
  public:
+  /// An empty domain (no bindings); staging value for InstallDomain.
+  LdpDomain() = default;
+
   /// Computes bindings for every enabled router of `asn`. `fibs` must
   /// already contain the IGP routes (FECs are taken from the RIB).
   LdpDomain(const topo::Topology& topology, const MplsConfigMap& configs,
@@ -60,12 +69,24 @@ class LdpDomain {
   /// All FECs `router` advertises (tests / reports).
   [[nodiscard]] std::vector<Prefix> FecsOf(RouterId router) const;
 
+  /// All (FEC, binding) pairs `router` advertises, sorted by FEC — the
+  /// zero-copy view behind FecsOf, for bulk consumers (engine cache
+  /// build).
+  [[nodiscard]] std::span<const std::pair<Prefix, Binding>> BindingsOf(
+      RouterId router) const;
+
   [[nodiscard]] topo::AsNumber asn() const { return asn_; }
 
  private:
+  /// Flat converged tables: ~10^2 FECs per router makes binary search on
+  /// a sorted vector beat a node-based hash map on both build cost (zero
+  /// per-FEC allocations) and lookup locality.
   struct RouterTables {
-    std::unordered_map<Prefix, Binding> bindings;
-    std::unordered_map<std::uint32_t, Prefix> label_to_fec;
+    /// Sorted by FEC — the build appends ascending candidate FECs.
+    std::vector<std::pair<Prefix, Binding>> bindings;
+    /// FEC of label (kFirstUnreservedLabel + i): labels are allocated
+    /// densely in binding order, so the reverse map is a plain array.
+    std::vector<Prefix> label_to_fec;
   };
 
   topo::AsNumber asn_ = 0;
@@ -77,10 +98,20 @@ class LdpDomain {
 class LdpTables {
  public:
   LdpTables() = default;
+  /// Builds every AS's domain; with a pool, domains are computed in
+  /// parallel (one task per enabled AS) and installed in AS-number order,
+  /// so the result is identical to the serial build.
   LdpTables(const topo::Topology& topology, const MplsConfigMap& configs,
-            const std::vector<routing::Fib>& fibs);
+            const std::vector<routing::Fib>& fibs,
+            exec::ThreadPool* pool = nullptr);
 
   [[nodiscard]] const LdpDomain* DomainOf(topo::AsNumber asn) const;
+
+  /// Replaces (or adds) one AS's domain in place. The map node for an
+  /// existing AS is reused — mapped-value assignment — so sim::Engine's
+  /// cached LdpDomain pointers stay valid across an incremental
+  /// reconvergence.
+  void InstallDomain(topo::AsNumber asn, LdpDomain domain);
 
  private:
   std::unordered_map<topo::AsNumber, LdpDomain> domains_;

@@ -99,11 +99,27 @@ class InlineVec {
     if (n > capacity_) Grow(n);
   }
 
+  /// Shrinks to the first `n` elements (n must not exceed size(); growth
+  /// would need a default value, which zero-fill cannot supply for types
+  /// whose default state is non-zero).
+  void truncate(std::size_t n) {
+    WORMHOLE_DCHECK(n <= size_, "truncate cannot grow an InlineVec");
+    size_ = n;
+  }
+
   void assign(const T* first, const T* last) {
     const auto n = static_cast<std::size_t>(last - first);
     if (n > capacity_) Grow(n);
     if (n > 0) std::memmove(data_, first, n * sizeof(T));
     size_ = n;
+  }
+
+  /// Appends [first, last) (must not alias this container's storage).
+  void append(const T* first, const T* last) {
+    const auto n = static_cast<std::size_t>(last - first);
+    if (size_ + n > capacity_) Grow(size_ + n);
+    if (n > 0) std::memcpy(data_ + size_, first, n * sizeof(T));
+    size_ += n;
   }
 
   friend bool operator==(const InlineVec& a, const InlineVec& b) {

@@ -2,28 +2,15 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
-#include <unordered_map>
-
-#include "routing/igp.h"
+#include <utility>
 
 namespace wormhole::routing {
 
 namespace {
 
 using topo::AsNumber;
-using topo::LinkId;
-using topo::RouterId;
 using topo::Topology;
 
-/// One eBGP adjacency: local border router + the link to the remote AS.
-struct BorderLink {
-  RouterId local = topo::kNoRouter;
-  RouterId remote = topo::kNoRouter;
-  LinkId link = topo::kNoLink;
-};
-
-/// AS-level adjacency map: for each AS, its eBGP links grouped by peer AS.
 using AsAdjacency =
     std::map<AsNumber, std::map<AsNumber, std::vector<BorderLink>>>;
 
@@ -85,6 +72,46 @@ std::map<AsNumber, AsNumber> ComputeNextAs(const Topology& topology,
 
 }  // namespace
 
+BgpLevel ComputeBgpLevel(const Topology& topology, const BgpPolicy& policy) {
+  BgpLevel level;
+  level.adjacency = BuildAsAdjacency(topology);
+  for (const AsNumber to_as : topology.AsNumbers()) {
+    level.next_for[to_as] =
+        ComputeNextAs(topology, level.adjacency, policy, to_as);
+  }
+
+  // Flatten both per-source-AS install plans once, here, so the install
+  // loop below runs map-free per router. Orders mirror the historical
+  // per-router scans exactly: destinations ascending; border subnets in
+  // AS-member then interface order.
+  for (const AsNumber from_as : topology.AsNumbers()) {
+    std::vector<BgpExit>& exits = level.exits[from_as];
+    const auto adjacency_it = level.adjacency.find(from_as);
+    for (const AsNumber to_as : topology.AsNumbers()) {
+      if (from_as == to_as) continue;
+      const AsNumber via = level.next_for.at(to_as).at(from_as);
+      if (via == 0) continue;  // unreachable
+      // via != 0 implies from_as has at least one eBGP adjacency.
+      exits.push_back(
+          {topology.as(to_as).block, &adjacency_it->second.at(via)});
+    }
+
+    std::vector<BorderSubnet>& subnets = level.border_subnets[from_as];
+    for (const RouterId border : topology.as(from_as).routers) {
+      for (const topo::InterfaceId iid :
+           topology.router(border).interfaces) {
+        const topo::Interface& iface = topology.interface(iid);
+        if (iface.link == topo::kNoLink || !topology.link(iface.link).up ||
+            topology.IsInternalLink(iface.link)) {
+          continue;
+        }
+        subnets.push_back({iface.subnet, border});
+      }
+    }
+  }
+  return level;
+}
+
 AsNumber BgpNextAs(const Topology& topology, const BgpPolicy& policy,
                    AsNumber from_as, AsNumber to_as) {
   if (from_as == to_as) return 0;
@@ -94,94 +121,76 @@ AsNumber BgpNextAs(const Topology& topology, const BgpPolicy& policy,
   return it == next.end() ? 0 : it->second;
 }
 
-void InstallBgpRoutes(const Topology& topology, const BgpPolicy& policy,
-                      std::vector<Fib>& fibs) {
-  const AsAdjacency adjacency = BuildAsAdjacency(topology);
+void InstallBgpRoutesForRouter(const Topology& topology,
+                               const BgpLevel& level, const SpfTree& tree,
+                               RouterId rid, Fib& fib) {
+  const AsNumber from_as = topology.router(rid).asn;
 
-  // AS-level next hops for every destination AS, computed once.
-  std::map<AsNumber, std::map<AsNumber, AsNumber>> next_for;
-  for (const AsNumber to_as : topology.AsNumbers()) {
-    next_for[to_as] = ComputeNextAs(topology, adjacency, policy, to_as);
+  // Border routers inject the subnets of their eBGP links into their own
+  // AS via iBGP with next-hop-self: other routers of the AS reach such a
+  // subnet through the border's loopback, i.e. over an LDP LSP when MPLS
+  // is on. (The IGP deliberately does not carry these prefixes.) The
+  // subnet list was flattened per AS in ComputeBgpLevel; AddRouteIfAbsent
+  // keeps the connected-route-wins rule in a single tree descent.
+  for (const BorderSubnet& bs : level.border_subnets.at(from_as)) {
+    if (bs.border == rid) continue;  // connected route already present
+    if (tree.distance[bs.border] == kUnreachable) continue;
+    FibEntry entry;
+    entry.prefix = bs.subnet;
+    entry.source = RouteSource::kBgp;
+    entry.metric = tree.distance[bs.border];
+    const auto span = tree.FirstHops(bs.border);
+    entry.next_hops.assign(span.data(), span.data() + span.size());
+    entry.bgp_next_hop = topology.router(bs.border).loopback;
+    fib.AddRouteIfAbsent(std::move(entry));
   }
 
-  // Process one source AS at a time so only that AS's SPF results are live
-  // (hot-potato needs each router's distances to its borders).
+  for (const BgpExit& exit : level.exits.at(from_as)) {
+    // Border routers of from_as peering with the chosen next AS.
+    const auto& border_links = *exit.borders;
+
+    FibEntry entry;
+    entry.prefix = exit.prefix;
+    entry.source = RouteSource::kBgp;
+
+    // Direct eBGP exit(s) from this router, if it is itself a border.
+    NextHopSet external;
+    for (const BorderLink& bl : border_links) {
+      if (bl.local == rid) external.push_back({bl.link, bl.remote});
+    }
+    if (!external.empty()) {
+      entry.metric = 0;
+      entry.next_hops = std::move(external);
+    } else {
+      // Hot-potato: nearest border router by IGP metric; ties broken on
+      // lower router id via the link-id scan order.
+      RouterId egress = topo::kNoRouter;
+      int best = kUnreachable;
+      for (const BorderLink& bl : border_links) {
+        const int d = tree.distance[bl.local];
+        if (d < best) {
+          best = d;
+          egress = bl.local;
+        }
+      }
+      if (egress == topo::kNoRouter) continue;  // partitioned AS
+      entry.metric = best;
+      const auto span = tree.FirstHops(egress);
+      entry.next_hops.assign(span.data(), span.data() + span.size());
+      entry.bgp_next_hop = topology.router(egress).loopback;
+    }
+    fib.AddRoute(std::move(entry));
+  }
+}
+
+void InstallBgpRoutes(const Topology& topology, const BgpPolicy& policy,
+                      std::vector<Fib>& fibs) {
+  const BgpLevel level = ComputeBgpLevel(topology, policy);
+  SpfEngine engine(topology);
   for (const AsNumber from_as : topology.AsNumbers()) {
-    std::unordered_map<RouterId, SpfResult> spf;
     for (const RouterId rid : topology.as(from_as).routers) {
-      spf.emplace(rid, ComputeSpf(topology, rid));
-    }
-
-    // Border routers inject the subnets of their eBGP links into their own
-    // AS via iBGP with next-hop-self: other routers of the AS reach such a
-    // subnet through the border's loopback, i.e. over an LDP LSP when MPLS
-    // is on. (The IGP deliberately does not carry these prefixes.)
-    for (const RouterId border : topology.as(from_as).routers) {
-      for (const topo::InterfaceId iid : topology.router(border).interfaces) {
-        const topo::Interface& iface = topology.interface(iid);
-        if (iface.link == topo::kNoLink ||
-            !topology.link(iface.link).up ||
-            topology.IsInternalLink(iface.link)) {
-          continue;
-        }
-        for (const RouterId rid : topology.as(from_as).routers) {
-          if (rid == border) continue;  // connected route already present
-          if (fibs.at(rid).LookupExact(iface.subnet) != nullptr) continue;
-          const SpfResult& rs = spf.at(rid);
-          if (rs.distance[border] == kUnreachable) continue;
-          FibEntry entry;
-          entry.prefix = iface.subnet;
-          entry.source = RouteSource::kBgp;
-          entry.metric = rs.distance[border];
-          entry.next_hops = rs.next_hops[border];
-          entry.bgp_next_hop = topology.router(border).loopback;
-          fibs.at(rid).AddRoute(std::move(entry));
-        }
-      }
-    }
-
-    for (const AsNumber to_as : topology.AsNumbers()) {
-      if (from_as == to_as) continue;
-      const netbase::Prefix announced = topology.as(to_as).block;
-      const AsNumber via = next_for.at(to_as).at(from_as);
-      if (via == 0) continue;  // unreachable
-
-      // Border routers of from_as peering with the chosen next AS.
-      const auto& border_links = adjacency.at(from_as).at(via);
-
-      for (const RouterId rid : topology.as(from_as).routers) {
-        FibEntry entry;
-        entry.prefix = announced;
-        entry.source = RouteSource::kBgp;
-
-        // Direct eBGP exit(s) from this router, if it is itself a border.
-        std::vector<NextHop> external;
-        for (const BorderLink& bl : border_links) {
-          if (bl.local == rid) external.push_back({bl.link, bl.remote});
-        }
-        if (!external.empty()) {
-          entry.metric = 0;
-          entry.next_hops = std::move(external);
-        } else {
-          // Hot-potato: nearest border router by IGP metric; ties broken on
-          // lower router id via the scan order.
-          const SpfResult& rs = spf.at(rid);
-          RouterId egress = topo::kNoRouter;
-          int best = kUnreachable;
-          for (const BorderLink& bl : border_links) {
-            const int d = rs.distance[bl.local];
-            if (d < best) {
-              best = d;
-              egress = bl.local;
-            }
-          }
-          if (egress == topo::kNoRouter) continue;  // partitioned AS
-          entry.metric = best;
-          entry.next_hops = rs.next_hops[egress];
-          entry.bgp_next_hop = topology.router(egress).loopback;
-        }
-        fibs.at(rid).AddRoute(std::move(entry));
-      }
+      InstallBgpRoutesForRouter(topology, level, engine.TreeOf(rid), rid,
+                                fibs.at(rid));
     }
   }
 }

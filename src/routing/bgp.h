@@ -10,10 +10,12 @@
 // Sec. 3.4).
 #pragma once
 
+#include <map>
 #include <set>
 #include <vector>
 
 #include "routing/fib.h"
+#include "routing/spf_engine.h"
 #include "topo/topology.h"
 
 namespace wormhole::routing {
@@ -24,9 +26,64 @@ struct BgpPolicy {
   std::set<topo::AsNumber> stub_ases;
 };
 
+/// One eBGP adjacency: local border router + the link to the remote AS.
+struct BorderLink {
+  RouterId local = topo::kNoRouter;
+  RouterId remote = topo::kNoRouter;
+  topo::LinkId link = topo::kNoLink;
+};
+
+/// One pre-resolved inter-AS destination for the routers of a source AS:
+/// the destination's address block and the source's border links toward
+/// the chosen next AS.
+struct BgpExit {
+  Prefix prefix;
+  const std::vector<BorderLink>* borders = nullptr;
+};
+
+/// One eBGP-link subnet a border router injects into its AS via iBGP.
+struct BorderSubnet {
+  Prefix subnet;
+  RouterId border = topo::kNoRouter;
+};
+
+/// The AS-level view of a converged BGP: the eBGP adjacency (per AS,
+/// grouped by peer, in link-id order — which fixes all hot-potato
+/// tie-breaks) and, for every destination AS, each source AS's chosen
+/// next AS (0 when unreachable; the destination maps to itself).
+///
+/// `exits` and `border_subnets` are the same data flattened into each
+/// source AS's install order, resolved once in ComputeBgpLevel so the
+/// per-router install loop does no map descents. `exits` points into
+/// `adjacency`: moving a BgpLevel is fine (map nodes survive), copying
+/// one is not.
+struct BgpLevel {
+  std::map<topo::AsNumber,
+           std::map<topo::AsNumber, std::vector<BorderLink>>>
+      adjacency;
+  std::map<topo::AsNumber, std::map<topo::AsNumber, topo::AsNumber>>
+      next_for;
+  std::map<topo::AsNumber, std::vector<BgpExit>> exits;
+  std::map<topo::AsNumber, std::vector<BorderSubnet>> border_subnets;
+};
+
+/// Computes the AS-level state once. Depends only on the topology's
+/// inter-AS links and the policy — not on any FIB — so it can run before
+/// (or concurrently with) IGP installation.
+BgpLevel ComputeBgpLevel(const topo::Topology& topology,
+                         const BgpPolicy& policy);
+
+/// Installs BGP routes for one router from its SPF tree and the AS-level
+/// state. Requires `fib` to already hold the router's connected + IGP
+/// routes. Writes only `fib` — safe to fan out across routers.
+void InstallBgpRoutesForRouter(const topo::Topology& topology,
+                               const BgpLevel& level, const SpfTree& tree,
+                               RouterId rid, Fib& fib);
+
 /// Computes AS-level best paths for every destination AS and installs BGP
 /// routes into every router's FIB. IGP routes must already be installed
-/// (hot-potato needs intra-AS distances).
+/// (hot-potato needs intra-AS distances). Serial convenience wrapper that
+/// builds a private SpfEngine.
 void InstallBgpRoutes(const topo::Topology& topology, const BgpPolicy& policy,
                       std::vector<Fib>& fibs);
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <mutex>
 
+#include "exec/thread_pool.h"
 #include "netbase/contracts.h"
 
 namespace wormhole::routing {
@@ -23,14 +24,17 @@ constexpr std::uint32_t MaskAddress(std::uint32_t address, int length) {
   return length <= 0 ? 0 : address & (~std::uint32_t{0} << (32 - length));
 }
 
-// One mutex for all FIBs: sealing is a rare, short, build-time event, and
-// a per-Fib mutex would cost 40 bytes on every router for nothing.
+// A striped lock shared by all FIBs, keyed on the Fib address: sealing is
+// a rare, short, build-time event, and a per-Fib mutex would cost 40
+// bytes on every router for nothing — but the parallel convergence seals
+// many distinct FIBs at once, so one global mutex would serialize that
+// whole phase. Striping keeps the memory cost flat and lets unrelated
+// FIBs seal concurrently.
 // lint:allow-file(raw-threading): the seal lock guards a build-time-only
-// transition; routing cannot depend on exec without inverting layers, and
-// the lock never touches the per-packet path.
-std::mutex& SealMutex() {
-  static std::mutex mutex;
-  return mutex;
+// transition and never touches the per-packet path.
+std::mutex& SealMutexFor(const void* fib) {
+  static exec::StripedMutex stripes(64);
+  return stripes.For(std::hash<const void*>{}(fib));
 }
 
 }  // namespace
@@ -40,17 +44,36 @@ void Fib::AddRoute(FibEntry entry) {
       entry.prefix.length() >= 0 && entry.prefix.length() <= 32,
       "FIB prefix length outside [0, 32]");
   std::sort(entry.next_hops.begin(), entry.next_hops.end());
-  entry.next_hops.erase(
-      std::unique(entry.next_hops.begin(), entry.next_hops.end()),
-      entry.next_hops.end());
+  NextHop* const unique_end =
+      std::unique(entry.next_hops.begin(), entry.next_hops.end());
+  entry.next_hops.truncate(
+      static_cast<std::size_t>(unique_end - entry.next_hops.begin()));
   const auto key = std::make_pair(entry.prefix.address().value(),
                                   entry.prefix.length());
-  routes_.insert_or_assign(key, std::move(entry));
+  last_ = routes_.insert_or_assign(HintFor(), key, std::move(entry));
   Invalidate();
 }
 
+bool Fib::AddRouteIfAbsent(FibEntry entry) {
+  WORMHOLE_ASSERT(
+      entry.prefix.length() >= 0 && entry.prefix.length() <= 32,
+      "FIB prefix length outside [0, 32]");
+  std::sort(entry.next_hops.begin(), entry.next_hops.end());
+  NextHop* const unique_end =
+      std::unique(entry.next_hops.begin(), entry.next_hops.end());
+  entry.next_hops.truncate(
+      static_cast<std::size_t>(unique_end - entry.next_hops.begin()));
+  const auto key = std::make_pair(entry.prefix.address().value(),
+                                  entry.prefix.length());
+  const std::size_t before = routes_.size();
+  last_ = routes_.try_emplace(HintFor(), key, std::move(entry));
+  const bool inserted = routes_.size() != before;
+  if (inserted) Invalidate();
+  return inserted;
+}
+
 void Fib::Seal() const {
-  std::lock_guard<std::mutex> lock(SealMutex());
+  std::lock_guard<std::mutex> lock(SealMutexFor(this));
   if (sealed_.load(std::memory_order_relaxed)) return;
 
   // Load factor <= 0.5: next power of two >= 2 * size (minimum 8 so the

@@ -17,11 +17,17 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <map>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "netbase/contracts.h"
+#include "netbase/inline_vec.h"
 #include "netbase/ipv4.h"
 #include "topo/topology.h"
 
@@ -47,6 +53,11 @@ struct NextHop {
   friend auto operator<=>(const NextHop&, const NextHop&) = default;
 };
 
+/// An ECMP next-hop set. Real sets are almost always 1-3 hops, so they
+/// live inline in the FibEntry — installing ~10^5 routes per convergence
+/// must not mean ~10^5 heap vectors.
+using NextHopSet = netbase::InlineVec<NextHop, 4>;
+
 struct FibEntry {
   Prefix prefix;
   RouteSource source = RouteSource::kConnected;
@@ -54,29 +65,123 @@ struct FibEntry {
   int metric = 0;
   /// Equal-cost next hops, sorted for determinism. Empty for a connected
   /// prefix on the router itself (local delivery).
-  std::vector<NextHop> next_hops;
+  NextHopSet next_hops;
   /// For BGP routes on non-border routers: the loopback of the chosen
   /// egress border router (next-hop-self). Unspecified otherwise.
   Ipv4Address bgp_next_hop;
 };
 
+/// A recycling fixed-size-node pool: allocation pops a free list backed by
+/// chunked slabs, deallocation pushes back onto it. Route-map nodes are
+/// all one size, so the ~10^2 node allocations of a router's FIB build
+/// collapse into a handful of slab mallocs — and destruction into a
+/// handful of frees.
+class FibNodePool {
+ public:
+  FibNodePool() = default;
+  FibNodePool(const FibNodePool&) = delete;
+  FibNodePool& operator=(const FibNodePool&) = delete;
+
+  void* Allocate(std::size_t bytes) {
+    if (free_list_ != nullptr) {
+      void* node = free_list_;
+      free_list_ = *static_cast<void**>(node);
+      return node;
+    }
+    if (node_size_ == 0) node_size_ = SlotSize(bytes);
+    WORMHOLE_ASSERT(SlotSize(bytes) == node_size_,
+                    "FibNodePool serves exactly one node size");
+    if (next_in_chunk_ == per_chunk_) {
+      chunks_.push_back(std::make_unique<std::byte[]>(
+          node_size_ * kChunkNodes));
+      next_in_chunk_ = 0;
+      per_chunk_ = kChunkNodes;
+    }
+    return chunks_.back().get() + node_size_ * next_in_chunk_++;
+  }
+
+  void Deallocate(void* node) {
+    *static_cast<void**>(node) = free_list_;
+    free_list_ = node;
+  }
+
+ private:
+  static constexpr std::size_t kChunkNodes = 64;
+  static constexpr std::size_t SlotSize(std::size_t bytes) {
+    // Room for the free-list link, and 16-byte slots so any node type is
+    // aligned within the (operator-new-aligned) slab.
+    const std::size_t n = bytes < sizeof(void*) ? sizeof(void*) : bytes;
+    return (n + 15) / 16 * 16;
+  }
+
+  std::size_t node_size_ = 0;
+  std::size_t per_chunk_ = 0;
+  std::size_t next_in_chunk_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  void* free_list_ = nullptr;
+};
+
+/// The std-allocator face of FibNodePool. Single-size nodes go through
+/// the pool; anything else (never requested by the route map in practice)
+/// falls back to operator new.
+template <typename T>
+class FibPoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit FibPoolAllocator(FibNodePool* pool) : pool_(pool) {}
+  template <typename U>
+  explicit(false) FibPoolAllocator(const FibPoolAllocator<U>& other)
+      : pool_(other.pool()) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 1) return static_cast<T*>(pool_->Allocate(sizeof(T)));
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    if (n == 1) {
+      pool_->Deallocate(p);
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+  [[nodiscard]] FibNodePool* pool() const { return pool_; }
+
+  template <typename U>
+  friend bool operator==(const FibPoolAllocator& a,
+                         const FibPoolAllocator<U>& b) {
+    return a.pool_ == b.pool();
+  }
+
+ private:
+  FibNodePool* pool_;
+};
+
 class Fib {
  public:
-  Fib() = default;
+  Fib() : routes_(RouteAlloc(&pool_)) {}
   // The sealed index holds pointers into this object's own route map, so
   // copies and moves transfer only the build-side and re-seal lazily.
-  Fib(const Fib& other) : routes_(other.routes_) {}
-  Fib(Fib&& other) noexcept : routes_(std::move(other.routes_)) {}
+  // Nodes always come from this object's own pool, so moves with a
+  // populated source are element-wise (the unequal-allocator path).
+  Fib(const Fib& other) : routes_(other.routes_, RouteAlloc(&pool_)) {}
+  Fib(Fib&& other) : routes_(std::move(other.routes_), RouteAlloc(&pool_)) {
+    other.last_ = other.routes_.end();
+  }
   Fib& operator=(const Fib& other) {
     if (this != &other) {
       routes_ = other.routes_;
+      last_ = routes_.end();
       Invalidate();
     }
     return *this;
   }
-  Fib& operator=(Fib&& other) noexcept {
+  Fib& operator=(Fib&& other) {
     if (this != &other) {
       routes_ = std::move(other.routes_);
+      last_ = routes_.end();
+      other.last_ = other.routes_.end();
       Invalidate();
     }
     return *this;
@@ -85,6 +190,11 @@ class Fib {
   /// Inserts or replaces the route for `entry.prefix`. Build-side only:
   /// not safe to call concurrently with Lookup.
   void AddRoute(FibEntry entry);
+
+  /// Inserts only when no route for `entry.prefix` exists yet; returns
+  /// whether it inserted. One tree descent — the connected-wins pattern
+  /// of the install loops, without a LookupExact probe first.
+  bool AddRouteIfAbsent(FibEntry entry);
 
   /// Compiles the flat query index (idempotent, thread-safe). The first
   /// Lookup seals automatically; calling this eagerly after route
@@ -122,10 +232,30 @@ class Fib {
                                            int length) const;
   void Invalidate() { sealed_.store(false, std::memory_order_release); }
 
+  /// Upper-bound insertion hint for ascending-order adds: the position
+  /// just after the last touched element.
+  [[nodiscard]] auto HintFor() {
+    return last_ == routes_.end() ? last_ : std::next(last_);
+  }
+
+  using RouteKey = std::pair<std::uint32_t, int>;
+  using RouteAlloc =
+      FibPoolAllocator<std::pair<const RouteKey, FibEntry>>;
+
+  using RouteMap =
+      std::map<RouteKey, FibEntry, std::less<RouteKey>, RouteAlloc>;
+
   // Build side. Ordered so Entries() is deterministic; node-based so
   // sealed-slot and caller-held FibEntry pointers stay valid across
-  // further AddRoute calls.
-  std::map<std::pair<std::uint32_t, int>, FibEntry> routes_;
+  // further AddRoute calls. Nodes live in pool_, declared first so it
+  // outlives the map's destructor.
+  FibNodePool pool_;
+  RouteMap routes_;
+  /// Last element touched by AddRoute/AddRouteIfAbsent. The install
+  /// loops add routes in ascending prefix order, so std::next(last_) is
+  /// the correct hint and those inserts are amortized O(1); out-of-order
+  /// adds just make the hint stale, which costs the ordinary descent.
+  RouteMap::iterator last_ = routes_.end();
 
   // Query side, built by Seal(). `sealed_` is the publication point:
   // readers acquire-load it before touching the index.

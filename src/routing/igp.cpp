@@ -1,88 +1,33 @@
 #include "routing/igp.h"
 
 #include <algorithm>
-#include <queue>
+#include <utility>
 
 namespace wormhole::routing {
 
-namespace {
-
-struct QueueItem {
-  int distance;
-  RouterId router;
-  friend bool operator>(const QueueItem& x, const QueueItem& y) {
-    return std::tie(x.distance, x.router) > std::tie(y.distance, y.router);
-  }
-};
-
-}  // namespace
-
 SpfResult ComputeSpf(const topo::Topology& topology, RouterId source) {
-  const std::size_t n = topology.router_count();
+  SpfEngine engine(topology);
+  const SpfTree& tree = engine.TreeOf(source);
   SpfResult result;
   result.source = source;
-  result.distance.assign(n, kUnreachable);
-  result.next_hops.assign(n, {});
-  result.hop_count.assign(n, kUnreachable);
-
-  const topo::AsNumber asn = topology.router(source).asn;
-  result.distance[source] = 0;
-  result.hop_count[source] = 0;
-
-  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
-  queue.push({0, source});
-  std::vector<bool> done(n, false);
-
-  while (!queue.empty()) {
-    const auto [dist, u] = queue.top();
-    queue.pop();
-    if (done[u]) continue;
-    done[u] = true;
-
-    for (const auto& [v, link_id] : topology.Neighbors(u)) {
-      if (topology.router(v).asn != asn) continue;  // intra-AS only
-      const int weight = topology.link(link_id).igp_metric;
-      const int candidate = dist + weight;
-      const int candidate_hops = result.hop_count[u] + 1;
-
-      if (candidate < result.distance[v]) {
-        result.distance[v] = candidate;
-        result.hop_count[v] = candidate_hops;
-        // First hop towards v: either the direct link (u == source) or
-        // whatever already reaches u.
-        if (u == source) {
-          result.next_hops[v] = {NextHop{link_id, v}};
-        } else {
-          result.next_hops[v] = result.next_hops[u];
-        }
-        queue.push({candidate, v});
-      } else if (candidate == result.distance[v]) {
-        // Equal-cost path: merge first-hop sets (ECMP).
-        const auto& extra = (u == source)
-                                ? std::vector<NextHop>{NextHop{link_id, v}}
-                                : result.next_hops[u];
-        auto& hops = result.next_hops[v];
-        hops.insert(hops.end(), extra.begin(), extra.end());
-        std::sort(hops.begin(), hops.end());
-        hops.erase(std::unique(hops.begin(), hops.end()), hops.end());
-        result.hop_count[v] = std::min(result.hop_count[v], candidate_hops);
-      }
-    }
+  result.distance = tree.distance;
+  result.hop_count = tree.hop_count;
+  result.next_hops.resize(tree.distance.size());
+  for (RouterId v = 0; v < result.next_hops.size(); ++v) {
+    const auto span = tree.FirstHops(v);
+    result.next_hops[v].assign(span.begin(), span.end());
   }
   return result;
 }
 
-void InstallIgpRoutes(const topo::Topology& topology, topo::AsNumber asn,
-                      std::vector<Fib>& fibs) {
-  const auto& as = topology.as(asn);
-
+IgpPlan BuildIgpPlan(const topo::Topology& topology, topo::AsNumber asn) {
   // Owners of every internal prefix, so each router can route a prefix via
   // its nearest owner. Subnets of inter-AS (eBGP) links are *not* carried
   // by the IGP — the border router injects them via iBGP with
   // next-hop-self (see InstallBgpRoutes), which is what lets transit
   // traffic towards them ride the LDP LSP to the border.
   std::vector<std::pair<netbase::Prefix, RouterId>> prefix_owners;
-  for (const RouterId rid : as.routers) {
+  for (const RouterId rid : topology.as(asn).routers) {
     const topo::Router& router = topology.router(rid);
     prefix_owners.emplace_back(netbase::Prefix::Host(router.loopback), rid);
     for (const topo::InterfaceId iid : router.interfaces) {
@@ -95,51 +40,83 @@ void InstallIgpRoutes(const topo::Topology& topology, topo::AsNumber asn,
       prefix_owners.emplace_back(iface.subnet, rid);
     }
   }
+  std::stable_sort(prefix_owners.begin(), prefix_owners.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
 
-  for (const RouterId rid : as.routers) {
-    const SpfResult spf = ComputeSpf(topology, rid);
-    Fib& fib = fibs.at(rid);
-
-    // Connected routes first (metric 0, empty next hops == local/attached).
-    for (const netbase::Prefix& p : topology.ConnectedPrefixes(rid)) {
-      FibEntry entry;
-      entry.prefix = p;
-      entry.source = RouteSource::kConnected;
-      entry.metric = 0;
-      fib.AddRoute(std::move(entry));
+  IgpPlan plan;
+  plan.asn = asn;
+  for (const auto& [prefix, owner] : prefix_owners) {
+    if (plan.prefixes.empty() || plan.prefixes.back().prefix != prefix) {
+      plan.prefixes.push_back(IgpPrefixOwners{prefix, {}});
     }
+    plan.prefixes.back().owners.push_back(owner);
+  }
+  return plan;
+}
 
-    // Remote internal prefixes via their nearest owner.
-    struct Best {
-      int metric = kUnreachable;
-      std::vector<NextHop> next_hops;
-    };
-    std::map<netbase::Prefix, Best> best;
-    for (const auto& [prefix, owner] : prefix_owners) {
+void InstallIgpRoutesForRouter(const topo::Topology& topology,
+                               const IgpPlan& plan, const SpfTree& tree,
+                               RouterId rid, Fib& fib) {
+  // Connected routes first (metric 0, empty next hops == local/attached).
+  for (const netbase::Prefix& p : topology.ConnectedPrefixes(rid)) {
+    FibEntry entry;
+    entry.prefix = p;
+    entry.source = RouteSource::kConnected;
+    entry.metric = 0;
+    fib.AddRoute(std::move(entry));
+  }
+
+  // Remote internal prefixes via their nearest owner. The plan is sorted
+  // by prefix, so install order (and thus build-side content) matches the
+  // historical std::map walk.
+  for (const IgpPrefixOwners& group : plan.prefixes) {
+    int best = kUnreachable;
+    RouterId best_owner = topo::kNoRouter;
+    bool multiple = false;
+    for (const RouterId owner : group.owners) {
       if (owner == rid) continue;
-      const int d = spf.distance[owner];
-      if (d == kUnreachable) continue;
-      auto& b = best[prefix];
-      if (d < b.metric) {
-        b.metric = d;
-        b.next_hops = spf.next_hops[owner];
-      } else if (d == b.metric) {
-        auto& hops = b.next_hops;
-        hops.insert(hops.end(), spf.next_hops[owner].begin(),
-                    spf.next_hops[owner].end());
-        std::sort(hops.begin(), hops.end());
-        hops.erase(std::unique(hops.begin(), hops.end()), hops.end());
+      const int d = tree.distance[owner];
+      if (d == kUnreachable || d > best) continue;
+      if (d < best) {
+        best = d;
+        best_owner = owner;
+        multiple = false;
+      } else {
+        multiple = true;
       }
     }
-    for (auto& [prefix, b] : best) {
-      if (fib.LookupExact(prefix) != nullptr) continue;  // connected wins
-      FibEntry entry;
-      entry.prefix = prefix;
-      entry.source = RouteSource::kIgp;
-      entry.metric = b.metric;
-      entry.next_hops = std::move(b.next_hops);
-      fib.AddRoute(std::move(entry));
+    if (best == kUnreachable) continue;
+
+    FibEntry entry;
+    entry.prefix = group.prefix;
+    entry.source = RouteSource::kIgp;
+    entry.metric = best;
+    if (!multiple) {
+      const auto span = tree.FirstHops(best_owner);
+      entry.next_hops.assign(span.data(), span.data() + span.size());
+    } else {
+      // Equidistant owners (both ends of a /31 at the same metric): the
+      // route's ECMP set is the union; AddRoute sorts and dedupes.
+      for (const RouterId owner : group.owners) {
+        if (owner == rid || tree.distance[owner] != best) continue;
+        const auto span = tree.FirstHops(owner);
+        entry.next_hops.append(span.data(), span.data() + span.size());
+      }
     }
+    // Connected wins: a prefix already present (installed above) is kept.
+    fib.AddRouteIfAbsent(std::move(entry));
+  }
+}
+
+void InstallIgpRoutes(const topo::Topology& topology, topo::AsNumber asn,
+                      std::vector<Fib>& fibs) {
+  SpfEngine engine(topology);
+  const IgpPlan plan = BuildIgpPlan(topology, asn);
+  for (const RouterId rid : topology.as(asn).routers) {
+    InstallIgpRoutesForRouter(topology, plan, engine.TreeOf(rid), rid,
+                              fibs.at(rid));
   }
 }
 
@@ -147,7 +124,16 @@ int IgpDistance(const topo::Topology& topology, RouterId from, RouterId to) {
   if (topology.router(from).asn != topology.router(to).asn) {
     return kUnreachable;
   }
-  return ComputeSpf(topology, from).distance[to];
+  SpfEngine engine(topology);
+  return engine.TreeOf(from).distance[to];
+}
+
+int IgpDistance(SpfEngine& engine, RouterId from, RouterId to) {
+  if (engine.topology().router(from).asn !=
+      engine.topology().router(to).asn) {
+    return kUnreachable;
+  }
+  return engine.TreeOf(from).distance[to];
 }
 
 int IgpHopDistance(const topo::Topology& topology, RouterId from,
@@ -155,7 +141,16 @@ int IgpHopDistance(const topo::Topology& topology, RouterId from,
   if (topology.router(from).asn != topology.router(to).asn) {
     return kUnreachable;
   }
-  return ComputeSpf(topology, from).hop_count[to];
+  SpfEngine engine(topology);
+  return engine.TreeOf(from).hop_count[to];
+}
+
+int IgpHopDistance(SpfEngine& engine, RouterId from, RouterId to) {
+  if (engine.topology().router(from).asn !=
+      engine.topology().router(to).asn) {
+    return kUnreachable;
+  }
+  return engine.TreeOf(from).hop_count[to];
 }
 
 }  // namespace wormhole::routing

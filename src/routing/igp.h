@@ -6,20 +6,23 @@
 // link subnet) is reached via the *nearer* owner — which is what makes the
 // PHP-popped last hop own the Egress LER's incoming prefix, the property
 // BRPR exploits (paper Sec. 3.2).
+//
+// All SPF work goes through routing::SpfEngine (see spf_engine.h), so a
+// convergence computes each (AS, source) tree exactly once, shared between
+// IGP installation, BGP hot-potato, LDP and the ground-truth queries.
 #pragma once
 
-#include <limits>
 #include <vector>
 
 #include "routing/fib.h"
+#include "routing/spf_engine.h"
 #include "topo/topology.h"
 
 namespace wormhole::routing {
 
-constexpr int kUnreachable = std::numeric_limits<int>::max();
-
 /// SPF result from one source router: distance and ECMP next hops per
-/// destination router of the same AS.
+/// destination router of the same AS. Compatibility view over SpfTree for
+/// callers that want owning vectors.
 struct SpfResult {
   RouterId source = topo::kNoRouter;
   /// Metric distance per destination router id (kUnreachable outside AS).
@@ -30,19 +33,48 @@ struct SpfResult {
   std::vector<int> hop_count;
 };
 
-/// Runs Dijkstra from `source` restricted to `source`'s AS.
+/// Runs Dijkstra from `source` restricted to `source`'s AS. One-shot
+/// convenience wrapper over SpfEngine (no caching across calls).
 SpfResult ComputeSpf(const topo::Topology& topology, RouterId source);
 
+/// One internal prefix of an AS together with every router that owns it
+/// (a /31 link subnet has two owners; a loopback has one).
+struct IgpPrefixOwners {
+  netbase::Prefix prefix;
+  std::vector<RouterId> owners;
+};
+
+/// The per-AS IGP installation plan: every internal prefix with its
+/// owners, sorted by prefix. Computed once per AS per convergence and
+/// shared by all member routers' installs.
+struct IgpPlan {
+  topo::AsNumber asn = 0;
+  std::vector<IgpPrefixOwners> prefixes;
+};
+
+IgpPlan BuildIgpPlan(const topo::Topology& topology, topo::AsNumber asn);
+
+/// Installs connected + IGP routes for one router from its SPF tree and
+/// its AS's plan. Writes only `fib` — safe to fan out across routers.
+void InstallIgpRoutesForRouter(const topo::Topology& topology,
+                               const IgpPlan& plan, const SpfTree& tree,
+                               RouterId rid, Fib& fib);
+
 /// Installs connected + IGP routes for every router of `asn` into `fibs`
-/// (indexed by RouterId across the whole topology).
+/// (indexed by RouterId across the whole topology). Serial convenience
+/// wrapper that builds a private SpfEngine.
 void InstallIgpRoutes(const topo::Topology& topology, topo::AsNumber asn,
                       std::vector<Fib>& fibs);
 
 /// Metric distance between two routers of the same AS (kUnreachable if in
-/// different ASes or disconnected). Convenience wrapper over ComputeSpf.
+/// different ASes or disconnected). The engine overloads reuse cached
+/// trees; the topology overloads run a one-shot SPF.
 int IgpDistance(const topo::Topology& topology, RouterId from, RouterId to);
+int IgpDistance(SpfEngine& engine, RouterId from, RouterId to);
 
 /// Minimum hop count between two routers of the same AS.
-int IgpHopDistance(const topo::Topology& topology, RouterId from, RouterId to);
+int IgpHopDistance(const topo::Topology& topology, RouterId from,
+                   RouterId to);
+int IgpHopDistance(SpfEngine& engine, RouterId from, RouterId to);
 
 }  // namespace wormhole::routing

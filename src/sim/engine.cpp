@@ -1,6 +1,9 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+#include <span>
 #include <stdexcept>
+#include <utility>
 
 #include "exec/thread_pool.h"
 #include "netbase/contracts.h"
@@ -57,7 +60,8 @@ Engine::Engine(const topo::Topology& topology,
                const mpls::MplsConfigMap& configs,
                const std::vector<routing::Fib>& fibs,
                const mpls::LdpTables& ldp, EngineOptions options,
-               const mpls::TeDatabase* te, const mpls::SrDatabase* sr)
+               const mpls::TeDatabase* te, const mpls::SrDatabase* sr,
+               exec::ThreadPool* pool)
     : topology_(&topology),
       configs_(&configs),
       fibs_(&fibs),
@@ -67,47 +71,95 @@ Engine::Engine(const topo::Topology& topology,
       options_(options) {
   // Resolve every per-router hash lookup (config, LDP domain, FIB) once,
   // up front; the forwarding loop then indexes straight into this vector.
-  router_cache_.reserve(topology.router_count());
-  for (RouterId r = 0; r < topology.router_count(); ++r) {
-    RouterCache rc;
-    rc.router = &topology.router(r);
-    rc.config = &configs.For(r);
-    rc.domain = ldp.DomainOf(rc.router->asn);
-    rc.fib = &fibs.at(r);
+  // Each slot is written by exactly one task and each cache's content
+  // depends only on this router's converged state, so the parallel build
+  // is bit-identical to the serial one.
+  router_cache_.resize(topology.router_count());
+  exec::ParallelFor(pool, topology.router_count(), [&](std::size_t r) {
+    router_cache_[r] = BuildRouterCache(static_cast<RouterId>(r));
+  });
+  for (const topo::Host& host : topology.hosts()) {
+    router_cache_[host.gateway].hosts.push_back(
+        AttachedHost{host.address, host.stub_interface});
+  }
+}
 
-    rc.local_addresses.reserve(rc.router->interfaces.size() + 1);
-    rc.local_addresses.push_back(rc.router->loopback);
-    for (const topo::InterfaceId iid : rc.router->interfaces) {
-      rc.local_addresses.push_back(topology.interface(iid).address);
-    }
+Engine::RouterCache Engine::BuildRouterCache(topo::RouterId r) const {
+  const topo::Topology& topology = *topology_;
+  RouterCache rc;
+  rc.router = &topology.router(r);
+  rc.config = &configs_->For(r);
+  rc.domain = ldp_->DomainOf(rc.router->asn);
+  rc.fib = &fibs_->at(r);
 
-    // Pre-resolve every LDP in-label this router can receive into the
-    // per-next-hop LabelOp the swap path would compute: exactly the
-    // FecOfLabel → LookupExact → BindingOf chain of the converged
-    // tables, evaluated once per (label, neighbor) here instead of per
-    // packet. Labels are dense from kFirstUnreservedLabel, so the table
-    // is a plain vector.
-    if (rc.domain != nullptr) {
-      for (const netbase::Prefix& fec : rc.domain->FecsOf(r)) {
-        const auto own = rc.domain->BindingOf(r, fec);
-        if (!own || own->kind != mpls::BindingKind::kLabel) continue;
-        const routing::FibEntry* route = rc.fib->LookupExact(fec);
-        if (route == nullptr || route->next_hops.empty()) continue;
-        // ldp_ops validity: the dense (label - 16) indexing below is only
-        // sound for labels in the unreserved 20-bit range.
-        WORMHOLE_ASSERT(own->label >= netbase::kFirstUnreservedLabel &&
-                            own->label <= netbase::kMaxLabel,
-                        "LDP binding outside the unreserved label range");
-        const std::size_t index =
-            own->label - netbase::kFirstUnreservedLabel;
-        if (index >= rc.ldp_ops.size()) rc.ldp_ops.resize(index + 1);
-        std::vector<LabelOp>& per_hop = rc.ldp_ops[index];
-        per_hop.reserve(route->next_hops.size());
+  rc.local_addresses.reserve(rc.router->interfaces.size() + 1);
+  rc.local_addresses.push_back(rc.router->loopback);
+  for (const topo::InterfaceId iid : rc.router->interfaces) {
+    rc.local_addresses.push_back(topology.interface(iid).address);
+  }
+
+  // Pre-resolve every LDP in-label this router can receive into the
+  // per-next-hop LabelOp the swap path would compute: exactly the
+  // FecOfLabel → LookupExact → BindingOf chain of the converged
+  // tables, evaluated once per (label, neighbor) here instead of per
+  // packet. Labels are allocated densely from kFirstUnreservedLabel in
+  // ascending FEC order, so walking the sorted bindings appends both CSR
+  // arrays in final order with no per-label vectors.
+  if (rc.domain != nullptr) {
+    // Neighbor bindings are consulted in ascending FEC order (the outer
+    // walk is sorted), so a monotone cursor per neighbor replaces a
+    // binary search per (label, next hop). The neighbor set of one
+    // router is small; linear scan beats a hash.
+    struct NeighborCursor {
+      RouterId neighbor;
+      std::span<const std::pair<netbase::Prefix, mpls::Binding>> bindings;
+      std::size_t pos = 0;
+    };
+    std::vector<NeighborCursor> cursors;
+    const auto neighbor_binding =
+        [&](RouterId neighbor,
+            const netbase::Prefix& fec) -> const mpls::Binding* {
+      NeighborCursor* cursor = nullptr;
+      for (NeighborCursor& c : cursors) {
+        if (c.neighbor == neighbor) {
+          cursor = &c;
+          break;
+        }
+      }
+      if (cursor == nullptr) {
+        cursors.push_back({neighbor, rc.domain->BindingsOf(neighbor)});
+        cursor = &cursors.back();
+      }
+      while (cursor->pos < cursor->bindings.size() &&
+             cursor->bindings[cursor->pos].first < fec) {
+        ++cursor->pos;
+      }
+      if (cursor->pos < cursor->bindings.size() &&
+          cursor->bindings[cursor->pos].first == fec) {
+        return &cursor->bindings[cursor->pos].second;
+      }
+      return nullptr;
+    };
+
+    rc.ldp_op_offsets.push_back(0);
+    for (const auto& [fec, own] : rc.domain->BindingsOf(r)) {
+      if (own.kind != mpls::BindingKind::kLabel) continue;
+      // CSR validity: the dense (label - 16) indexing below is only
+      // sound for labels in the unreserved 20-bit range.
+      WORMHOLE_ASSERT(own.label >= netbase::kFirstUnreservedLabel &&
+                          own.label <= netbase::kMaxLabel,
+                      "LDP binding outside the unreserved label range");
+      const std::size_t index = own.label - netbase::kFirstUnreservedLabel;
+      WORMHOLE_DCHECK(index + 1 == rc.ldp_op_offsets.size(),
+                      "LDP labels must arrive densely, in binding order");
+      const routing::FibEntry* route = rc.fib->LookupExact(fec);
+      if (route != nullptr) {
         for (const NextHop& hop : route->next_hops) {
           LabelOp op;
           op.hop = hop;
-          const auto out = rc.domain->BindingOf(hop.neighbor, fec);
-          if (!out || out->kind == mpls::BindingKind::kImplicitNull) {
+          const mpls::Binding* out = neighbor_binding(hop.neighbor, fec);
+          if (out == nullptr ||
+              out->kind == mpls::BindingKind::kImplicitNull) {
             op.kind = LabelOp::Kind::kPop;
           } else if (out->kind == mpls::BindingKind::kExplicitNull) {
             op.kind = LabelOp::Kind::kSwapExplicitNull;
@@ -115,13 +167,26 @@ Engine::Engine(const topo::Topology& topology,
             op.kind = LabelOp::Kind::kSwap;
             op.out_label = out->label;
           }
-          per_hop.push_back(op);
+          rc.ldp_op_pool.push_back(op);
         }
       }
+      rc.ldp_op_offsets.push_back(
+          static_cast<std::uint32_t>(rc.ldp_op_pool.size()));
     }
-    router_cache_.push_back(std::move(rc));
   }
-  for (const topo::Host& host : topology.hosts()) {
+  return rc;
+}
+
+void Engine::RefreshRouters(const std::vector<topo::RouterId>& routers) {
+  for (const RouterId r : routers) {
+    router_cache_[r] = BuildRouterCache(r);
+  }
+  // Re-attach hosts lost with the replaced caches.
+  for (const topo::Host& host : topology_->hosts()) {
+    if (std::find(routers.begin(), routers.end(), host.gateway) ==
+        routers.end()) {
+      continue;
+    }
     router_cache_[host.gateway].hosts.push_back(
         AttachedHost{host.address, host.stub_interface});
   }
@@ -184,11 +249,13 @@ std::optional<Engine::LabelOp> Engine::ResolveLabel(
   if (label < netbase::kFirstUnreservedLabel) return std::nullopt;
   const RouterCache& rc = router_cache_[router];
   const std::size_t index = label - netbase::kFirstUnreservedLabel;
-  if (index >= rc.ldp_ops.size()) return std::nullopt;
-  const std::vector<LabelOp>& per_hop = rc.ldp_ops[index];
-  if (per_hop.empty()) return std::nullopt;
-  if (per_hop.size() == 1 || !options_.ecmp_enabled) return per_hop.front();
-  return per_hop[FlowHash(packet) % per_hop.size()];
+  if (index + 1 >= rc.ldp_op_offsets.size()) return std::nullopt;
+  const std::uint32_t begin = rc.ldp_op_offsets[index];
+  const std::uint32_t count = rc.ldp_op_offsets[index + 1] - begin;
+  if (count == 0) return std::nullopt;
+  const LabelOp* per_hop = rc.ldp_op_pool.data() + begin;
+  if (count == 1 || !options_.ecmp_enabled) return per_hop[0];
+  return per_hop[FlowHash(packet) % count];
 }
 
 EngineStats Engine::stats() const {
@@ -607,7 +674,7 @@ void Engine::Forward(Transit& t, const routing::NextHop& hop) const {
 }
 
 const routing::NextHop& Engine::PickNextHop(
-    const std::vector<routing::NextHop>& hops,
+    const routing::NextHopSet& hops,
     const netbase::Packet& packet) const {
   if (hops.size() == 1 || !options_.ecmp_enabled) return hops.front();
   return hops[FlowHash(packet) % hops.size()];

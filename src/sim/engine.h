@@ -41,6 +41,10 @@
 #include "routing/fib.h"
 #include "topo/topology.h"
 
+namespace wormhole::exec {
+class ThreadPool;
+}  // namespace wormhole::exec
+
 namespace wormhole::sim {
 
 struct EngineOptions {
@@ -89,11 +93,19 @@ struct EngineStats {
 class Engine {
  public:
   /// All references must outlive the engine. `te` and `sr` may be null
-  /// (no RSVP-TE tunnels / no Segment Routing).
+  /// (no RSVP-TE tunnels / no Segment Routing). With a `pool`, the
+  /// per-router caches are built in parallel (disjoint writes, identical
+  /// content at any worker count).
   Engine(const topo::Topology& topology, const mpls::MplsConfigMap& configs,
          const std::vector<routing::Fib>& fibs, const mpls::LdpTables& ldp,
          EngineOptions options = {}, const mpls::TeDatabase* te = nullptr,
-         const mpls::SrDatabase* sr = nullptr);
+         const mpls::SrDatabase* sr = nullptr,
+         exec::ThreadPool* pool = nullptr);
+
+  /// Rebuilds the hot-path caches of just `routers` after an incremental
+  /// reconvergence re-installed their routes/labels (the FIB vector and
+  /// LDP tables keep their addresses; only derived state is re-resolved).
+  void RefreshRouters(const std::vector<topo::RouterId>& routers);
 
   struct Outcome {
     bool received = false;
@@ -178,15 +190,22 @@ class Engine {
     std::vector<netbase::Ipv4Address> local_addresses;
     /// Hosts whose gateway is this router (usually none or one).
     std::vector<AttachedHost> hosts;
-    /// LDP forwarding, fully resolved: index (in-label - 16) → one
-    /// LabelOp per ECMP next hop of the FEC's route (empty vector: label
-    /// unbound, or FEC without a usable route — resolves to nullopt).
-    /// Collapses the FecOfLabel → LookupExact → BindingOf hash chain of
-    /// the swap path into a single indexed load; valid because LDP
-    /// labels are allocated densely from kFirstUnreservedLabel and the
-    /// converged tables are immutable.
-    std::vector<std::vector<LabelOp>> ldp_ops;
+    /// LDP forwarding, fully resolved in CSR form: in-label `l` maps to
+    /// pool slice [offsets[l-16], offsets[l-16+1]) — one LabelOp per
+    /// ECMP next hop of the FEC's route (empty slice: label unbound, or
+    /// FEC without a usable route — resolves to nullopt). Collapses the
+    /// FecOfLabel → LookupExact → BindingOf chain of the swap path into
+    /// a single indexed load, with all of a router's ops in one
+    /// contiguous buffer instead of a vector-of-vectors; valid because
+    /// LDP labels are allocated densely from kFirstUnreservedLabel and
+    /// the converged tables are immutable.
+    std::vector<std::uint32_t> ldp_op_offsets;  ///< size labels+1 (or 0)
+    std::vector<LabelOp> ldp_op_pool;
   };
+
+  /// Builds one router's hot-path cache (everything except `hosts`, which
+  /// the caller attaches from the topology's host list).
+  [[nodiscard]] RouterCache BuildRouterCache(topo::RouterId r) const;
 
   /// Resolves `label` at `router`, consulting RSVP-TE then LDP tables.
   [[nodiscard]] std::optional<LabelOp> ResolveLabel(
@@ -220,7 +239,7 @@ class Engine {
 
   /// Chooses the ECMP next hop for this packet (stable per flow).
   const routing::NextHop& PickNextHop(
-      const std::vector<routing::NextHop>& hops,
+      const routing::NextHopSet& hops,
       const netbase::Packet& packet) const;
 
   /// Pushes a label if the route and LDP tables call for it.

@@ -1,7 +1,13 @@
 // Convenience facade: computes the full converged control plane (IGP, BGP,
 // LDP) for a topology + MPLS configuration and exposes a ready Engine.
+//
+// Convergence is phased over the shared routing::SpfEngine — one SPF per
+// (AS, source) per topology generation — and each phase fans out over an
+// exec::ThreadPool with deterministic merges, so the converged state is
+// bit-identical at any jobs count (see docs/convergence.md).
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -10,26 +16,78 @@
 #include "mpls/segment_routing.h"
 #include "routing/bgp.h"
 #include "routing/fib.h"
+#include "routing/igp.h"
+#include "routing/spf_engine.h"
 #include "sim/engine.h"
 #include "topo/topology.h"
+
+namespace wormhole::exec {
+class ThreadPool;
+}  // namespace wormhole::exec
 
 namespace wormhole::sim {
 
 class Network {
  public:
   /// `topology`, `configs` and `te` (if given) must outlive the network.
+  /// `convergence_jobs`: worker threads for the control-plane build; 0 is
+  /// auto (hardware concurrency), 1 forces the serial path. The converged
+  /// state does not depend on the value.
   Network(const topo::Topology& topology, const mpls::MplsConfigMap& configs,
           routing::BgpPolicy bgp_policy = {}, EngineOptions options = {},
           const mpls::TeDatabase* te = nullptr,
-          const mpls::SrDatabase* sr = nullptr);
+          const mpls::SrDatabase* sr = nullptr,
+          std::size_t convergence_jobs = 0);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Incremental reconvergence after topology.SetLinkUp(link): recomputes
+  /// only the state the flip can affect and re-seals only the touched
+  /// FIBs. The result is byte-identical to a full rebuild.
+  ///
+  ///  * Intra-AS link: that AS's SPF trees, IGP/BGP routes and LDP domain
+  ///    are rebuilt; everything else (including the AS-level BGP state,
+  ///    which only sees inter-AS links) is reused.
+  ///  * Inter-AS link: no SPF tree changes, but the AS graph and the two
+  ///    endpoint border routers' connected/injected subnets do — so BGP
+  ///    (and the IGP-installed connected routes) are rebuilt everywhere
+  ///    from the cached trees; LDP domains (internal FECs only) are kept.
+  ///
+  /// Call it once per SetLinkUp, before any further topology mutation.
+  void OnLinkStateChange(topo::LinkId link);
 
   [[nodiscard]] Engine& engine() { return *engine_; }
   [[nodiscard]] const std::vector<routing::Fib>& fibs() const { return fibs_; }
   [[nodiscard]] const mpls::LdpTables& ldp() const { return ldp_; }
   [[nodiscard]] const topo::Topology& topology() const { return *topology_; }
+  /// The shared SPF cache (also the per-convergence SPF counting hook).
+  [[nodiscard]] routing::SpfEngine& spf() { return spf_; }
 
  private:
+  /// Full phased build: prime SPF, install IGP+BGP per router, seal,
+  /// build LDP, build the engine.
+  void ConvergeFull();
+  /// Rebuilds one AS after an internal link flip.
+  void ReconvergeAs(topo::AsNumber asn);
+  /// Rebuilds the BGP layer everywhere after an inter-AS link flip.
+  void ReconvergeInterAs();
+  /// Installs connected+IGP then BGP routes and seals, for each listed
+  /// router, in parallel; `plans` must cover every listed router's AS.
+  void InstallRoutes(const std::vector<topo::RouterId>& routers,
+                     const std::vector<routing::IgpPlan>& plans);
+
   const topo::Topology* topology_;
+  const mpls::MplsConfigMap* configs_;
+  routing::BgpPolicy bgp_policy_;
+  EngineOptions options_;
+  const mpls::TeDatabase* te_;
+  const mpls::SrDatabase* sr_;
+  /// Null when the effective jobs count is 1 (every fan-out runs inline).
+  std::unique_ptr<exec::ThreadPool> pool_;
+  routing::SpfEngine spf_;
+  /// Cached AS-level BGP state; reusable while no inter-AS link changes.
+  routing::BgpLevel bgp_level_;
   std::vector<routing::Fib> fibs_;
   mpls::LdpTables ldp_;
   std::unique_ptr<Engine> engine_;

@@ -38,6 +38,7 @@ AsNumber Topology::AddAs(AsNumber asn, std::string name) {
   as_index_[asn] = ases_.size();
   ases_.push_back(std::move(as));
   next_offset_[asn] = 0;
+  ++version_;
   return asn;
 }
 
@@ -107,6 +108,7 @@ RouterId Topology::AddRouter(AsNumber asn, std::string name, Vendor vendor) {
   interfaces_.push_back(std::move(lo));
   ases_[it->second].routers.push_back(id);
   routers_.push_back(std::move(router));
+  ++version_;
   return id;
 }
 
@@ -146,6 +148,7 @@ LinkId Topology::AddLink(RouterId a, RouterId b, LinkOptions options) {
   link.a = make_interface(ra, 0);
   link.b = make_interface(rb, 1);
   links_.push_back(link);
+  ++version_;
   return link_id;
 }
 
@@ -172,6 +175,7 @@ Ipv4Address Topology::AttachHost(RouterId gateway, std::string name) {
   host_index_[host.address] = hosts_.size();
   interfaces_.push_back(std::move(stub));
   hosts_.push_back(std::move(host));
+  ++version_;
   return hosts_.back().address;
 }
 

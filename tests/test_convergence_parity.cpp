@@ -1,0 +1,206 @@
+// Convergence parity: the phased, thread-pooled control-plane build and the
+// incremental reconvergence path must both be *byte-identical* to the serial
+// full rebuild — same sealed FIB contents, same LDP label tables — in the
+// style of test_golden_campaign. Also pins the SpfEngine's "exactly one SPF
+// per (AS, router) per convergence" contract via the counting hook.
+//
+// These tests run in the TSan CI matrix: the jobs>1 builds exercise the
+// parallel Prime / install / seal phases under the race detector.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/internet.h"
+#include "mpls/ldp.h"
+#include "routing/fib.h"
+#include "routing/igp.h"
+#include "sim/network.h"
+#include "topo/topology.h"
+
+namespace wormhole {
+namespace {
+
+gen::InternetOptions SmallWorld() {
+  gen::InternetOptions options;
+  options.seed = 17;
+  options.tier1_count = 2;
+  options.transit_count = 4;
+  options.stub_count = 10;
+  options.vp_count = 3;
+  return options;
+}
+
+/// Serializes every sealed FIB entry and every LDP binding of `net` into
+/// one deterministic blob. Two Networks with equal dumps forward packets
+/// identically.
+std::string DumpControlPlane(sim::Network& net) {
+  const topo::Topology& topology = net.topology();
+  std::ostringstream out;
+  for (std::size_t r = 0; r < topology.router_count(); ++r) {
+    out << "R " << r << "\n";
+    for (const routing::FibEntry* entry : net.fibs()[r].Entries()) {
+      out << "F " << entry->prefix.ToString() << " s"
+          << static_cast<int>(entry->source) << " m" << entry->metric
+          << " nh[";
+      for (const routing::NextHop& hop : entry->next_hops) {
+        out << hop.link << ":" << hop.neighbor << ",";
+      }
+      out << "] bgp " << entry->bgp_next_hop.ToString() << "\n";
+    }
+  }
+  for (const topo::AsNumber asn : topology.AsNumbers()) {
+    const mpls::LdpDomain* domain = net.ldp().DomainOf(asn);
+    if (domain == nullptr) continue;
+    out << "L " << asn << "\n";
+    for (const topo::RouterId rid : topology.as(asn).routers) {
+      std::vector<netbase::Prefix> fecs = domain->FecsOf(rid);
+      std::sort(fecs.begin(), fecs.end());
+      for (const netbase::Prefix& fec : fecs) {
+        const auto binding = domain->BindingOf(rid, fec);
+        EXPECT_TRUE(binding.has_value()) << "advertised FEC without binding";
+        if (!binding.has_value()) continue;
+        out << "B " << rid << " " << fec.ToString() << " k"
+            << static_cast<int>(binding->kind) << " l" << binding->label
+            << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+void ExpectSameDump(const std::string& got, const std::string& want) {
+  ASSERT_EQ(got.size(), want.size());
+  const auto mismatch =
+      std::mismatch(got.begin(), got.end(), want.begin()).first;
+  EXPECT_TRUE(mismatch == got.end())
+      << "first divergence at byte " << (mismatch - got.begin()) << ": ..."
+      << got.substr(static_cast<std::size_t>(std::max<std::ptrdiff_t>(
+                        0, mismatch - got.begin() - 40)),
+                    80)
+      << "...";
+}
+
+TEST(ConvergenceParity, ParallelBuildMatchesSerialByteForByte) {
+  gen::SyntheticInternet world(SmallWorld());
+  sim::Network serial(world.topology(), world.configs(), world.bgp_policy(),
+                      {}, nullptr, nullptr, /*convergence_jobs=*/1);
+  const std::string want = DumpControlPlane(serial);
+  ASSERT_FALSE(want.empty());
+
+  for (const std::size_t jobs : {std::size_t{3}, std::size_t{8}}) {
+    sim::Network parallel(world.topology(), world.configs(),
+                          world.bgp_policy(), {}, nullptr, nullptr, jobs);
+    const std::string got = DumpControlPlane(parallel);
+    ExpectSameDump(got, want);
+  }
+}
+
+/// The first internal link of an MPLS-enabled AS (an LSP hop, so the flap
+/// also churns the LDP domain), or any internal link as fallback.
+topo::LinkId PickInternalLink(const gen::SyntheticInternet& world) {
+  const topo::Topology& topology = world.topology();
+  topo::LinkId fallback = topo::kNoLink;
+  for (topo::LinkId l = 0; l < topology.link_count(); ++l) {
+    if (!topology.IsInternalLink(l)) continue;
+    if (fallback == topo::kNoLink) fallback = l;
+    const topo::AsNumber asn =
+        topology.router(topology.interface(topology.link(l).a).router).asn;
+    if (world.profile(asn).mpls) return l;
+  }
+  return fallback;
+}
+
+topo::LinkId PickExternalLink(const gen::SyntheticInternet& world) {
+  const topo::Topology& topology = world.topology();
+  for (topo::LinkId l = 0; l < topology.link_count(); ++l) {
+    if (!topology.IsInternalLink(l)) return l;
+  }
+  return topo::kNoLink;
+}
+
+TEST(ConvergenceParity, IncrementalInternalFlapMatchesFullRebuild) {
+  gen::SyntheticInternet world(SmallWorld());
+  topo::Topology& topology = world.mutable_topology();
+  const topo::LinkId link = PickInternalLink(world);
+  ASSERT_NE(link, topo::kNoLink);
+
+  sim::Network incremental(topology, world.configs(), world.bgp_policy(), {},
+                           nullptr, nullptr, /*convergence_jobs=*/2);
+  const std::string before = DumpControlPlane(incremental);
+
+  topology.SetLinkUp(link, false);
+  incremental.OnLinkStateChange(link);
+  sim::Network rebuilt(topology, world.configs(), world.bgp_policy(), {},
+                       nullptr, nullptr, /*convergence_jobs=*/1);
+  ExpectSameDump(DumpControlPlane(incremental), DumpControlPlane(rebuilt));
+
+  // Restoring the link must restore the original control plane exactly.
+  topology.SetLinkUp(link, true);
+  incremental.OnLinkStateChange(link);
+  ExpectSameDump(DumpControlPlane(incremental), before);
+}
+
+TEST(ConvergenceParity, IncrementalExternalFlapMatchesFullRebuild) {
+  gen::SyntheticInternet world(SmallWorld());
+  topo::Topology& topology = world.mutable_topology();
+  const topo::LinkId link = PickExternalLink(world);
+  ASSERT_NE(link, topo::kNoLink);
+
+  sim::Network incremental(topology, world.configs(), world.bgp_policy(), {},
+                           nullptr, nullptr, /*convergence_jobs=*/2);
+  const std::string before = DumpControlPlane(incremental);
+
+  topology.SetLinkUp(link, false);
+  incremental.OnLinkStateChange(link);
+  sim::Network rebuilt(topology, world.configs(), world.bgp_policy(), {},
+                       nullptr, nullptr, /*convergence_jobs=*/1);
+  ExpectSameDump(DumpControlPlane(incremental), DumpControlPlane(rebuilt));
+
+  topology.SetLinkUp(link, true);
+  incremental.OnLinkStateChange(link);
+  ExpectSameDump(DumpControlPlane(incremental), before);
+}
+
+TEST(ConvergenceParity, OneSpfPerRouterPerConvergence) {
+  gen::SyntheticInternet world(SmallWorld());
+  topo::Topology& topology = world.mutable_topology();
+  sim::Network net(topology, world.configs(), world.bgp_policy(), {},
+                   nullptr, nullptr, /*convergence_jobs=*/2);
+
+  // Full convergence: IGP install, BGP hot-potato and LDP all shared the
+  // cache — exactly one Dijkstra per router, none duplicated.
+  EXPECT_EQ(net.spf().computations(), topology.router_count());
+
+  // Ground-truth queries ride the cache too.
+  const topo::AsNumber asn = topology.AsNumbers().front();
+  const std::vector<topo::RouterId>& members = topology.as(asn).routers;
+  ASSERT_GE(members.size(), 2u);
+  (void)routing::IgpDistance(net.spf(), members[0], members[1]);
+  (void)routing::IgpHopDistance(net.spf(), members[0], members[1]);
+  EXPECT_EQ(net.spf().computations(), topology.router_count());
+
+  // An internal flap recomputes only the affected AS's members.
+  const topo::LinkId link = PickInternalLink(world);
+  ASSERT_NE(link, topo::kNoLink);
+  const topo::AsNumber flapped =
+      topology.router(topology.interface(topology.link(link).a).router).asn;
+  topology.SetLinkUp(link, false);
+  net.OnLinkStateChange(link);
+  EXPECT_EQ(net.spf().computations(),
+            topology.router_count() + topology.as(flapped).routers.size());
+
+  // An external flap reuses every cached tree: zero new SPF runs.
+  const topo::LinkId external = PickExternalLink(world);
+  ASSERT_NE(external, topo::kNoLink);
+  topology.SetLinkUp(external, false);
+  net.OnLinkStateChange(external);
+  EXPECT_EQ(net.spf().computations(),
+            topology.router_count() + topology.as(flapped).routers.size());
+}
+
+}  // namespace
+}  // namespace wormhole

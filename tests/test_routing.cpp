@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+#include <vector>
+
 #include "routing/bgp.h"
 #include "routing/fib.h"
 #include "routing/igp.h"
@@ -187,6 +191,48 @@ TEST(Spf, EcmpKeepsBothNextHops) {
   const SpfResult spf = ComputeSpf(t, 0);
   EXPECT_EQ(spf.next_hops[3].size(), 2u);  // via r1 and via r2
   EXPECT_EQ(spf.next_hops[1].size(), 1u);
+}
+
+TEST(Spf, EcmpMergedNextHopSetIsSortedAndDeduped) {
+  // Regression pin for the bitmask ECMP merge that replaced the
+  // sort+unique-per-relaxation hot spot: the first-hop set of every
+  // destination must be the union over all shortest paths, emitted in
+  // ascending (link, neighbor) order with parallel links kept distinct.
+  //
+  //       link0
+  //   s ======== a --- d      s→d costs 2 via a (either parallel link)
+  //   |   link1      link3    and 2 via b — three first hops total.
+  //   | link2
+  //   b ------------- d'
+  //          link4
+  Topology t;
+  t.AddAs(1, "ecmp");
+  for (const char* name : {"s", "a", "b", "d"}) {
+    t.AddRouter(1, name, Vendor::kCiscoIos);
+  }
+  t.AddLink(0, 1);  // link 0: s-a
+  t.AddLink(0, 1);  // link 1: s-a (parallel)
+  t.AddLink(0, 2);  // link 2: s-b
+  t.AddLink(1, 3);  // link 3: a-d
+  t.AddLink(2, 3);  // link 4: b-d
+
+  const SpfResult spf = ComputeSpf(t, 0);
+  // Towards a: both parallel links, distinct (different LinkId), sorted.
+  EXPECT_EQ(spf.next_hops[1],
+            (std::vector<NextHop>{{0, 1}, {1, 1}}));
+  // Towards d: the union of the via-a and via-b shortest paths.
+  EXPECT_EQ(spf.distance[3], 2);
+  EXPECT_EQ(spf.next_hops[3],
+            (std::vector<NextHop>{{0, 1}, {1, 1}, {2, 2}}));
+
+  // The cached engine tree serves the same spans.
+  SpfEngine engine(t);
+  const SpfTree& tree = engine.TreeOf(0);
+  const std::span<const NextHop> hops = tree.FirstHops(3);
+  ASSERT_EQ(hops.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(hops.begin(), hops.end()));
+  EXPECT_TRUE(std::equal(hops.begin(), hops.end(),
+                         spf.next_hops[3].begin()));
 }
 
 TEST(Spf, RespectsMetrics) {

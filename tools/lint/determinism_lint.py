@@ -19,10 +19,13 @@ rules:
                       containers: hash-order would reorder output lines
                       between runs and libstdc++ versions.
   raw-threading       No raw std::thread / std::mutex / condition
-                      variables outside src/exec — concurrency is
-                      centralized there so determinism (sharded merge
-                      order) is auditable in one place. tests/ are exempt
-                      (they exercise the exec primitives directly).
+                      variables — nor the C++20 sync vocabulary (latch,
+                      barrier, semaphores, futures, call_once, stop
+                      tokens, this_thread) — outside src/exec;
+                      concurrency is centralized there so determinism
+                      (sharded merge order) is auditable in one place.
+                      tests/ are exempt (they exercise the exec
+                      primitives directly).
   fastpath-heap       The sealed fast-path files (inline label stacks,
                       packet model) must not use heap-allocating std
                       containers; the steady-state swap path is
@@ -82,7 +85,9 @@ RAW_RNG = re.compile(
 )
 RAW_THREADING = re.compile(
     r"std::(thread|jthread|mutex|shared_mutex|recursive_mutex|timed_mutex|"
-    r"condition_variable(_any)?|async)\b"
+    r"condition_variable(_any)?|async|latch|barrier|future|shared_future|"
+    r"promise|packaged_task|counting_semaphore|binary_semaphore|"
+    r"call_once|once_flag|stop_token|stop_source|this_thread)\b"
 )
 HEAP_CONTAINER = re.compile(
     r"std::(vector|string|deque|list|map|set|unordered_map|unordered_set|"

@@ -1,0 +1,26 @@
+// Fixture: the C++20 synchronization vocabulary outside src/exec must
+// fire too — raw-threading covers more than std::thread/std::mutex.
+#include <barrier>
+#include <future>
+#include <latch>
+#include <semaphore>
+#include <stop_token>
+
+int Fanout() {
+  std::latch done(1);                             // expect: raw-threading
+  std::barrier sync(2);                           // expect: raw-threading
+  std::counting_semaphore<4> slots(4);            // expect: raw-threading
+  std::binary_semaphore gate(0);                  // expect: raw-threading
+  std::promise<int> value;                        // expect: raw-threading
+  std::future<int> result = value.get_future();   // expect: raw-threading
+  std::packaged_task<int()> task([] { return 1; });  // expect: raw-threading
+  std::stop_source stopper;                       // expect: raw-threading
+  std::stop_token token = stopper.get_token();    // expect: raw-threading
+  std::once_flag once;                            // expect: raw-threading
+  std::call_once(once, [] {});                    // expect: raw-threading
+  std::this_thread::yield();                      // expect: raw-threading
+  value.set_value(7);
+  done.count_down();
+  done.wait();
+  return result.get();
+}

@@ -1,0 +1,18 @@
+// Fixture: fan-out through the exec facilities is the sanctioned form
+// of concurrency outside src/exec — zero findings.
+#include <cstddef>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace wormhole::routing {
+
+std::vector<int> SquareAll(exec::ThreadPool* pool, int n) {
+  std::vector<int> out(static_cast<std::size_t>(n));
+  exec::ParallelFor(pool, out.size(), [&](std::size_t i) {
+    out[i] = static_cast<int>(i * i);
+  });
+  return out;
+}
+
+}  // namespace wormhole::routing
