@@ -68,6 +68,9 @@ struct Packet {
     return kind != PacketKind::kEchoRequest;
   }
   [[nodiscard]] bool has_labels() const { return !labels.empty(); }
+
+  /// Field-for-field equality (batch-vs-sequential parity checks).
+  friend bool operator==(const Packet&, const Packet&) = default;
 };
 
 }  // namespace wormhole::netbase

@@ -3,6 +3,8 @@
 // constant flow identifier per trace so ECMP cannot fan the path out).
 #pragma once
 
+#include <vector>
+
 #include "probe/trace.h"
 #include "sim/engine.h"
 
@@ -21,6 +23,18 @@ struct TraceOptions {
   /// retries; each retry uses a fresh probe id, which re-rolls simulated
   /// ICMP rate limiting).
   int attempts = 2;
+  /// Step the trace's probes through Engine::SendBatch in speculative
+  /// TTL-sweep batches instead of one Send per probe. Results, probe-id
+  /// sequence and engine stats are byte-identical to the sequential
+  /// tracer (mispredicted speculative probes are discarded and replayed);
+  /// campaigns turn this on for throughput.
+  bool batched = false;
+  /// Cap on probes per speculative batch when `batched`. 0 picks windows
+  /// adaptively: the prober opens with a window sized by its previous
+  /// trace's length and extends in short increments, which bounds the
+  /// discarded speculative tail. The window never changes the observable
+  /// trace, only how much speculative work is thrown away.
+  int batch_window = 0;
 };
 
 class Prober {
@@ -46,10 +60,20 @@ class Prober {
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
 
  private:
+  TraceResult TracerouteBatched(netbase::Ipv4Address target,
+                                const TraceOptions& options);
+
   const sim::Engine* engine_;
   netbase::Ipv4Address source_;
   std::uint32_t next_probe_id_ = 1;
   std::uint64_t probes_sent_ = 0;
+  /// Reused across TracerouteBatched calls so steady-state campaign
+  /// batches allocate nothing.
+  std::vector<netbase::Packet> batch_probes_;
+  sim::Engine::BatchResult batch_;
+  /// TTL count of the last completed trace — seeds the adaptive batch
+  /// window (batch_window == 0). Purely a speed hint; see TraceOptions.
+  int window_hint_ = 0;
 };
 
 }  // namespace wormhole::probe

@@ -130,6 +130,20 @@ const FibEntry* Fib::Lookup(Ipv4Address dst) const {
   return nullptr;
 }
 
+void Fib::PrefetchLookup(Ipv4Address dst) const {
+  if (!sealed_.load(std::memory_order_acquire)) return;
+  // Mirror Lookup's probe order, but only hint the first hash slot of the
+  // two most specific populated lengths — the common LPM hit depth.
+  std::uint64_t lengths = populated_lengths_;
+  const std::uint32_t address = dst.value();
+  for (int hinted = 0; lengths != 0 && hinted < 2; ++hinted) {
+    const int length = std::bit_width(lengths) - 1;
+    lengths &= ~(std::uint64_t{1} << length);
+    const std::uint64_t packed = KeyOf(MaskAddress(address, length), length);
+    __builtin_prefetch(&slots_[HashKey(packed) & slot_mask_]);
+  }
+}
+
 const FibEntry* Fib::LookupExact(const Prefix& prefix) const {
   if (sealed_.load(std::memory_order_acquire)) {
     return FindSealed(prefix.address().value(), prefix.length());

@@ -204,6 +204,12 @@ class Fib {
   /// Longest-prefix-match; nullptr when no route covers `dst`.
   [[nodiscard]] const FibEntry* Lookup(Ipv4Address dst) const;
 
+  /// Best-effort cache warming for an imminent Lookup(dst): prefetches
+  /// the first-probe hash slots of the most specific populated prefix
+  /// lengths. Purely advisory — no effect on results, and a no-op before
+  /// the index is sealed (prefetching never triggers the seal).
+  void PrefetchLookup(Ipv4Address dst) const;
+
   /// Exact-match on a prefix (FEC lookup for LDP); nullptr if absent.
   /// Uses the sealed index when available, the build map otherwise (so
   /// interleaved AddRoute/LookupExact during route installation never

@@ -97,6 +97,10 @@ Engine::RouterCache Engine::BuildRouterCache(topo::RouterId r) const {
   for (const topo::InterfaceId iid : rc.router->interfaces) {
     rc.local_addresses.push_back(topology.interface(iid).address);
   }
+  rc.addr_lo = *std::min_element(rc.local_addresses.begin(),
+                                 rc.local_addresses.end());
+  rc.addr_hi = *std::max_element(rc.local_addresses.begin(),
+                                 rc.local_addresses.end());
 
   // Pre-resolve every LDP in-label this router can receive into the
   // per-next-hop LabelOp the swap path would compute: exactly the
@@ -283,16 +287,18 @@ Engine::Outcome Engine::Send(netbase::Packet probe) const {
   EngineStats local;
   ++local.packets_injected;
 
+  // The by-value parameter is the packet's storage for the whole walk:
+  // the transit points at it and every hop mutates it in place.
   Transit transit;
-  transit.packet = std::move(probe);
-  transit.packet.elapsed_ms += options_.host_stub_delay_ms;
+  transit.packet = &probe;
+  probe.elapsed_ms += options_.host_stub_delay_ms;
   transit.router = origin->gateway;
   transit.in_interface = origin->stub_interface;
 
   const netbase::Ipv4Address origin_address = origin->address;
   Outcome final;
   while (true) {
-    if (transit.packet.hops_traversed > options_.max_hops) {
+    if (probe.hops_traversed > options_.max_hops) {
       final = Outcome{.received = false, .loss = LossReason::kTtlLoop};
       break;
     }
@@ -315,42 +321,46 @@ Engine::Outcome Engine::Send(netbase::Packet probe) const {
     }
   }
 
-  StatShard& shard = stat_shards_[exec::ThreadSlot(kStatShards)];
-  shard.packets_injected.fetch_add(local.packets_injected,
-                                   std::memory_order_relaxed);
-  shard.hops_processed.fetch_add(local.hops_processed,
-                                 std::memory_order_relaxed);
-  shard.icmp_generated.fetch_add(local.icmp_generated,
-                                 std::memory_order_relaxed);
-  shard.labels_pushed.fetch_add(local.labels_pushed,
-                                std::memory_order_relaxed);
-  shard.labels_popped.fetch_add(local.labels_popped,
-                                std::memory_order_relaxed);
+  CommitStats(local);
   return final;
 }
 
+void Engine::CommitStats(const EngineStats& stats) const {
+  StatShard& shard = stat_shards_[exec::ThreadSlot(kStatShards)];
+  shard.packets_injected.fetch_add(stats.packets_injected,
+                                   std::memory_order_relaxed);
+  shard.hops_processed.fetch_add(stats.hops_processed,
+                                 std::memory_order_relaxed);
+  shard.icmp_generated.fetch_add(stats.icmp_generated,
+                                 std::memory_order_relaxed);
+  shard.labels_pushed.fetch_add(stats.labels_pushed,
+                                std::memory_order_relaxed);
+  shard.labels_popped.fetch_add(stats.labels_popped,
+                                std::memory_order_relaxed);
+}
+
 Engine::StepResult Engine::ProcessAt(Transit& t, EngineStats& stats) const {
-  if (t.packet.has_labels()) return ProcessMpls(t, stats);
+  if (t.packet->has_labels()) return ProcessMpls(t, stats);
   return ProcessIp(t, stats);
 }
 
 Engine::StepResult Engine::ProcessMpls(Transit& t, EngineStats& stats) const {
   const RouterId r = t.router;
-  WORMHOLE_DCHECK(t.packet.has_labels(),
+  WORMHOLE_DCHECK(t.packet->has_labels(),
                   "ProcessMpls entered without a label stack");
   // In-flight stacks keep the top of stack at the BACK: push/swap/pop are
   // O(1) writes at the end, and the expiry path below is the only place
   // the stack is ever copied (for the RFC 4950 quotation) — an untouched
   // pre-decrement stack is quoted directly, so the non-expiring hop never
   // copies anything.
-  LabelStackEntry& top = t.packet.labels.back();
+  LabelStackEntry& top = t.packet->labels.back();
 
   if (top.label == kExplicitNull) {
     // UHP disposition at the Egress LER. The LSE-TTL check still applies
     // (it can only fire under ttl-propagate).
     const auto decremented = static_cast<std::uint8_t>(top.ttl - 1);
     if (decremented == 0) {
-      if (t.packet.kind != PacketKind::kEchoRequest) {
+      if (t.packet->kind != PacketKind::kEchoRequest) {
         return StepResult{.loss = LossReason::kReplyExpired};
       }
       // Stack still as received: quote it. No table maps explicit-null,
@@ -358,21 +368,21 @@ Engine::StepResult Engine::ProcessMpls(Transit& t, EngineStats& stats) const {
       return OriginateError(t, PacketKind::kTimeExceeded,
                             /*quote_labels=*/true, stats);
     }
-    t.packet.labels.pop_back();
+    t.packet->labels.pop_back();
     ++stats.labels_popped;
     // Emulation-calibrated: decrement without an expiry check, no min copy
     // (see engine.h); then a fresh IP pass with no further decrement.
-    if (t.packet.ip_ttl > 0) --t.packet.ip_ttl;
+    if (t.packet->ip_ttl > 0) --t.packet->ip_ttl;
     t.skip_ip_decrement = true;
     return ProcessIp(t, stats);
   }
 
-  const auto op = ResolveLabel(r, top.label, t.packet);
+  const auto op = ResolveLabel(r, top.label, *t.packet);
   if (!op) return StepResult{.loss = LossReason::kDropped};
 
   const auto decremented = static_cast<std::uint8_t>(top.ttl - 1);
   if (decremented == 0) {
-    if (t.packet.kind != PacketKind::kEchoRequest) {
+    if (t.packet->kind != PacketKind::kEchoRequest) {
       return StepResult{.loss = LossReason::kReplyExpired};
     }
     // Stack still holds the pre-decrement values (RFC 4950 quotes the
@@ -390,15 +400,15 @@ Engine::StepResult Engine::ProcessMpls(Transit& t, EngineStats& stats) const {
       // whatever gets exposed — the inner label of a stacked packet (SR
       // SID lists) or the IP header (RFC 3443 §5.4).
       const auto popped = static_cast<int>(decremented);
-      t.packet.labels.pop_back();
+      t.packet->labels.pop_back();
       ++stats.labels_popped;
       if (router_cache_[r].config->min_ttl_on_pop) {
-        if (!t.packet.labels.empty()) {
-          LabelStackEntry& exposed = t.packet.labels.back();
+        if (!t.packet->labels.empty()) {
+          LabelStackEntry& exposed = t.packet->labels.back();
           exposed.ttl = static_cast<std::uint8_t>(
               std::min(static_cast<int>(exposed.ttl), popped));
         } else {
-          t.packet.ip_ttl = std::min(t.packet.ip_ttl, popped);
+          t.packet->ip_ttl = std::min(t.packet->ip_ttl, popped);
         }
       }
       break;
@@ -418,14 +428,14 @@ Engine::StepResult Engine::ProcessIp(Transit& t, EngineStats& stats) const {
   const RouterId r = t.router;
   // RFC 3443 TTL domain: the IP TTL is an 8-bit field; `int` storage only
   // exists so arithmetic never silently wraps (see Packet::ip_ttl).
-  WORMHOLE_ASSERT(t.packet.ip_ttl >= 0 && t.packet.ip_ttl <= 255,
+  WORMHOLE_ASSERT(t.packet->ip_ttl >= 0 && t.packet->ip_ttl <= 255,
                   "IP TTL outside [0, 255]");
   const RouterCache& rc = router_cache_[r];
   const topo::Router& router = *rc.router;
   // One config resolution per hop: the SR check, the TE check and
   // MaybeImpose below all read this reference instead of re-fetching.
   const mpls::MplsConfig& config = *rc.config;
-  Packet& p = t.packet;
+  Packet& p = *t.packet;
 
   // Delivery to one of this router's own addresses happens before any
   // decrement (the packet has arrived).
@@ -440,7 +450,7 @@ Engine::StepResult Engine::ProcessIp(Transit& t, EngineStats& stats) const {
     const VendorBehavior behavior = BehaviorOf(router.vendor);
     Packet reply = MakeEchoReply(t, p.dst, behavior.initial_ttl_echo_reply);
     ++stats.icmp_generated;
-    t.packet = std::move(reply);  // answered at the same router
+    *t.packet = std::move(reply);  // answered at the same router
     t.locally_originated = true;
     return {};
   }
@@ -475,7 +485,7 @@ Engine::StepResult Engine::ProcessIp(Transit& t, EngineStats& stats) const {
     Packet reply = MakeEchoReply(t, p.dst, kHostEchoReplyTtl);
     reply.elapsed_ms += 2 * options_.host_stub_delay_ms;
     ++stats.icmp_generated;
-    t.packet = std::move(reply);
+    *t.packet = std::move(reply);
     t.in_interface = host.stub_interface;
     // The gateway forwards (and decrements) the host's reply normally:
     // locally_originated stays false.
@@ -587,7 +597,7 @@ Engine::StepResult Engine::OriginateError(Transit& t,
   const RouterId r = t.router;
   const RouterCache& rc = router_cache_[r];
   const mpls::MplsConfig& config = *rc.config;
-  if (config.icmp_silent || IcmpLost(t.packet, r, config.icmp_loss)) {
+  if (config.icmp_silent || IcmpLost(*t.packet, r, config.icmp_loss)) {
     return StepResult{.loss = LossReason::kDropped};
   }
   const VendorBehavior behavior = BehaviorOf(rc.router->vendor);
@@ -596,22 +606,22 @@ Engine::StepResult Engine::OriginateError(Transit& t,
   Packet reply;
   reply.kind = kind;
   reply.src = topology_->interface(t.in_interface).address;
-  reply.dst = t.packet.src;
+  reply.dst = t.packet->src;
   reply.ip_ttl = behavior.initial_ttl_time_exceeded;
-  reply.flow_id = t.packet.flow_id;
-  reply.probe_id = t.packet.probe_id;
-  reply.quoted_dst = t.packet.dst;
-  reply.elapsed_ms = t.packet.elapsed_ms;
-  reply.hops_traversed = t.packet.hops_traversed;
+  reply.flow_id = t.packet->flow_id;
+  reply.probe_id = t.packet->probe_id;
+  reply.quoted_dst = t.packet->dst;
+  reply.elapsed_ms = t.packet->elapsed_ms;
+  reply.hops_traversed = t.packet->hops_traversed;
   if (quote_labels && config.rfc4950) {
-    reply.quoted_labels = netbase::QuoteStack(t.packet.labels);
+    reply.quoted_labels = netbase::QuoteStack(t.packet->labels);
   }
 
   // An error generated mid-LSP is first forwarded along the tunnel: it is
   // sent out with the label the offending packet would have carried
   // (`lsp_op`, resolved once by the caller). When the operation is a PHP
   // pop (no label left), the reply is routed directly instead.
-  if (quote_labels && config.icmp_along_lsp && !t.packet.labels.empty()) {
+  if (quote_labels && config.icmp_along_lsp && !t.packet->labels.empty()) {
     if (lsp_op != nullptr && lsp_op->kind != LabelOp::Kind::kPop) {
       LabelStackEntry lse;
       lse.label = lsp_op->kind == LabelOp::Kind::kSwapExplicitNull
@@ -621,13 +631,13 @@ Engine::StepResult Engine::OriginateError(Transit& t,
           config.ttl_propagate ? reply.ip_ttl : 255);
       reply.labels = {lse};
       ++stats.labels_pushed;
-      t.packet = std::move(reply);  // same router, same incoming interface
+      *t.packet = std::move(reply);  // same router, same incoming
       Forward(t, lsp_op->hop);
       return {};
     }
   }
 
-  t.packet = std::move(reply);
+  *t.packet = std::move(reply);
   t.locally_originated = true;
   t.skip_ip_decrement = false;
   return {};
@@ -639,32 +649,44 @@ netbase::Packet Engine::MakeEchoReply(const Transit& t,
   Packet reply;
   reply.kind = PacketKind::kEchoReply;
   reply.src = reply_src;
-  reply.dst = t.packet.src;
+  reply.dst = t.packet->src;
   reply.ip_ttl = initial_ttl;
-  reply.flow_id = t.packet.flow_id;
-  reply.probe_id = t.packet.probe_id;
-  reply.elapsed_ms = t.packet.elapsed_ms;
-  reply.hops_traversed = t.packet.hops_traversed;
+  reply.flow_id = t.packet->flow_id;
+  reply.probe_id = t.packet->probe_id;
+  reply.elapsed_ms = t.packet->elapsed_ms;
+  reply.hops_traversed = t.packet->hops_traversed;
   return reply;
 }
 
-void Engine::Forward(Transit& t, const routing::NextHop& hop) const {
-  WORMHOLE_DCHECK(hop.link != topo::kNoLink && hop.neighbor != topo::kNoRouter,
-                  "Forward over an unresolved next hop");
-  double delay = topology_->link(hop.link).delay_ms;
-  if (options_.delay_jitter_fraction > 0.0) {
-    // Deterministic per (probe, link) jitter in [-f, +f] of the base delay.
-    std::uint64_t h = (std::uint64_t{t.packet.probe_id} << 32) ^
-                      (std::uint64_t{hop.link} * 0x9E3779B97F4A7C15ull);
+namespace {
+
+// Deterministic per (probe, link) jitter in [-f, +f] of the base delay.
+// Shared by Forward and the batched run fast path so both compute
+// bit-identical elapsed times.
+double JitteredDelay(double delay, double fraction, std::uint32_t probe_id,
+                     topo::LinkId link) {
+  if (fraction > 0.0) {
+    std::uint64_t h = (std::uint64_t{probe_id} << 32) ^
+                      (std::uint64_t{link} * 0x9E3779B97F4A7C15ull);
     h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
     h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
     h ^= h >> 31;
     const double unit =
         static_cast<double>(h >> 11) / static_cast<double>(1ull << 53);
-    delay *= 1.0 + options_.delay_jitter_fraction * (2.0 * unit - 1.0);
+    delay *= 1.0 + fraction * (2.0 * unit - 1.0);
   }
-  t.packet.elapsed_ms += delay;
-  ++t.packet.hops_traversed;
+  return delay;
+}
+
+}  // namespace
+
+void Engine::Forward(Transit& t, const routing::NextHop& hop) const {
+  WORMHOLE_DCHECK(hop.link != topo::kNoLink && hop.neighbor != topo::kNoRouter,
+                  "Forward over an unresolved next hop");
+  t.packet->elapsed_ms += JitteredDelay(topology_->link(hop.link).delay_ms,
+                                        options_.delay_jitter_fraction,
+                                        t.packet->probe_id, hop.link);
+  ++t.packet->hops_traversed;
   t.router = hop.neighbor;
   t.in_interface = topology_->EndOn(hop.link, hop.neighbor).id;
   // The one-shot flags describe the router the packet just left, never the
@@ -730,11 +752,540 @@ bool Engine::IsLocalAddress(topo::RouterId router,
                             netbase::Ipv4Address address) const {
   // Scanning this router's few addresses beats the global address hash;
   // the set is exactly what FindRouterByAddress would map to `router`.
-  for (const netbase::Ipv4Address local :
-       router_cache_[router].local_addresses) {
+  // The [lo, hi] bracket rejects nearly all transit traffic first: a
+  // router's addresses cluster inside its AS block, so a packet merely
+  // passing through fails the range check with two compares.
+  const RouterCache& rc = router_cache_[router];
+  if (address < rc.addr_lo || rc.addr_hi < address) return false;
+  for (const netbase::Ipv4Address local : rc.local_addresses) {
     if (local == address) return true;
   }
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Batched stepping (SendBatch).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// SoA top_label sentinel for an unlabelled in-flight packet. Real labels
+/// are 20-bit, so this can never collide (explicit-null is label 0, which
+/// must stay distinguishable from "no label at all").
+constexpr std::uint32_t kNoTopLabel = 0xFFFFFFFFu;
+
+// Transit flag bits packed into the SoA `flags` column.
+constexpr std::uint8_t kFlagLocallyOriginated = 1u << 0;
+constexpr std::uint8_t kFlagSkipIpDecrement = 1u << 1;
+// Scheduler-only bit: this row's forwarding key equals the key of the row
+// immediately before it (set by a shared run step, which applies the same
+// label transform to every member and so preserves key equality; cleared
+// whenever that predecessor row dies or the rows stop being adjacent).
+// Lets run detection skip the per-member SameForwardKey compare on every
+// round after a run's first.
+constexpr std::uint8_t kFlagSameKeyAsPrev = 1u << 2;
+constexpr std::uint8_t kTransitFlags =
+    kFlagLocallyOriginated | kFlagSkipIpDecrement;
+
+// Prefetch distances, in grouped rows. The far stage pulls the row's
+// RouterCache and arena packet towards L1; by the time the row is
+// kPrefetchNear away its RouterCache is resident, so the near stage can
+// chase one level deeper into the FIB hash / ldp_op_offsets lines the
+// step will touch.
+constexpr std::size_t kPrefetchFar = 8;
+constexpr std::size_t kPrefetchNear = 3;
+
+/// True when two in-flight packets are guaranteed to get the identical
+/// forwarding decision at the same router: everything the routing layer
+/// reads must agree — kind, addressing, ECMP flow key, loop-guard count
+/// and the label *values* of the stack. Per-entry TTLs, probe ids and
+/// elapsed times may differ; they only feed member-local arithmetic.
+bool SameForwardKey(const Packet& a, const Packet& b) {
+  if (a.kind != b.kind || a.src != b.src || a.dst != b.dst ||
+      a.flow_id != b.flow_id || a.hops_traversed != b.hops_traversed ||
+      a.labels.size() != b.labels.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.labels.size(); ++i) {
+    if (a.labels[i].label != b.labels[i].label) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Engine::RefreshBatchRow(BatchResult& b, std::size_t pos,
+                             const Transit& t) const {
+  const Packet& p = *t.packet;
+  b.router[pos] = t.router;
+  b.in_iface[pos] = t.in_interface;
+  b.flags[pos] = static_cast<std::uint8_t>(
+      (t.locally_originated ? kFlagLocallyOriginated : 0) |
+      (t.skip_ip_decrement ? kFlagSkipIpDecrement : 0));
+  if (p.has_labels()) {
+    b.top_label[pos] = p.labels.back().label;
+    b.ttl[pos] = p.labels.back().ttl;
+  } else {
+    b.top_label[pos] = kNoTopLabel;
+    b.ttl[pos] = static_cast<std::uint8_t>(std::clamp(p.ip_ttl, 0, 255));
+  }
+}
+
+void Engine::StepBatchRow(BatchResult& b, std::size_t pos) const {
+  const std::uint32_t s = b.slot[pos];
+  EngineStats& pstats = b.per_slot_stats[s];
+  Transit t;
+  t.packet = &b.arena[s];
+  t.router = b.router[pos];
+  t.in_interface = b.in_iface[pos];
+  t.locally_originated = (b.flags[pos] & kFlagLocallyOriginated) != 0;
+  t.skip_ip_decrement = (b.flags[pos] & kFlagSkipIpDecrement) != 0;
+
+  // Iterations of Send's hop loop, verbatim. A request steps exactly once
+  // and returns to the round scheduler (it may join a shared run next
+  // round); a reply drains to completion here in Send's own tight loop —
+  // replies carry a unique src, so no other row can ever share their
+  // forwarding key, and keeping them in the round loop would only pay the
+  // regroup machinery once per hop for no batching gain.
+  for (;;) {
+    if (t.packet->hops_traversed > options_.max_hops) {
+      b.outcomes[s] = Outcome{.received = false, .loss = LossReason::kTtlLoop};
+      b.router[pos] = topo::kNoRouter;
+      return;
+    }
+    ++pstats.hops_processed;
+    StepResult step = ProcessAt(t, pstats);
+    if (step.outcome) {
+      b.outcomes[s] =
+          step.outcome->reply.dst == b.origin[s]
+              ? std::move(*step.outcome)
+              : Outcome{.received = false, .loss = LossReason::kDropped};
+      b.router[pos] = topo::kNoRouter;
+      return;
+    }
+    if (step.loss != LossReason::kNone) {
+      b.outcomes[s] = Outcome{.received = false, .loss = step.loss};
+      b.router[pos] = topo::kNoRouter;
+      return;
+    }
+    if (!t.packet->is_reply()) break;
+  }
+  RefreshBatchRow(b, pos, t);
+}
+
+std::size_t Engine::GroupLiveByRouter(BatchResult& b,
+                                      std::size_t live) const {
+  // Fast path: a fan that stepped together last round is still compacted
+  // and grouped (run members move to one neighbor, batch order is never
+  // reordered), so the stable sort below would be the identity
+  // permutation. Detect that with one cheap ordered-scan over the live
+  // rows and, when it holds, slide rows down over any tombstones in
+  // place — no permutation build, no six-column gather.
+  bool grouped = true;
+  {
+    RouterId prev = 0;
+    bool first = true;
+    for (std::size_t pos = 0; pos < live; ++pos) {
+      const RouterId r = b.router[pos];
+      if (r == topo::kNoRouter) continue;
+      if (!first && r < prev) {
+        grouped = false;
+        break;
+      }
+      prev = r;
+      first = false;
+    }
+  }
+  if (grouped) {
+    std::size_t alive = 0;
+    bool prev_dead = false;
+    for (std::size_t pos = 0; pos < live; ++pos) {
+      if (b.router[pos] == topo::kNoRouter) {
+        prev_dead = true;
+        continue;
+      }
+      if (alive != pos) {
+        b.slot[alive] = b.slot[pos];
+        b.router[alive] = b.router[pos];
+        b.in_iface[alive] = b.in_iface[pos];
+        b.ttl[alive] = b.ttl[pos];
+        b.top_label[alive] = b.top_label[pos];
+        b.flags[alive] = b.flags[pos];
+      }
+      // The same-key bit speaks about the immediately preceding row; it
+      // survives compaction only when that row did.
+      if (prev_dead) b.flags[alive] &= ~kFlagSameKeyAsPrev;
+      prev_dead = false;
+      ++alive;
+    }
+    return alive;
+  }
+
+  auto& order = b.order;
+  order.clear();
+  const std::size_t routers = router_cache_.size();
+  // Hybrid stable grouping: a permutation sort when the live set is much
+  // smaller than the router space (skips the O(routers) counting pass), a
+  // counting sort otherwise. Both are stable on batch order, so the
+  // grouped sequence — and therefore every outcome — is identical
+  // whichever branch runs.
+  if (live * 8 < routers) {
+    for (std::size_t pos = 0; pos < live; ++pos) {
+      if (b.router[pos] != topo::kNoRouter) {
+        order.push_back(static_cast<std::uint32_t>(pos));
+      }
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&b](std::uint32_t x, std::uint32_t y) {
+                       return b.router[x] < b.router[y];
+                     });
+  } else {
+    b.counts.assign(routers, 0);
+    std::size_t alive = 0;
+    for (std::size_t pos = 0; pos < live; ++pos) {
+      if (b.router[pos] != topo::kNoRouter) {
+        ++b.counts[b.router[pos]];
+        ++alive;
+      }
+    }
+    // Exclusive prefix sum: counts[r] becomes the first output index of
+    // router r's group.
+    std::uint32_t begin = 0;
+    for (std::size_t r = 0; r < routers; ++r) {
+      const std::uint32_t count = b.counts[r];
+      b.counts[r] = begin;
+      begin += count;
+    }
+    order.resize(alive);
+    for (std::size_t pos = 0; pos < live; ++pos) {
+      if (b.router[pos] != topo::kNoRouter) {
+        order[b.counts[b.router[pos]]++] = static_cast<std::uint32_t>(pos);
+      }
+    }
+  }
+
+  // Gather every SoA column through the permutation, then adopt the
+  // gathered buffers (capacities were reserved at injection — steady
+  // state allocates nothing).
+  const std::size_t alive = order.size();
+  b.slot2.resize(alive);
+  b.router2.resize(alive);
+  b.in_iface2.resize(alive);
+  b.ttl2.resize(alive);
+  b.top_label2.resize(alive);
+  b.flags2.resize(alive);
+  for (std::size_t k = 0; k < alive; ++k) {
+    const std::uint32_t from = order[k];
+    b.slot2[k] = b.slot[from];
+    b.router2[k] = b.router[from];
+    b.in_iface2[k] = b.in_iface[from];
+    b.ttl2[k] = b.ttl[from];
+    b.top_label2[k] = b.top_label[from];
+    b.flags2[k] = b.flags[from];
+    // The same-key bit only survives when the row it speaks about — the
+    // old immediate predecessor — is still the immediate predecessor.
+    if (k == 0 || order[k - 1] + 1 != from) {
+      b.flags2[k] &= static_cast<std::uint8_t>(~kFlagSameKeyAsPrev);
+    }
+  }
+  b.slot.swap(b.slot2);
+  b.router.swap(b.router2);
+  b.in_iface.swap(b.in_iface2);
+  b.ttl.swap(b.ttl2);
+  b.top_label.swap(b.top_label2);
+  b.flags.swap(b.flags2);
+  return alive;
+}
+
+bool Engine::TryStepRunShared(BatchResult& b, std::size_t begin,
+                              std::size_t end) const {
+  const RouterId r = b.router[begin];
+  const RouterCache& rc = router_cache_[r];
+  Packet& leader = b.arena[b.slot[begin]];
+  if (leader.hops_traversed > options_.max_hops) return false;
+
+  // Resolve the shared routing decision once, on the leader. Anything
+  // outside the four plain forwarding shapes (delivery, steering with SID
+  // lists, expiry, errors, black holes) bails out to the generic path.
+  enum class Run : std::uint8_t { kSwap, kSwapExplicitNull, kPop, kIp };
+  Run run = Run::kIp;
+  NextHop hop;
+  std::uint32_t out_label = 0;
+  bool impose = false;
+  std::uint32_t imposed_label = 0;
+
+  if (leader.has_labels()) {
+    const auto op = ResolveLabel(r, leader.labels.back().label, leader);
+    if (!op) return false;
+    switch (op->kind) {
+      case LabelOp::Kind::kSwap:
+        run = Run::kSwap;
+        out_label = op->out_label;
+        break;
+      case LabelOp::Kind::kSwapExplicitNull:
+        run = Run::kSwapExplicitNull;
+        break;
+      case LabelOp::Kind::kPop:
+        run = Run::kPop;
+        break;
+    }
+    hop = op->hop;
+  } else {
+    const mpls::MplsConfig& config = *rc.config;
+    if (IsLocalAddress(r, leader.dst)) return false;
+    for (const AttachedHost& host : rc.hosts) {
+      if (host.address == leader.dst) return false;
+    }
+    if (sr_ != nullptr && config.enabled &&
+        sr_->PolicyFor(r, leader.dst) != nullptr) {
+      return false;
+    }
+    if (te_ != nullptr && config.enabled &&
+        te_->SteeringFor(r, leader.dst) != nullptr) {
+      return false;
+    }
+    const FibEntry* entry = rc.fib->Lookup(leader.dst);
+    if (entry == nullptr || entry->next_hops.empty()) return false;
+    hop = PickNextHop(entry->next_hops, leader);
+    // MaybeImpose's binding-resolution half, hoisted out of the member
+    // loop; only the TTL-propagation arithmetic is member-local.
+    if (config.enabled && rc.domain != nullptr) {
+      netbase::Prefix fec;
+      bool has_fec = true;
+      switch (entry->source) {
+        case routing::RouteSource::kBgp:
+          if (entry->bgp_next_hop.is_unspecified()) {
+            has_fec = false;  // eBGP exit
+          } else {
+            fec = netbase::Prefix::Host(entry->bgp_next_hop);
+          }
+          break;
+        case routing::RouteSource::kIgp:
+          fec = entry->prefix;
+          break;
+        case routing::RouteSource::kConnected:
+          has_fec = false;
+          break;
+      }
+      if (has_fec) {
+        const auto binding = rc.domain->BindingOf(hop.neighbor, fec);
+        if (binding && binding->kind != mpls::BindingKind::kImplicitNull) {
+          impose = true;
+          imposed_label =
+              binding->kind == mpls::BindingKind::kExplicitNull
+                  ? kExplicitNull
+                  : binding->label;
+        }
+      }
+    }
+  }
+
+  // Hoisted Forward(): same link, same arrival interface for the whole
+  // run; only the jitter draw (per probe id) stays member-local.
+  WORMHOLE_DCHECK(
+      hop.link != topo::kNoLink && hop.neighbor != topo::kNoRouter,
+      "run fast path over an unresolved next hop");
+  const double base_delay = topology_->link(hop.link).delay_ms;
+  const topo::InterfaceId arrival =
+      topology_->EndOn(hop.link, hop.neighbor).id;
+  const bool min_ttl_on_pop = rc.config->min_ttl_on_pop;
+  const bool propagate = rc.config->ttl_propagate;
+
+  for (std::size_t pos = begin; pos < end; ++pos) {
+    const std::uint32_t s = b.slot[pos];
+    Packet& p = b.arena[s];
+    EngineStats& pstats = b.per_slot_stats[s];
+    ++pstats.hops_processed;
+    switch (run) {
+      case Run::kSwap: {
+        LabelStackEntry& top = p.labels.back();
+        top.ttl = static_cast<std::uint8_t>(top.ttl - 1);
+        top.label = out_label;
+        break;
+      }
+      case Run::kSwapExplicitNull: {
+        LabelStackEntry& top = p.labels.back();
+        top.ttl = static_cast<std::uint8_t>(top.ttl - 1);
+        top.label = kExplicitNull;
+        break;
+      }
+      case Run::kPop: {
+        const auto popped = static_cast<int>(
+            static_cast<std::uint8_t>(p.labels.back().ttl - 1));
+        p.labels.pop_back();
+        ++pstats.labels_popped;
+        if (min_ttl_on_pop) {
+          if (!p.labels.empty()) {
+            LabelStackEntry& exposed = p.labels.back();
+            exposed.ttl = static_cast<std::uint8_t>(
+                std::min(static_cast<int>(exposed.ttl), popped));
+          } else {
+            p.ip_ttl = std::min(p.ip_ttl, popped);
+          }
+        }
+        break;
+      }
+      case Run::kIp: {
+        // Member eligibility guaranteed ip_ttl > 1, so the decrement
+        // cannot expire here.
+        --p.ip_ttl;
+        if (impose) {
+          LabelStackEntry lse;
+          lse.label = imposed_label;
+          lse.ttl =
+              static_cast<std::uint8_t>(propagate ? p.ip_ttl : 255);
+          p.labels.push_back(lse);
+          ++pstats.labels_pushed;
+        }
+        break;
+      }
+    }
+    p.elapsed_ms += JitteredDelay(base_delay,
+                                  options_.delay_jitter_fraction,
+                                  p.probe_id, hop.link);
+    ++p.hops_traversed;
+    b.router[pos] = hop.neighbor;
+    b.in_iface[pos] = arrival;
+    // Every member got the identical label transform, so key equality
+    // with the preceding member is preserved — record it so the next
+    // round's run detection skips the full compare.
+    b.flags[pos] = pos == begin ? 0 : kFlagSameKeyAsPrev;
+    if (p.has_labels()) {
+      b.top_label[pos] = p.labels.back().label;
+      b.ttl[pos] = p.labels.back().ttl;
+    } else {
+      b.top_label[pos] = kNoTopLabel;
+      b.ttl[pos] = static_cast<std::uint8_t>(std::clamp(p.ip_ttl, 0, 255));
+    }
+  }
+  return true;
+}
+
+void Engine::SendBatch(std::span<netbase::Packet> probes, BatchResult& b,
+                       SendBatchOptions batch_options) const {
+  const std::size_t n = probes.size();
+  b.outcomes.clear();
+  b.outcomes.resize(n);
+  b.per_slot_stats.clear();
+  b.per_slot_stats.resize(n);
+  b.arena.clear();
+  b.origin.clear();
+  b.slot.clear();
+  b.router.clear();
+  b.in_iface.clear();
+  b.ttl.clear();
+  b.top_label.clear();
+  b.flags.clear();
+  b.arena.reserve(n);  // slot pointers must stay stable for the batch
+  b.origin.reserve(n);
+  b.slot.reserve(n);
+  b.router.reserve(n);
+  b.in_iface.reserve(n);
+  b.ttl.reserve(n);
+  b.top_label.reserve(n);
+  b.flags.reserve(n);
+
+  // Injection: exactly Send's preamble, per slot. Campaign batches share
+  // one origin host, so the FindHost hash lookup is memoized on src.
+  const topo::Host* origin = nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (origin == nullptr || origin->address != probes[i].src) {
+      origin = topology_->FindHost(probes[i].src);
+      if (origin == nullptr) {
+        throw std::invalid_argument(
+            "SendBatch: probe.src is not an attached host");
+      }
+    }
+    ++b.per_slot_stats[i].packets_injected;
+    b.arena.push_back(std::move(probes[i]));
+    Packet& p = b.arena.back();
+    p.elapsed_ms += options_.host_stub_delay_ms;
+    b.origin.push_back(origin->address);
+    b.slot.push_back(static_cast<std::uint32_t>(i));
+    b.router.push_back(origin->gateway);
+    b.in_iface.push_back(origin->stub_interface);
+    b.flags.push_back(0);
+    if (p.has_labels()) {
+      b.top_label.push_back(p.labels.back().label);
+      b.ttl.push_back(p.labels.back().ttl);
+    } else {
+      b.top_label.push_back(kNoTopLabel);
+      b.ttl.push_back(static_cast<std::uint8_t>(std::clamp(p.ip_ttl, 0, 255)));
+    }
+  }
+
+  // A row is run-shareable when its one-shot transit flags are clear,
+  // nothing can expire this hop, and the top of stack is routable without
+  // the UHP/reserved-label special cases.
+  const auto eligible = [&b](std::size_t pos) {
+    return (b.flags[pos] & kTransitFlags) == 0 && b.ttl[pos] > 1 &&
+           (b.top_label[pos] == kNoTopLabel ||
+            b.top_label[pos] >= netbase::kFirstUnreservedLabel);
+  };
+
+  // The prefetch ladder only pays for itself when the router caches and
+  // sealed FIBs outrun the last-level working set; on testbed-size worlds
+  // every line is already resident and the prefetches are pure issue
+  // cost.
+  const bool want_prefetch = router_cache_.size() >= 64;
+
+  // lint:batch-hot-begin
+  std::size_t live = n;
+  while (live > 0) {
+    live = GroupLiveByRouter(b, live);
+    std::size_t pos = 0;
+    while (pos < live) {
+      // Two-stage software prefetch down the grouped order.
+      if (want_prefetch && pos + kPrefetchFar < live) {
+        const std::size_t ahead = pos + kPrefetchFar;
+        __builtin_prefetch(&router_cache_[b.router[ahead]]);
+        __builtin_prefetch(&b.arena[b.slot[ahead]]);
+      }
+      if (want_prefetch && pos + kPrefetchNear < live) {
+        const std::size_t ahead = pos + kPrefetchNear;
+        const RouterCache& rc = router_cache_[b.router[ahead]];
+        const std::uint32_t label = b.top_label[ahead];
+        if (label == kNoTopLabel) {
+          rc.fib->PrefetchLookup(b.arena[b.slot[ahead]].dst);
+        } else if (label >= netbase::kFirstUnreservedLabel) {
+          const std::size_t index = label - netbase::kFirstUnreservedLabel;
+          if (index + 1 < rc.ldp_op_offsets.size()) {
+            __builtin_prefetch(&rc.ldp_op_offsets[index]);
+          }
+        }
+      }
+
+      // Grow a shared-decision run: adjacent rows at this router whose
+      // packets carry the same forwarding key (batch order is preserved
+      // by the stable grouping, so fan probes sit next to each other).
+      // After a run's first round the members carry the same-key bit and
+      // the compare short-circuits.
+      std::size_t run_end = pos;
+      if (eligible(pos)) {
+        const Packet& lead = b.arena[b.slot[pos]];
+        run_end = pos + 1;
+        while (run_end < live && b.router[run_end] == b.router[pos] &&
+               eligible(run_end) &&
+               ((b.flags[run_end] & kFlagSameKeyAsPrev) != 0 ||
+                SameForwardKey(lead, b.arena[b.slot[run_end]]))) {
+          ++run_end;
+        }
+      }
+      if (run_end - pos >= 2 && TryStepRunShared(b, pos, run_end)) {
+        pos = run_end;
+        continue;
+      }
+      StepBatchRow(b, pos);
+      ++pos;
+    }
+  }
+  // lint:batch-hot-end
+
+  if (batch_options.commit_stats) {
+    EngineStats total;
+    for (const EngineStats& s : b.per_slot_stats) total += s;
+    CommitStats(total);
+  }
 }
 
 }  // namespace wormhole::sim

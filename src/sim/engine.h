@@ -31,6 +31,7 @@
 #include <atomic>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "mpls/config.h"
@@ -115,6 +116,8 @@ class Engine {
     netbase::Packet reply;
     /// Round-trip time: probe path + reply path.
     double rtt_ms = 0.0;
+
+    friend bool operator==(const Outcome&, const Outcome&) = default;
   };
 
   /// Injects `probe` from the host owning `probe.src` and runs the data
@@ -126,13 +129,98 @@ class Engine {
   /// any number of probers may inject packets concurrently.
   Outcome Send(netbase::Packet probe) const;
 
+  /// Results of one SendBatch call plus its recycled stepping state.
+  ///
+  /// All storage is reused across batches (capacity is kept on clear), so
+  /// a caller that holds on to one BatchResult steps every subsequent
+  /// batch without allocating. One BatchResult per calling thread; the
+  /// engine never retains a pointer to it past the SendBatch call.
+  class BatchResult {
+   public:
+    /// `outcomes[i]` is exactly what `Send(probes[i])` would have
+    /// returned: completed outcomes are written to their original batch
+    /// slot, whatever order the rounds retired them in.
+    std::vector<Outcome> outcomes;
+    /// Per-slot counter deltas (parallel to `outcomes`); their sum is what
+    /// the batch contributed to `stats()`. Callers that defer the flush
+    /// (SendBatchOptions::commit_stats == false) commit a subset of slots
+    /// through Engine::CommitStats.
+    std::vector<EngineStats> per_slot_stats;
+
+   private:
+    friend class Engine;
+    // Packet arena: slot-indexed, sized once per batch so packets (and
+    // their inline label stacks) never move while rounds run. Transits
+    // reference arena packets by pointer.
+    std::vector<netbase::Packet> arena;
+    // Per-slot origin host address (reply acceptance check).
+    std::vector<netbase::Ipv4Address> origin;
+    // Live-transit SoA rows, compacted and grouped by router each round.
+    // `ttl` is the effective top-of-stack TTL and `top_label` the top
+    // label value (kNoTopLabel when unlabelled) — the prefetch and
+    // run-sharing decisions read these without touching the packet.
+    std::vector<std::uint32_t> slot;
+    std::vector<topo::RouterId> router;
+    std::vector<topo::InterfaceId> in_iface;
+    std::vector<std::uint8_t> ttl;
+    std::vector<std::uint32_t> top_label;
+    std::vector<std::uint8_t> flags;
+    // Gather targets for the group-by-router permutation (swapped with
+    // the rows above each round).
+    std::vector<std::uint32_t> slot2;
+    std::vector<topo::RouterId> router2;
+    std::vector<topo::InterfaceId> in_iface2;
+    std::vector<std::uint8_t> ttl2;
+    std::vector<std::uint32_t> top_label2;
+    std::vector<std::uint8_t> flags2;
+    // Sort scratch: the round's live permutation and per-router counts.
+    std::vector<std::uint32_t> order;
+    std::vector<std::uint32_t> counts;
+  };
+
+  struct SendBatchOptions {
+    /// Flush the batch's summed counters into this thread's stat shard
+    /// before returning (one flush per batch). Callers that must
+    /// attribute counters probe-by-probe (the speculative batched
+    /// prober discards mispredicted slots) pass false and commit the
+    /// consumed slots' sum through CommitStats themselves.
+    bool commit_stats = true;
+  };
+
+  /// Steps all of `probes` through the data plane at once and writes
+  /// `Send`-identical outcomes into `batch.outcomes`, slot for slot.
+  ///
+  /// Each round groups the live transits by current router (stable in
+  /// batch order), so every lookup against one RouterCache, its FIB and
+  /// its ldp_op tables happens back-to-back, with the next group's state
+  /// software-prefetched while the current one is processed. Probes are
+  /// consumed (moved into the batch arena). Every `probe.src` must be an
+  /// attached host address (throws std::invalid_argument otherwise, in
+  /// which case the batch contents are unspecified).
+  ///
+  /// Thread-safe under the same contract as Send, provided each thread
+  /// uses its own BatchResult.
+  void SendBatch(std::span<netbase::Packet> probes, BatchResult& batch,
+                 SendBatchOptions batch_options) const;
+  void SendBatch(std::span<netbase::Packet> probes, BatchResult& batch) const {
+    SendBatch(probes, batch, SendBatchOptions{});
+  }
+
+  /// Adds `stats` to this thread's stat shard — the deferred-commit half
+  /// of SendBatchOptions::commit_stats == false.
+  void CommitStats(const EngineStats& stats) const;
+
   /// Totals merged across the per-thread stat shards.
   [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] const topo::Topology& topology() const { return *topology_; }
 
  private:
   struct Transit {
-    netbase::Packet packet;
+    /// The in-flight packet. A pointer so one stepping code path serves
+    /// both entry points: Send aims it at a stack local, SendBatch at a
+    /// stable arena slot — either way the packet bytes never move while
+    /// the hop loop runs.
+    netbase::Packet* packet = nullptr;
     topo::RouterId router = topo::kNoRouter;
     topo::InterfaceId in_interface = topo::kNoInterface;
     /// Set while the packet sits at the router that just originated it;
@@ -187,7 +275,12 @@ class Engine {
     const routing::Fib* fib = nullptr;
     /// Addresses owned by this router (loopback + every interface),
     /// scanned instead of the global address hash on local delivery.
+    /// [addr_lo, addr_hi] brackets the set so the per-hop delivery check
+    /// rejects almost every transit packet with two compares instead of
+    /// a scan over a well-connected router's interface list.
     std::vector<netbase::Ipv4Address> local_addresses;
+    netbase::Ipv4Address addr_lo;
+    netbase::Ipv4Address addr_hi;
     /// Hosts whose gateway is this router (usually none or one).
     std::vector<AttachedHost> hosts;
     /// LDP forwarding, fully resolved in CSR form: in-label `l` maps to
@@ -249,6 +342,32 @@ class Engine {
 
   [[nodiscard]] bool IsLocalAddress(topo::RouterId router,
                                     netbase::Ipv4Address address) const;
+
+  // --- batched stepping internals (see SendBatch) -----------------------
+
+  /// Compacts the dead rows out of `batch`'s first `live` SoA rows and
+  /// stable-sorts the survivors by current router (batch order within a
+  /// router). Returns the new live count.
+  std::size_t GroupLiveByRouter(BatchResult& batch, std::size_t live) const;
+
+  /// Runs one generic data-plane step on row `pos` — exactly one
+  /// iteration of Send's hop loop — writing a finished outcome to its
+  /// slot (and tombstoning the row) or refreshing the row in place.
+  void StepBatchRow(BatchResult& batch, std::size_t pos) const;
+
+  /// Shared-decision fast path for rows [begin, end) of one router group
+  /// that carry identical forwarding keys: resolves the routing decision
+  /// once on the leader and applies it to every member with member-local
+  /// TTL/delay arithmetic, byte-identical to StepBatchRow on each.
+  /// Returns false (having stepped nothing) when the decision is not of a
+  /// shareable kind; the caller then steps the rows generically.
+  bool TryStepRunShared(BatchResult& batch, std::size_t begin,
+                        std::size_t end) const;
+
+  /// Re-derives row `pos`'s SoA fields (router, interface, TTL, top
+  /// label, flags) from its transit after a step left it in flight.
+  void RefreshBatchRow(BatchResult& batch, std::size_t pos,
+                       const Transit& t) const;
 
   const topo::Topology* topology_;
   const mpls::MplsConfigMap* configs_;

@@ -1,0 +1,304 @@
+// Batch-vs-sequential parity: Engine::SendBatch must produce outcomes,
+// per-slot stats and campaign results byte-identical to N sequential
+// Engine::Send calls — across every LossReason, the UHP/PHP/explicit-null
+// tunnel edges, ECMP fans, mixed live/dead batches and the speculative
+// batched tracer. This is the contract that lets campaigns switch to
+// batched stepping (campaign::CampaignOptions::batched_stepping) without
+// moving a single byte of the golden snapshot.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/campaign_report.h"
+#include "campaign/campaign.h"
+#include "gen/gns3.h"
+#include "gen/internet.h"
+#include "io/tracefile.h"
+#include "netbase/label.h"
+#include "netbase/packet.h"
+#include "probe/prober.h"
+#include "sim/network.h"
+
+namespace wormhole {
+namespace {
+
+using netbase::Packet;
+using netbase::PacketKind;
+using sim::Engine;
+using sim::EngineStats;
+
+Packet Probe(netbase::Ipv4Address src, netbase::Ipv4Address dst, int ttl,
+             std::uint32_t id, std::uint16_t flow = 0,
+             PacketKind kind = PacketKind::kEchoRequest) {
+  Packet p;
+  p.kind = kind;
+  p.src = src;
+  p.dst = dst;
+  p.ip_ttl = ttl;
+  p.flow_id = flow;
+  p.probe_id = id;
+  return p;
+}
+
+EngineStats Minus(const EngineStats& after, const EngineStats& before) {
+  EngineStats d;
+  d.packets_injected = after.packets_injected - before.packets_injected;
+  d.hops_processed = after.hops_processed - before.hops_processed;
+  d.icmp_generated = after.icmp_generated - before.icmp_generated;
+  d.labels_pushed = after.labels_pushed - before.labels_pushed;
+  d.labels_popped = after.labels_popped - before.labels_popped;
+  return d;
+}
+
+/// Runs `probes` through sequential Send and through one SendBatch and
+/// asserts outcome-for-outcome equality, plus equality of the summed
+/// stat deltas (the stats-equivalence half of the contract). Returns the
+/// outcomes so callers can assert scenario-specific coverage.
+std::vector<Engine::Outcome> ExpectParity(const Engine& engine,
+                                          const std::vector<Packet>& probes) {
+  std::vector<Engine::Outcome> sequential;
+  sequential.reserve(probes.size());
+  const EngineStats before = engine.stats();
+  for (const Packet& probe : probes) {
+    sequential.push_back(engine.Send(probe));
+  }
+  const EngineStats seq_delta = Minus(engine.stats(), before);
+
+  std::vector<Packet> batch_input = probes;  // SendBatch consumes its span
+  Engine::BatchResult batch;
+  engine.SendBatch(batch_input, batch);
+  const EngineStats batch_delta = Minus(engine.stats(), before);
+
+  EXPECT_EQ(batch.outcomes.size(), probes.size());
+  if (batch.outcomes.size() != probes.size()) return sequential;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(batch.outcomes[i].received, sequential[i].received)
+        << "slot " << i;
+    EXPECT_EQ(batch.outcomes[i].loss, sequential[i].loss) << "slot " << i;
+    EXPECT_EQ(batch.outcomes[i].rtt_ms, sequential[i].rtt_ms)
+        << "slot " << i;
+    EXPECT_EQ(batch.outcomes[i], sequential[i]) << "slot " << i;
+  }
+
+  // The batch's commit must equal the sequential flushes, and the
+  // per-slot shards must sum to exactly that commit.
+  EXPECT_EQ(Minus(batch_delta, seq_delta), seq_delta);
+  EngineStats slot_sum;
+  for (const EngineStats& s : batch.per_slot_stats) slot_sum += s;
+  EXPECT_EQ(slot_sum, seq_delta);
+  return sequential;
+}
+
+/// A traceroute-shaped TTL fan plus a ping, two flows deep.
+std::vector<Packet> FanTo(netbase::Ipv4Address src, netbase::Ipv4Address dst,
+                          std::uint32_t& id, int max_ttl = 24) {
+  std::vector<Packet> probes;
+  for (std::uint16_t flow : {std::uint16_t{0}, std::uint16_t{7}}) {
+    for (int ttl = 1; ttl <= max_ttl; ++ttl) {
+      probes.push_back(Probe(src, dst, ttl, ++id, flow));
+    }
+    probes.push_back(Probe(src, dst, 64, ++id, flow));
+  }
+  return probes;
+}
+
+class BatchParityScenario
+    : public ::testing::TestWithParam<gen::Gns3Scenario> {};
+
+TEST_P(BatchParityScenario, TunnelFanMatchesSequential) {
+  // kDefault exercises PHP with TTL propagation, kBackwardRecursive the
+  // invisible (no-propagate) tunnel, kExplicitRoute the DPR shape, and
+  // kTotallyInvisible the UHP disposition with its explicit-null edge —
+  // between them every label operation the testbed can produce.
+  gen::Gns3Testbed testbed({.scenario = GetParam()});
+  std::uint32_t id = 0;
+  std::vector<Packet> probes;
+  for (const char* target : {"CE2.left", "PE2.left", "P2.lo"}) {
+    const auto fan =
+        FanTo(testbed.vantage_point(), testbed.Address(target), id);
+    probes.insert(probes.end(), fan.begin(), fan.end());
+  }
+  const auto outcomes = ExpectParity(testbed.engine(), probes);
+  // Sanity: the whole fan really ran (the testbed has no ICMP loss, so
+  // every TTL elicits an answer — the batch still mixes live and retired
+  // rows because each TTL's probe dies in a different round).
+  std::size_t received = 0;
+  for (const auto& o : outcomes) received += o.received ? 1 : 0;
+  EXPECT_EQ(received, probes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, BatchParityScenario,
+                         ::testing::Values(
+                             gen::Gns3Scenario::kDefault,
+                             gen::Gns3Scenario::kBackwardRecursive,
+                             gen::Gns3Scenario::kExplicitRoute,
+                             gen::Gns3Scenario::kTotallyInvisible));
+
+TEST(BatchParity, EveryLossReasonMatchesSequential) {
+  gen::Gns3Testbed testbed(
+      {.scenario = gen::Gns3Scenario::kBackwardRecursive});
+  const auto vp = testbed.vantage_point();
+  const auto far = testbed.Address("CE2.left");
+  std::set<sim::LossReason> seen;
+
+  {
+    // kTtlLoop: an engine whose loop guard trips immediately, built on
+    // the same converged tables.
+    sim::Network& network = testbed.network();
+    Engine strict(testbed.topology(), testbed.configs(), network.fibs(),
+                  network.ldp(), {.max_hops = 0});
+    std::vector<Packet> probes;
+    for (std::uint32_t i = 1; i <= 8; ++i) {
+      probes.push_back(Probe(vp, far, 10 + static_cast<int>(i), i));
+    }
+    for (const auto& o : ExpectParity(strict, probes)) {
+      EXPECT_EQ(o.loss, sim::LossReason::kTtlLoop);
+      seen.insert(o.loss);
+    }
+  }
+
+  const Engine& engine = testbed.engine();
+  std::vector<Packet> probes;
+  std::uint32_t id = 100;
+  // kDropped: probes carrying an unreserved label no LSR ever bound.
+  for (int i = 0; i < 4; ++i) {
+    Packet p = Probe(vp, far, 32, ++id);
+    netbase::LabelStackEntry lse;
+    lse.label = 1048575;  // top of the 20-bit space, never allocated
+    lse.ttl = 32;
+    p.labels.push_back(lse);
+    probes.push_back(p);
+  }
+  // kReplyExpired: injected reply-kind packets whose TTL dies en route
+  // (a reply expiring generates no ICMP-about-ICMP).
+  for (int i = 0; i < 4; ++i) {
+    probes.push_back(
+        Probe(vp, far, 2, ++id, 0, PacketKind::kTimeExceeded));
+  }
+  // kNone: ordinary delivered probes interleaved, so the batch mixes
+  // live rows with rows that died in round one.
+  for (int i = 0; i < 4; ++i) {
+    probes.push_back(Probe(vp, far, 64, ++id));
+  }
+  // kDropped via delivered-elsewhere: a reply-kind packet addressed to a
+  // distant router's loopback (nothing is waiting for it there).
+  for (int i = 0; i < 2; ++i) {
+    probes.push_back(Probe(vp, testbed.Address("P2.lo"), 64, ++id, 0,
+                           PacketKind::kTimeExceeded));
+  }
+  for (const auto& o : ExpectParity(engine, probes)) seen.insert(o.loss);
+
+  seen.insert(sim::LossReason::kNoRoute);  // covered below, split world
+  EXPECT_EQ(seen.size(), 5u) << "a LossReason lost its trigger";
+}
+
+TEST(BatchParity, NoRouteReplyMatchesSequential) {
+  // A reply-kind packet that reaches a router whose FIB cannot route it
+  // further is the kNoRoute shape. The synthetic Internet's stub ASes
+  // have no default route to unallocated space, so a reply aimed at an
+  // address outside every advertised prefix black-holes deterministically.
+  gen::SyntheticInternet net(
+      {.seed = 11, .transit_count = 2, .stub_count = 4});
+  const auto vp = net.vantage_points().front();
+  std::vector<Packet> probes;
+  std::uint32_t id = 0;
+  for (int i = 0; i < 4; ++i) {
+    probes.push_back(Probe(vp, netbase::Ipv4Address(0xF0000001u + i), 40,
+                           ++id, 0, PacketKind::kTimeExceeded));
+    probes.push_back(Probe(vp, net.AllLoopbacks()[i], 30, ++id));
+  }
+  const auto outcomes = ExpectParity(net.engine(), probes);
+  bool saw_no_route = false;
+  for (const auto& o : outcomes) {
+    saw_no_route |= o.loss == sim::LossReason::kNoRoute;
+  }
+  EXPECT_TRUE(saw_no_route);
+}
+
+TEST(BatchParity, EcmpFanoutAcrossTheInternetMatchesSequential) {
+  // Wide world, many targets, several flows: exercises ECMP hashing,
+  // label imposition at different ingresses and the grouped-round
+  // scheduler's counting-sort branch (batch larger than routers/8).
+  gen::SyntheticInternet net({.seed = 23, .icmp_loss = 0.05});
+  const auto vp = net.vantage_points().front();
+  const auto loopbacks = net.AllLoopbacks();
+  std::vector<Packet> probes;
+  std::uint32_t id = 0;
+  for (std::size_t t = 0; t < loopbacks.size(); t += 7) {
+    for (int ttl = 1; ttl <= 12; ++ttl) {
+      probes.push_back(Probe(vp, loopbacks[t], ttl, ++id,
+                             static_cast<std::uint16_t>(t % 3)));
+    }
+  }
+  ExpectParity(net.engine(), probes);
+}
+
+TEST(BatchParity, BatchedTracerMatchesSequentialTracer) {
+  // The speculative batched tracer must reproduce the sequential tracer's
+  // hops, probe count AND probe-id stream — under simulated ICMP loss,
+  // where any misprediction in the replay would shift every later
+  // splitmix64 draw and change the trace.
+  gen::SyntheticInternet net({.seed = 31, .icmp_loss = 0.08});
+  const auto loopbacks = net.AllLoopbacks();
+  probe::Prober sequential(net.engine(), net.vantage_points().front());
+  probe::Prober batched(net.engine(), net.vantage_points().front());
+  for (int window : {0, 1, 5}) {
+    probe::TraceOptions batched_options;
+    batched_options.batched = true;
+    batched_options.batch_window = window;
+    for (std::size_t t = 0; t < loopbacks.size(); t += 5) {
+      const auto a = sequential.Traceroute(loopbacks[t]);
+      const auto b = batched.Traceroute(loopbacks[t], batched_options);
+      ASSERT_EQ(a.hops.size(), b.hops.size())
+          << "window " << window << " target " << t;
+      for (std::size_t h = 0; h < a.hops.size(); ++h) {
+        EXPECT_EQ(a.hops[h].probe_ttl, b.hops[h].probe_ttl);
+        EXPECT_EQ(a.hops[h].address, b.hops[h].address);
+        EXPECT_EQ(a.hops[h].reply_kind, b.hops[h].reply_kind);
+        EXPECT_EQ(a.hops[h].reply_ip_ttl, b.hops[h].reply_ip_ttl);
+        EXPECT_EQ(a.hops[h].labels, b.hops[h].labels);
+        EXPECT_EQ(a.hops[h].rtt_ms, b.hops[h].rtt_ms);
+      }
+      EXPECT_EQ(a.reached, b.reached);
+      EXPECT_EQ(a.unreachable, b.unreachable);
+      ASSERT_EQ(sequential.probes_sent(), batched.probes_sent())
+          << "probe-id streams diverged at window " << window;
+    }
+  }
+}
+
+std::string CampaignFingerprint(bool batched, std::size_t jobs) {
+  gen::InternetOptions options;
+  options.seed = 17;
+  options.tier1_count = 2;
+  options.transit_count = 4;
+  options.stub_count = 10;
+  options.vp_count = 3;
+  options.anonymous_router_probability = 0.02;
+  options.icmp_loss = 0.05;
+  gen::SyntheticInternet net(options);
+  campaign::Campaign campaign(
+      net.engine(), net.vantage_points(),
+      {.batched_stepping = batched, .jobs = jobs});
+  const campaign::CampaignResult result = campaign.Run(net.AllLoopbacks());
+  const EngineStats stats = net.engine().stats();
+  std::ostringstream out;
+  out << stats.packets_injected << " " << stats.hops_processed << " "
+      << stats.icmp_generated << " " << stats.labels_pushed << " "
+      << stats.labels_popped << " " << result.probes_sent << "\n";
+  io::WriteTraces(out, result.traces);
+  analysis::WriteCampaignReport(out, result, net.topology());
+  return out.str();
+}
+
+TEST(BatchParity, CampaignIsByteIdenticalBatchedOrNot) {
+  const std::string sequential = CampaignFingerprint(false, 1);
+  EXPECT_EQ(CampaignFingerprint(true, 1), sequential);
+  EXPECT_EQ(CampaignFingerprint(true, 4), sequential);
+}
+
+}  // namespace
+}  // namespace wormhole

@@ -195,6 +195,49 @@ TEST(EngineFastPath, SteadyStateMplsSwapPathDoesNotAllocate) {
   EXPECT_EQ(allocs, 0u);
 }
 
+TEST(EngineFastPath, SteadyStateSendBatchRecyclesItsArena) {
+  // A traceroute-shaped batch through the tunnel, twice. The first batch
+  // may size the arena, the SoA rows and the outcome vectors; the second
+  // batch of the same shape must recycle all of it — the round loop, the
+  // group-by-router sort and the per-slot outcome writes run without one
+  // heap allocation.
+  gen::Gns3Testbed testbed(
+      {.scenario = gen::Gns3Scenario::kBackwardRecursive});
+  const sim::Engine& engine = testbed.engine();
+  const auto target = testbed.Address("CE2.left");
+
+  std::vector<netbase::Packet> fan;
+  sim::Engine::BatchResult batch;
+  std::uint32_t id = 0;
+  const auto fill = [&] {
+    fan.clear();
+    for (int ttl = 1; ttl <= 16; ++ttl) {
+      netbase::Packet probe;
+      probe.kind = netbase::PacketKind::kEchoRequest;
+      probe.src = testbed.vantage_point();
+      probe.dst = target;
+      probe.ip_ttl = ttl;
+      probe.probe_id = ++id;
+      fan.push_back(probe);
+    }
+  };
+
+  fill();
+  fan.reserve(fan.size());
+  engine.SendBatch(fan, batch);  // warm-up: sizes every buffer
+
+  const std::uint64_t allocs = CountAllocations([&] {
+    fill();
+    engine.SendBatch(fan, batch);
+    std::size_t received = 0;
+    for (const auto& outcome : batch.outcomes) {
+      received += outcome.received ? 1 : 0;
+    }
+    EXPECT_EQ(received, std::size_t{16});
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
 TEST(EngineFastPath, ExpiringInsideTheTunnelStillQuotesCorrectly) {
   // The same world, but the probe dies on an LSR: the quoted stack must
   // come back in wire order with the LSR's label on top. (Guards the

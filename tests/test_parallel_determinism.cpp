@@ -118,6 +118,67 @@ TEST(ParallelDeterminism, DiscoveryMergesInVantagePointOrder) {
   EXPECT_EQ(sa.str(), sb.str());
 }
 
+TEST(ParallelDeterminism, ConcurrentSendBatchMatchesSequentialSend) {
+  // Many threads stepping batches against one shared engine (each with
+  // its own BatchResult, per the contract) must neither race — this test
+  // runs under TSan in CI — nor perturb results: every thread's outcomes
+  // equal the sequential Send outcomes for the same probes.
+  gen::SyntheticInternet net(WorldOptions());
+  const sim::Engine& engine = net.engine();
+  const auto vps = net.vantage_points();
+  const auto loopbacks = net.AllLoopbacks();
+
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::vector<netbase::Packet>> per_thread(kThreads);
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    std::uint32_t id = 0;
+    for (std::size_t t = w; t < loopbacks.size(); t += kThreads) {
+      for (int ttl = 1; ttl <= 10; ++ttl) {
+        netbase::Packet probe;
+        probe.kind = netbase::PacketKind::kEchoRequest;
+        probe.src = vps[w % vps.size()];
+        probe.dst = loopbacks[t];
+        probe.ip_ttl = ttl;
+        probe.probe_id = ++id;
+        per_thread[w].push_back(probe);
+      }
+    }
+  }
+
+  std::vector<std::vector<sim::Engine::Outcome>> expected(kThreads);
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    for (const netbase::Packet& probe : per_thread[w]) {
+      expected[w].push_back(engine.Send(probe));
+    }
+  }
+
+  exec::ThreadPool pool(kThreads);
+  std::vector<std::vector<sim::Engine::Outcome>> got(kThreads);
+  exec::ParallelFor(pool, kThreads, [&](std::size_t w) {
+    sim::Engine::BatchResult batch;
+    // Two batches per thread through one recycled BatchResult, so the
+    // concurrent run also covers arena reuse.
+    auto first_half = per_thread[w];
+    first_half.resize(per_thread[w].size() / 2);
+    auto second_half = std::vector<netbase::Packet>(
+        per_thread[w].begin() +
+            static_cast<std::ptrdiff_t>(first_half.size()),
+        per_thread[w].end());
+    engine.SendBatch(first_half, batch);
+    got[w] = batch.outcomes;
+    engine.SendBatch(second_half, batch);
+    got[w].insert(got[w].end(), batch.outcomes.begin(),
+                  batch.outcomes.end());
+  });
+
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    ASSERT_EQ(got[w].size(), expected[w].size()) << "thread " << w;
+    for (std::size_t i = 0; i < got[w].size(); ++i) {
+      EXPECT_EQ(got[w][i], expected[w][i]) << "thread " << w << " slot " << i;
+    }
+  }
+}
+
 TEST(ParallelDeterminism, ZeroJobsResolvesToHardwareConcurrency) {
   gen::SyntheticInternet net(WorldOptions());
   Campaign campaign(net.engine(), net.vantage_points(), {});

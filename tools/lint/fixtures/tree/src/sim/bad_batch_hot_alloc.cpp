@@ -1,0 +1,22 @@
+// Fixture: allocation and container growth inside a batch-hot region.
+#include <cstddef>
+#include <vector>
+
+void SetupIsFine(std::vector<int>& arena) { arena.resize(64); }
+
+int StepRounds(std::vector<int>& rows, std::size_t live) {
+  int total = 0;
+  // lint:batch-hot-begin
+  while (live > 0) {
+    std::vector<int> scratch;              // expect: batch-heap
+    scratch.push_back(static_cast<int>(live));  // expect: batch-heap
+    rows.push_back(total);                 // expect: batch-heap
+    int* spill = new int[live];            // expect: batch-heap
+    total += spill[0] + scratch[0];
+    delete[] spill;
+    --live;
+  }
+  // lint:batch-hot-end
+  rows.push_back(total);  // after the region: fine again
+  return total;
+}

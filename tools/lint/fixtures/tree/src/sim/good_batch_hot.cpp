@@ -1,0 +1,21 @@
+// Fixture: a clean batch-hot region — arenas are sized before the round
+// loop, the loop itself only indexes into them.
+#include <cstddef>
+#include <vector>
+
+int StepRounds(std::size_t live) {
+  std::vector<int> rows;
+  rows.resize(live);  // sizing belongs to setup, outside the region
+  int total = 0;
+  // lint:batch-hot-begin
+  while (live > 0) {
+    --live;
+    rows[live] = static_cast<int>(live);
+    total += rows[live];
+    // A suppressed growth: the one sanctioned re-sizing point.
+    // lint:allow-next-line(batch-heap): documented amortized growth
+    rows.push_back(total);
+  }
+  // lint:batch-hot-end
+  return total;
+}
