@@ -1,0 +1,142 @@
+// Annotated synchronisation primitives: the capability types behind the
+// thread-safety macro layer (src/netbase/thread_annotations.h).
+//
+// std::mutex and std::lock_guard carry no capability attributes, so code
+// locking them is invisible to clang's Thread Safety Analysis. These thin
+// wrappers make every acquisition and release analyzable:
+//
+//  * Mutex      — a CAPABILITY("mutex") over std::mutex.
+//  * MutexLock  — the SCOPED_CAPABILITY RAII guard for a Mutex.
+//  * CondVar    — condition variable usable with Mutex; Wait REQUIRES
+//                 the mutex (the internal unlock/relock is invisible to
+//                 the analysis, which treats the capability as held
+//                 throughout — the standard safe approximation).
+//  * Role       — a zero-cost CAPABILITY("role"): a compile-time-only
+//                 phase token for structures that are not lock-guarded
+//                 but phase-disciplined ("mutate only during
+//                 convergence, read-only while probes are in flight").
+//                 RoleLock scopes the phase; helpers marked
+//                 REQUIRES(role) cannot be called from outside it.
+//  * StripedMutex — hash-to-stripe Mutex selection (moved here from
+//                 thread_pool.h); the stripe a call site locks is
+//                 dynamic, so fields guarded by a stripe cannot be
+//                 GUARDED_BY-named, but acquisitions through MutexLock
+//                 are still balance-checked.
+//
+// Everything is header-only and as thin as the std types underneath; the
+// annotations compile away entirely outside clang.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+
+#include "netbase/thread_annotations.h"
+
+namespace wormhole::exec {
+
+/// std::mutex as an analyzable capability.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII exclusive lock over a Mutex (std::lock_guard, analyzable).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable for Mutex. Callers wait in the standard
+/// `while (!predicate()) cv.Wait(mutex);` shape — an explicit loop, not
+/// a predicate lambda, so the guarded reads stay inside the annotated
+/// caller where the analysis can see the held capability.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex` and blocks; re-acquires before
+  /// returning. Spurious wakeups happen: always wait in a loop.
+  void Wait(Mutex& mutex) REQUIRES(mutex) { cv_.wait(mutex); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any works with any BasicLockable, so it can
+  // release/re-acquire the annotated Mutex directly (the std internals
+  // are unannotated and therefore invisible to the analysis, which is
+  // exactly the approximation Wait's REQUIRES encodes).
+  std::condition_variable_any cv_;
+};
+
+/// A compile-time-only capability: no runtime state, no blocking. Use it
+/// to put phase contracts under the analyzer for data that is *not*
+/// lock-guarded — e.g. "this field is only touched during convergence".
+/// Acquire/Release are free; the value is that helpers annotated
+/// REQUIRES(role) become uncallable from un-scoped code at compile time.
+class CAPABILITY("role") Role {
+ public:
+  Role() = default;
+  Role(const Role&) = delete;
+  Role& operator=(const Role&) = delete;
+
+  void Acquire() ACQUIRE() {}
+  void Release() RELEASE() {}
+};
+
+/// Scopes a Role: the annotated equivalent of "we are now in the phase".
+class SCOPED_CAPABILITY RoleLock {
+ public:
+  explicit RoleLock(Role& role) ACQUIRE(role) : role_(role) {
+    role_.Acquire();
+  }
+  ~RoleLock() RELEASE() { role_.Release(); }
+  RoleLock(const RoleLock&) = delete;
+  RoleLock& operator=(const RoleLock&) = delete;
+
+ private:
+  Role& role_;
+};
+
+/// A striped lock: maps a hash to one of a fixed set of mutexes, so
+/// unrelated keys of a shared structure rarely contend. The selected
+/// stripe is dynamic, so guarded fields cannot name it in GUARDED_BY;
+/// lock/unlock balance is still analyzed through MutexLock.
+class StripedMutex {
+ public:
+  explicit StripedMutex(std::size_t stripes = 16)
+      : stripes_(stripes < 1 ? 1 : stripes),
+        mutexes_(std::make_unique<Mutex[]>(stripes_)) {}
+
+  [[nodiscard]] std::size_t stripes() const { return stripes_; }
+  [[nodiscard]] Mutex& For(std::size_t hash) {
+    return mutexes_[hash % stripes_];
+  }
+
+ private:
+  std::size_t stripes_;
+  std::unique_ptr<Mutex[]> mutexes_;
+};
+
+}  // namespace wormhole::exec

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <utility>
 
 namespace wormhole::exec {
 
@@ -27,27 +28,27 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mutex_);
       if (queue_.empty()) return;  // stop_ && drained
       task = std::move(queue_.front());
       queue_.pop();
@@ -64,29 +65,32 @@ void ParallelFor(ThreadPool& pool, std::size_t n,
     return;
   }
 
+  // GUARDED_BY on a stack-local works because the lambdas below are the
+  // only other holders of a reference, and each is analyzed like any
+  // function: touching `pending`/`error` without the lock is an error.
   struct Join {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::size_t pending;
-    std::exception_ptr error;
-  } join;
-  join.pending = n;
+    explicit Join(std::size_t n) : pending(n) {}
+    Mutex mutex;
+    CondVar cv;
+    std::size_t pending GUARDED_BY(mutex);
+    std::exception_ptr error GUARDED_BY(mutex);
+  } join(n);
 
   for (std::size_t i = 0; i < n; ++i) {
     pool.Submit([&join, &fn, i] {
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(join.mutex);
+        MutexLock lock(join.mutex);
         if (!join.error) join.error = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(join.mutex);
-      if (--join.pending == 0) join.cv.notify_all();
+      MutexLock lock(join.mutex);
+      if (--join.pending == 0) join.cv.NotifyAll();
     });
   }
 
-  std::unique_lock<std::mutex> lock(join.mutex);
-  join.cv.wait(lock, [&join] { return join.pending == 0; });
+  MutexLock lock(join.mutex);
+  while (join.pending != 0) join.cv.Wait(join.mutex);
   if (join.error) std::rethrow_exception(join.error);
 }
 
@@ -103,9 +107,5 @@ std::size_t ResolveJobs(std::size_t requested) {
   return requested == 0 ? HardwareConcurrency()
                         : std::max<std::size_t>(1, requested);
 }
-
-StripedMutex::StripedMutex(std::size_t stripes)
-    : stripes_(std::max<std::size_t>(1, stripes)),
-      mutexes_(std::make_unique<std::mutex[]>(stripes_)) {}
 
 }  // namespace wormhole::exec

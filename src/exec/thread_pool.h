@@ -4,16 +4,20 @@
 // per-worker shards whose *contents* are fixed up front (not stolen
 // dynamically), so every run issues exactly the same operations per shard
 // regardless of scheduling, and results can be merged in a fixed order.
+//
+// All shared state here carries thread-safety annotations (see
+// src/netbase/thread_annotations.h); CI's clang thread-safety job
+// promotes a missed lock to a compile error.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "exec/sync.h"
+#include "netbase/thread_annotations.h"
 
 namespace wormhole::exec {
 
@@ -40,16 +44,16 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// Enqueues one task. Never blocks.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(0), ..., fn(n-1) and blocks until all complete. With a
@@ -69,21 +73,5 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
 /// Resolves a user-facing jobs count: 0 means "auto" (hardware
 /// concurrency), anything else is taken literally (minimum 1).
 std::size_t ResolveJobs(std::size_t requested);
-
-/// A striped lock: maps a hash to one of a fixed set of mutexes, so
-/// unrelated keys of a shared map rarely contend.
-class StripedMutex {
- public:
-  explicit StripedMutex(std::size_t stripes = 16);
-
-  [[nodiscard]] std::size_t stripes() const { return stripes_; }
-  [[nodiscard]] std::mutex& For(std::size_t hash) {
-    return mutexes_[hash % stripes_];
-  }
-
- private:
-  std::size_t stripes_;
-  std::unique_ptr<std::mutex[]> mutexes_;
-};
 
 }  // namespace wormhole::exec

@@ -1,0 +1,90 @@
+// Clang Thread Safety Analysis macro layer.
+//
+// These macros attach compile-time lock contracts to the concurrency
+// surface: which mutex guards which field (GUARDED_BY), which capability
+// a function needs held (REQUIRES) or acquires/releases (ACQUIRE /
+// RELEASE), and which it must NOT hold on entry (EXCLUDES). Under clang
+// with `-Wthread-safety` (CI's thread-safety job promotes the analysis
+// group to an error) every violation is a build break; under every other
+// compiler they expand to nothing, so the annotations are zero-cost
+// documentation that cannot rot.
+//
+// The annotated capability types that make the analysis see through RAII
+// locking (`exec::Mutex`, `exec::MutexLock`, `exec::CondVar`,
+// `exec::Role`) live in src/exec/sync.h — concurrency machinery stays in
+// src/exec per the determinism lint; this header is pure attributes and
+// safe to include anywhere.
+//
+// Conventions (see docs/static-analysis.md, "Thread-safety annotations"):
+//  * GUARDED_BY(mu) on a field: every read and write must hold `mu`.
+//  * REQUIRES(cap) on a function: callers hold `cap`; the function body
+//    is analyzed as if it does. Use for private helpers below a lock or
+//    a Role-guarded phase.
+//  * ACQUIRE/RELEASE on the functions that take and drop a capability
+//    (lock wrappers, RAII guards via SCOPED_CAPABILITY).
+//  * EXCLUDES(cap) on a function that takes `cap` itself (deadlock
+//    guard); analysis warns if a caller already holds it.
+//  * NO_THREAD_SAFETY_ANALYSIS is the suppression of last resort; like a
+//    lint:allow it must carry a one-line justification comment.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define WORMHOLE_TSA_HAS(x) __has_attribute(x)
+#else
+#define WORMHOLE_TSA_HAS(x) 0
+#endif
+
+#if WORMHOLE_TSA_HAS(capability)
+#define WORMHOLE_TSA(x) __attribute__((x))
+#else
+#define WORMHOLE_TSA(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a capability ("mutex", "role", ...). Instances can be
+/// named in the other annotations.
+#define CAPABILITY(x) WORMHOLE_TSA(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability (exec::MutexLock, exec::RoleLock).
+#define SCOPED_CAPABILITY WORMHOLE_TSA(scoped_lockable)
+
+/// Field `x` may only be touched while holding capability `x`'s guard.
+#define GUARDED_BY(x) WORMHOLE_TSA(guarded_by(x))
+
+/// Pointer field: the pointee (not the pointer) is guarded.
+#define PT_GUARDED_BY(x) WORMHOLE_TSA(pt_guarded_by(x))
+
+/// The function may only be called with the capabilities held.
+#define REQUIRES(...) \
+  WORMHOLE_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  WORMHOLE_TSA(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capabilities and does not release them.
+#define ACQUIRE(...) WORMHOLE_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  WORMHOLE_TSA(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases capabilities the caller holds.
+#define RELEASE(...) WORMHOLE_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  WORMHOLE_TSA(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  WORMHOLE_TSA(try_acquire_capability(b, __VA_ARGS__))
+
+/// The function must be called WITHOUT the capabilities held (it takes
+/// them itself — the deadlock-by-reentry guard).
+#define EXCLUDES(...) WORMHOLE_TSA(locks_excluded(__VA_ARGS__))
+
+/// Asserts at analysis level that the capability is held here (for
+/// dynamic schemes the analysis cannot follow).
+#define ASSERT_CAPABILITY(x) WORMHOLE_TSA(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) WORMHOLE_TSA(lock_returned(x))
+
+/// Suppression of last resort; requires a justification comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  WORMHOLE_TSA(no_thread_safety_analysis)

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <bit>
-#include <mutex>
+#include <functional>
 
-#include "exec/thread_pool.h"
+#include "exec/sync.h"
 #include "netbase/contracts.h"
 
 namespace wormhole::routing {
@@ -29,10 +29,11 @@ constexpr std::uint32_t MaskAddress(std::uint32_t address, int length) {
 // bytes on every router for nothing — but the parallel convergence seals
 // many distinct FIBs at once, so one global mutex would serialize that
 // whole phase. Striping keeps the memory cost flat and lets unrelated
-// FIBs seal concurrently.
-// lint:allow-file(raw-threading): the seal lock guards a build-time-only
-// transition and never touches the per-packet path.
-std::mutex& SealMutexFor(const void* fib) {
+// FIBs seal concurrently. The stripe is selected dynamically, so the
+// mutable index fields cannot be GUARDED_BY-named; the lock discipline
+// below (acquire stripe -> recheck sealed_ -> build -> release-store) is
+// instead pinned by tests/test_thread_safety.cpp's concurrent-seal race.
+exec::Mutex& SealMutexFor(const void* fib) {
   static exec::StripedMutex stripes(64);
   return stripes.For(std::hash<const void*>{}(fib));
 }
@@ -73,7 +74,7 @@ bool Fib::AddRouteIfAbsent(FibEntry entry) {
 }
 
 void Fib::Seal() const {
-  std::lock_guard<std::mutex> lock(SealMutexFor(this));
+  exec::MutexLock lock(SealMutexFor(this));
   if (sealed_.load(std::memory_order_relaxed)) return;
 
   // Load factor <= 0.5: next power of two >= 2 * size (minimum 8 so the

@@ -164,10 +164,14 @@ class Fib {
   // The sealed index holds pointers into this object's own route map, so
   // copies and moves transfer only the build-side and re-seal lazily.
   // Nodes always come from this object's own pool, so moves with a
-  // populated source are element-wise (the unequal-allocator path).
+  // populated source are element-wise (the unequal-allocator path) — the
+  // *source* map's nodes survive with moved-from values, so a moved-from
+  // source must drop its sealed index too: it would otherwise keep
+  // serving entries whose contents the move just gutted.
   Fib(const Fib& other) : routes_(other.routes_, RouteAlloc(&pool_)) {}
   Fib(Fib&& other) : routes_(std::move(other.routes_), RouteAlloc(&pool_)) {
     other.last_ = other.routes_.end();
+    other.Invalidate();
   }
   Fib& operator=(const Fib& other) {
     if (this != &other) {
@@ -183,6 +187,7 @@ class Fib {
       last_ = routes_.end();
       other.last_ = other.routes_.end();
       Invalidate();
+      other.Invalidate();
     }
     return *this;
   }
@@ -264,7 +269,12 @@ class Fib {
   RouteMap::iterator last_ = routes_.end();
 
   // Query side, built by Seal(). `sealed_` is the publication point:
-  // readers acquire-load it before touching the index.
+  // readers acquire-load it before touching the index. Concurrency
+  // contract: these fields are written only inside Seal() while holding
+  // the per-Fib stripe of the seal StripedMutex (fib.cpp) and read
+  // lock-free strictly after the `sealed_` release-store — the stripe is
+  // dynamic, so the guard is not GUARDED_BY-nameable; the discipline is
+  // pinned by tests/test_thread_safety.cpp instead.
   mutable std::atomic<bool> sealed_{false};
   mutable std::vector<Slot> slots_;
   mutable std::uint64_t slot_mask_ = 0;

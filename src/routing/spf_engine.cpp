@@ -11,7 +11,9 @@
 namespace wormhole::routing {
 
 SpfEngine::SpfEngine(const topo::Topology& topology)
-    : topology_(&topology), seen_version_(topology.version()) {
+    : topology_(&topology) {
+  exec::RoleLock build(build_role_);
+  seen_version_ = topology.version();
   RebuildAdjacency();
   trees_.resize(topology.router_count());
 }
@@ -44,6 +46,7 @@ void SpfEngine::RebuildAdjacency() {
 }
 
 const SpfTree& SpfEngine::TreeOf(RouterId source) {
+  exec::RoleLock build(build_role_);
   SyncVersion();
   auto& slot = trees_.at(source);
   if (slot == nullptr) {
@@ -63,6 +66,7 @@ const SpfTree& SpfEngine::CachedTree(RouterId source) const {
 
 void SpfEngine::Prime(const std::vector<RouterId>& sources,
                       exec::ThreadPool* pool) {
+  exec::RoleLock build(build_role_);
   SyncVersion();
   std::vector<RouterId> missing;
   missing.reserve(sources.size());
@@ -100,6 +104,7 @@ void SpfEngine::Prime(const std::vector<RouterId>& sources,
 
 void SpfEngine::ApplyTopologyChange(
     const std::vector<RouterId>& stale_sources) {
+  exec::RoleLock build(build_role_);
   seen_version_ = topology_->version();
   RebuildAdjacency();
   trees_.resize(topology_->router_count());
@@ -107,6 +112,7 @@ void SpfEngine::ApplyTopologyChange(
 }
 
 void SpfEngine::InvalidateTrees(const std::vector<RouterId>& sources) {
+  exec::RoleLock build(build_role_);
   for (const RouterId source : sources) trees_.at(source).reset();
 }
 

@@ -25,6 +25,8 @@
 #include <span>
 #include <vector>
 
+#include "exec/sync.h"
+#include "netbase/thread_annotations.h"
 #include "routing/fib.h"
 #include "topo/topology.h"
 
@@ -67,7 +69,12 @@ struct SpfTree {
 /// exec::ThreadPool (fixed contiguous shards, one scratch per shard task,
 /// disjoint writes — deterministic by construction). All other mutating
 /// members are single-threaded; CachedTree() is const and safe to call
-/// concurrently once the trees it reads were primed.
+/// concurrently once the trees it reads were primed. The single-threaded
+/// mutation phase is expressed as the `build_role_` capability: every
+/// public mutator scopes it with an exec::RoleLock, and the cache/version
+/// internals are GUARDED_BY / REQUIRES it, so a future caller that tries
+/// to resync the version or reuse the serial scratch from outside the
+/// build phase fails to compile under clang's thread-safety analysis.
 class SpfEngine {
  public:
   explicit SpfEngine(const topo::Topology& topology);
@@ -138,20 +145,28 @@ class SpfEngine {
 
   /// Recomputes the CSR adjacency and drops every tree if the topology
   /// version moved since the last sync.
-  void SyncVersion();
-  void RebuildAdjacency();
+  void SyncVersion() REQUIRES(build_role_);
+  void RebuildAdjacency() REQUIRES(build_role_);
   void ComputeInto(RouterId source, SpfTree& tree, Scratch& scratch) const;
 
   const topo::Topology* topology_;
-  std::uint64_t seen_version_ = 0;
+  /// The exclusive build phase: held (via RoleLock) by every public
+  /// mutator. Zero-cost — a compile-time phase token, not a lock.
+  exec::Role build_role_;
+  std::uint64_t seen_version_ GUARDED_BY(build_role_) = 0;
   /// CSR rows: arcs of router r are arcs_[adjacency_begin_[r] ..
-  /// adjacency_begin_[r + 1]]. Intra-AS up links only.
+  /// adjacency_begin_[r + 1]]. Intra-AS up links only. Rebuilt only
+  /// under build_role_; read lock-free by ComputeInto, whose shard tasks
+  /// run strictly inside a Prime() fan-out (publication via the pool's
+  /// task hand-off) — not GUARDED_BY-annotated for that reason.
   std::vector<std::uint32_t> adjacency_begin_;
   std::vector<Arc> arcs_;
-  /// Indexed by RouterId; null until computed.
+  /// Indexed by RouterId; null until computed. Prime's shard tasks write
+  /// disjoint slots, so the vector itself is phase-published like the
+  /// adjacency, not GUARDED_BY-annotated.
   std::vector<std::unique_ptr<SpfTree>> trees_;
   /// Scratch for the serial TreeOf path (Prime shards own their own).
-  Scratch serial_scratch_;
+  Scratch serial_scratch_ GUARDED_BY(build_role_);
   mutable std::atomic<std::uint64_t> computations_{0};
 };
 

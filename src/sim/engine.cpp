@@ -1001,7 +1001,9 @@ bool Engine::TryStepRunShared(BatchResult& b, std::size_t begin,
                               std::size_t end) const {
   const RouterId r = b.router[begin];
   const RouterCache& rc = router_cache_[r];
-  Packet& leader = b.arena[b.slot[begin]];
+  // Read-only: the run decision is resolved on the leader, applied to
+  // every member later (misc-const-correctness would flag a `Packet&`).
+  const Packet& leader = b.arena[b.slot[begin]];
   if (leader.hops_traversed > options_.max_hops) return false;
 
   // Resolve the shared routing decision once, on the leader. Anything

@@ -22,6 +22,7 @@ Network::Network(const topo::Topology& topology,
       spf_(topology) {
   const std::size_t jobs = exec::ResolveJobs(convergence_jobs);
   if (jobs > 1) pool_ = std::make_unique<exec::ThreadPool>(jobs);
+  exec::RoleLock converge(convergence_role_);
   ConvergeFull();
 }
 
@@ -80,6 +81,8 @@ void Network::InstallRoutes(const std::vector<topo::RouterId>& routers,
 }
 
 void Network::OnLinkStateChange(topo::LinkId link) {
+  // The exclusive write phase: no probe may be in flight (see header).
+  exec::RoleLock converge(convergence_role_);
   const topo::Link& l = topology_->link(link);
   const topo::AsNumber as_a =
       topology_->router(topology_->interface(l.a).router).asn;

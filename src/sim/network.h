@@ -11,9 +11,11 @@
 #include <memory>
 #include <vector>
 
+#include "exec/sync.h"
 #include "mpls/config.h"
 #include "mpls/ldp.h"
 #include "mpls/segment_routing.h"
+#include "netbase/thread_annotations.h"
 #include "routing/bgp.h"
 #include "routing/fib.h"
 #include "routing/igp.h"
@@ -54,7 +56,11 @@ class Network {
   ///    (and the IGP-installed connected routes) are rebuilt everywhere
   ///    from the cached trees; LDP domains (internal FECs only) are kept.
   ///
-  /// Call it once per SetLinkUp, before any further topology mutation.
+  /// Call it once per SetLinkUp, before any further topology mutation,
+  /// and never concurrently with Send/SendBatch: reconvergence is the
+  /// exclusive write phase of the engine's shared read-only state (the
+  /// `convergence_role_` capability below — every rebuild helper
+  /// REQUIRES it, so mutation outside the phase fails to compile).
   void OnLinkStateChange(topo::LinkId link);
 
   [[nodiscard]] Engine& engine() { return *engine_; }
@@ -67,15 +73,27 @@ class Network {
  private:
   /// Full phased build: prime SPF, install IGP+BGP per router, seal,
   /// build LDP, build the engine.
-  void ConvergeFull();
+  void ConvergeFull() REQUIRES(convergence_role_);
   /// Rebuilds one AS after an internal link flip.
-  void ReconvergeAs(topo::AsNumber asn);
+  void ReconvergeAs(topo::AsNumber asn) REQUIRES(convergence_role_);
   /// Rebuilds the BGP layer everywhere after an inter-AS link flip.
-  void ReconvergeInterAs();
+  void ReconvergeInterAs() REQUIRES(convergence_role_);
   /// Installs connected+IGP then BGP routes and seals, for each listed
   /// router, in parallel; `plans` must cover every listed router's AS.
+  /// The fan-out tasks write disjoint FIB slots and read shared inputs
+  /// published by the phase hand-off (see docs/static-analysis.md).
   void InstallRoutes(const std::vector<topo::RouterId>& routers,
-                     const std::vector<routing::IgpPlan>& plans);
+                     const std::vector<routing::IgpPlan>& plans)
+      REQUIRES(convergence_role_);
+
+  /// The exclusive convergence phase: scoped (exec::RoleLock) by the
+  /// constructor and OnLinkStateChange. `fibs_`, `ldp_`, `bgp_level_`
+  /// and the engine caches are mutated only inside it and are read-only
+  /// shared state for any number of prober threads outside it; the
+  /// fields themselves stay un-GUARDED_BY because the parallel install
+  /// tasks and the public read accessors touch them from outside the
+  /// role by design.
+  exec::Role convergence_role_;
 
   const topo::Topology* topology_;
   const mpls::MplsConfigMap* configs_;

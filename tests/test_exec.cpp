@@ -76,10 +76,10 @@ TEST(Exec, StripedMutexMapsHashesWithinStripeCount) {
   StripedMutex striped(8);
   EXPECT_EQ(striped.stripes(), 8u);
   // Same hash, same stripe: lock/unlock through both paths must agree.
-  std::mutex& a = striped.For(13);
-  std::mutex& b = striped.For(13 + 8);
+  Mutex& a = striped.For(13);
+  Mutex& b = striped.For(13 + 8);
   EXPECT_EQ(&a, &b);
-  std::lock_guard<std::mutex> lock(a);
+  MutexLock lock(a);
 }
 
 TEST(Exec, StripedMutexSerialisesContendingWriters) {
@@ -88,7 +88,7 @@ TEST(Exec, StripedMutexSerialisesContendingWriters) {
   std::vector<long> totals(4, 0);
   ParallelFor(pool, 64, [&](std::size_t i) {
     const std::size_t key = i % totals.size();
-    std::lock_guard<std::mutex> lock(striped.For(key));
+    MutexLock lock(striped.For(key));
     totals[key] += static_cast<long>(i);
   });
   long sum = 0;

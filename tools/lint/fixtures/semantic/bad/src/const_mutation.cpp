@@ -1,0 +1,18 @@
+// sem-const-mutation fixture: a const method mutating a mutable,
+// non-atomic, unannotated field with no lock in sight — the classic
+// "logically const" cache that is a data race the moment two threads
+// share the object.
+namespace fix {
+
+class Cache {
+ public:
+  int Get(int key) const {
+    hits_ = hits_ + 1;  // BAD: unguarded write in a const method
+    return key + hits_;
+  }
+
+ private:
+  mutable int hits_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,25 @@
+// sem-unordered-flow fixture, callee side: this file is NOT in an
+// output directory, so the per-file determinism lint would never flag
+// it — but Report() in tools/ calls into it, so hash-order leaks into
+// the report anyway.
+#include <unordered_map>
+
+namespace fix {
+
+class Core {
+ public:
+  int DumpTable(int base) {
+    int sum = base;
+    for (const auto& kv : table_) {  // BAD: unordered order reaches output
+      sum += kv.second;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, int> table_;
+};
+
+int ReportHelper(Core& core) { return core.DumpTable(0); }
+
+}  // namespace fix

@@ -1,0 +1,40 @@
+// sem-hot-alloc fixture: the allocation is two calls below the entry
+// point, so a line-oriented scanner scoped to Send's file would miss it.
+#include <vector>
+
+namespace fix {
+
+class Engine {
+ public:
+  int Send(int packet);
+
+ private:
+  int Step(int value);
+  int Classify(int value);
+  int ColdRebuild(int value);
+};
+
+int Engine::Send(int packet) {
+  return Step(packet) + ColdRebuild(packet);
+}
+
+// Reachable from Send but listed in hot_alloc_exempt: the documented
+// cold path (a lazy one-time rebuild) may allocate.
+int Engine::ColdRebuild(int value) {
+  std::vector<int> table(8, value);
+  return static_cast<int>(table.size());
+}
+
+int Engine::Step(int value) { return Classify(value + 1); }
+
+int Engine::Classify(int value) {
+  int* scratch = new int[8];  // BAD: allocation on the per-packet path
+  scratch[0] = value;
+  std::vector<int> hops;  // BAD: owning-container local on the hot path
+  hops.push_back(value);
+  int out = scratch[0] + static_cast<int>(hops.size());
+  delete[] scratch;
+  return out;
+}
+
+}  // namespace fix

@@ -1,0 +1,24 @@
+// sem-nondet-reach fixture: the raw RNG and the wall clock are buried
+// in helpers, but both are reachable from the deterministic entry
+// point, so a replayed campaign would diverge.
+#include <chrono>
+#include <cstdlib>
+
+namespace fix {
+
+class Probe {
+ public:
+  int Send(int packet) { return Jitter(packet) + Stamp(packet); }
+
+ private:
+  int Jitter(int value) {
+    return value + rand() % 3;  // BAD: raw RNG on a replayable path
+  }
+  int Stamp(int value) {
+    // BAD: wall clock on a replayable path
+    auto now = std::chrono::steady_clock::now();
+    return value + static_cast<int>(now.time_since_epoch().count() % 2);
+  }
+};
+
+}  // namespace fix

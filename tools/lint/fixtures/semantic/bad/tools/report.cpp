@@ -1,0 +1,12 @@
+// sem-unordered-flow fixture, entry side: report-producing code (an
+// output dir) reaching an unordered iteration through a helper that
+// lives outside the output dirs.
+namespace fix {
+
+class Core;
+
+int ReportHelper(Core& core);
+
+int Report(Core& core) { return ReportHelper(core); }
+
+}  // namespace fix

@@ -1,0 +1,64 @@
+// sem-const-mutation fixture, clean counterparts: the three accepted
+// shapes for mutation in a const method — hold an RAII lock first, make
+// the field atomic, or hand the field to clang TSA with GUARDED_BY.
+#define GUARDED_BY(x)
+
+namespace fix {
+
+struct Mutex {
+  void lock() {}
+  void unlock() {}
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex& mutex) : held(&mutex) { held->lock(); }
+  ~MutexLock() { held->unlock(); }
+  Mutex* held;
+};
+
+namespace std_like {
+template <typename T>
+struct atomic {
+  T value{};
+  void store(T v) { value = v; }
+  T load() const { return value; }
+};
+}  // namespace std_like
+
+class LockedCache {
+ public:
+  int Get(int key) const {
+    MutexLock lock(mutex_);
+    hits_ = hits_ + 1;  // OK: an RAII lock local precedes the write
+    return key + hits_;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  mutable int hits_ = 0;
+};
+
+class AtomicCache {
+ public:
+  int Get(int key) const {
+    hits_.store(hits_.load() + 1);  // OK: the field is atomic
+    return key + hits_.load();
+  }
+
+ private:
+  mutable std_like::atomic<int> hits_;
+};
+
+class AnnotatedCache {
+ public:
+  int Get(int key) const {
+    hits_ = hits_ + 1;  // OK: GUARDED_BY hands enforcement to clang TSA
+    return key + hits_;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  mutable int hits_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fix

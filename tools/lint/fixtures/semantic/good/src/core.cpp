@@ -1,0 +1,29 @@
+// sem-unordered-flow fixture, clean counterpart: the helper copies the
+// unordered map into a sorted sequence before anything iterates it on
+// the way to a report.
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fix {
+
+class Core {
+ public:
+  int DumpTable(int base) {
+    std::vector<std::pair<int, int>> sorted(table_.begin(), table_.end());
+    std::sort(sorted.begin(), sorted.end());
+    int sum = base;
+    for (const auto& kv : sorted) {  // deterministic order
+      sum += kv.second;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, int> table_;
+};
+
+int ReportHelper(Core& core) { return core.DumpTable(0); }
+
+}  // namespace fix

@@ -1,0 +1,35 @@
+// sem-nondet-reach fixture, clean counterpart: every stochastic draw
+// flows through a seeded generator object and time is simulated, so a
+// replay with the same seed is bit-exact.
+namespace fix {
+
+class SeededRng {
+ public:
+  explicit SeededRng(unsigned seed) : state_(seed) {}
+  unsigned Next() {
+    state_ = state_ * 1664525u + 1013904223u;
+    return state_;
+  }
+
+ private:
+  unsigned state_;
+};
+
+class Probe {
+ public:
+  int Send(int packet) { return Jitter(packet) + Stamp(packet); }
+
+ private:
+  int Jitter(int value) {
+    return value + static_cast<int>(rng_.Next() % 3);  // seeded draw
+  }
+  int Stamp(int value) {
+    simulated_ms_ += 1;  // simulated time, not the wall clock
+    return value + simulated_ms_ % 2;
+  }
+
+  SeededRng rng_{7};
+  int simulated_ms_ = 0;
+};
+
+}  // namespace fix

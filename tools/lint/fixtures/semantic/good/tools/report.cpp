@@ -1,0 +1,10 @@
+// sem-unordered-flow fixture, clean counterpart (entry side).
+namespace fix {
+
+class Core;
+
+int ReportHelper(Core& core);
+
+int Report(Core& core) { return ReportHelper(core); }
+
+}  // namespace fix

@@ -1,0 +1,50 @@
+// Suppression fixture: the same violations as the bad tree, silenced
+// with each of the three determinism-lint suppression forms. The
+// semantic lint must honor all of them.
+// lint:allow-file(sem-hot-alloc): fixture exercises file-level allows
+#include <cstdlib>
+#include <vector>
+
+namespace fix {
+
+class Engine {
+ public:
+  int Send(int packet);
+
+ private:
+  int Classify(int value);
+};
+
+class Probe {
+ public:
+  int Send(int packet) { return Jitter(packet); }
+
+ private:
+  int Jitter(int value);
+};
+
+int Engine::Send(int packet) { return Classify(packet); }
+
+int Engine::Classify(int value) {
+  std::vector<int> hops;  // silenced by the file-level allow above
+  hops.push_back(value);
+  return static_cast<int>(hops.size());
+}
+
+int Probe::Jitter(int value) {
+  // lint:allow-next-line(sem-nondet-reach): fixture exercises next-line
+  return value + rand() % 3;
+}
+
+class Cache {
+ public:
+  int Get(int key) const {
+    hits_ = hits_ + 1;  // lint:allow(sem-const-mutation): fixture inline
+    return key + hits_;
+  }
+
+ private:
+  mutable int hits_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,40 @@
+// Thread-safety compile-fail fixture: a GUARDED_BY field touched
+// without its mutex. Under `clang++ -Wthread-safety -Wthread-safety-beta
+// -Werror=thread-safety-analysis` this file MUST fail to compile — the
+// CI thread-safety job and lint.thread_safety prove that the repo's
+// annotation macros actually expand to enforced attributes (a silent
+// no-op expansion would pass everything).
+//
+// Build (fixture only, never part of the library):
+//   clang++ -std=c++20 -I src -Wthread-safety -Wthread-safety-beta \
+//       -Werror=thread-safety-analysis -fsyntax-only \
+//       tools/lint/fixtures/thread_safety/bad_unguarded_field.cpp
+#include "exec/sync.h"
+#include "netbase/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Increment() {
+    // error: writing variable 'value_' requires holding mutex 'mutex_'
+    value_ += 1;
+  }
+
+  [[nodiscard]] int value() {
+    // error: reading variable 'value_' requires holding mutex 'mutex_'
+    return value_;
+  }
+
+ private:
+  wormhole::exec::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fixture
+
+int main() {
+  fixture::Counter counter;
+  counter.Increment();
+  return counter.value();
+}

@@ -1,0 +1,54 @@
+// Thread-safety fixture, clean counterpart: the same counter with the
+// lock held through the repo's annotated primitives. Must compile
+// cleanly under -Wthread-safety -Wthread-safety-beta
+// -Werror=thread-safety-analysis, exercising the RAII scoped
+// capability, REQUIRES on a private helper, EXCLUDES on the public
+// entry, and the zero-cost Role phase capability.
+#include "exec/sync.h"
+#include "netbase/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mutex_) {
+    wormhole::exec::MutexLock lock(mutex_);
+    IncrementLocked();
+  }
+
+  [[nodiscard]] int value() EXCLUDES(mutex_) {
+    wormhole::exec::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() REQUIRES(mutex_) { value_ += 1; }
+
+  wormhole::exec::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+class Phased {
+ public:
+  void Rebuild() {
+    wormhole::exec::RoleLock build(role_);
+    generation_ += 1;
+    RebuildLocked();
+  }
+
+ private:
+  void RebuildLocked() REQUIRES(role_) { generation_ += 1; }
+
+  wormhole::exec::Role role_;
+  int generation_ GUARDED_BY(role_) = 0;
+};
+
+}  // namespace fixture
+
+int main() {
+  fixture::Counter counter;
+  counter.Increment();
+  fixture::Phased phased;
+  phased.Rebuild();
+  return counter.value();
+}

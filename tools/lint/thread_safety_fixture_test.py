@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compile-fail test for the clang thread-safety annotation layer.
+
+Proves the annotations are ENFORCED, not decorative:
+
+  bad_unguarded_field.cpp   must FAIL under -Wthread-safety
+                            -Wthread-safety-beta
+                            -Werror=thread-safety-analysis, with a
+                            thread-safety diagnostic (an unguarded
+                            GUARDED_BY access)
+  good_guarded_field.cpp    must PASS under the same flags (the RAII /
+                            REQUIRES / EXCLUDES / Role vocabulary all
+                            analyze cleanly)
+
+Requires a clang++ (the analysis is clang-only; the macros expand to
+nothing elsewhere). When no clang++ is on PATH the test exits 77 — the
+ctest SKIP_RETURN_CODE — so gcc-only environments skip instead of
+passing vacuously. CI runs it in the clang thread-safety job.
+
+Exit status: 0 = both fixtures behave, 77 = no clang++, 1 = failure.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+ROOT = HERE.parent.parent
+FIXTURES = HERE / "fixtures" / "thread_safety"
+
+FLAGS = [
+    "-std=c++20",
+    "-fsyntax-only",
+    "-I",
+    str(ROOT / "src"),
+    "-Wthread-safety",
+    "-Wthread-safety-beta",
+    "-Werror=thread-safety-analysis",
+]
+
+
+def find_clang() -> str | None:
+    env_cxx = os.environ.get("CXX", "")
+    candidates = [env_cxx] if "clang" in env_cxx else []
+    candidates += ["clang++"] + [f"clang++-{v}" for v in range(21, 13, -1)]
+    for candidate in candidates:
+        path = shutil.which(candidate)
+        if path:
+            return path
+    return None
+
+
+def compile_fixture(clang: str, source: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [clang, *FLAGS, str(source)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+def main() -> int:
+    clang = find_clang()
+    if clang is None:
+        print(
+            "thread-safety fixture test: no clang++ on PATH; skipping "
+            "(the analysis is clang-only)"
+        )
+        return 77
+
+    failures: list[str] = []
+
+    good = compile_fixture(clang, FIXTURES / "good_guarded_field.cpp")
+    if good.returncode != 0:
+        failures.append(
+            "good_guarded_field.cpp must compile cleanly but failed:\n"
+            + good.stderr
+        )
+
+    bad = compile_fixture(clang, FIXTURES / "bad_unguarded_field.cpp")
+    if bad.returncode == 0:
+        failures.append(
+            "bad_unguarded_field.cpp compiled — the annotations are not "
+            "being enforced (macro layer expanded to nothing under clang?)"
+        )
+    elif "thread-safety" not in bad.stderr and "guarded_by" not in (
+        bad.stderr.lower()
+    ):
+        failures.append(
+            "bad_unguarded_field.cpp failed for the wrong reason (expected "
+            "a thread-safety diagnostic):\n" + bad.stderr
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"thread-safety fixtures behave correctly under {clang}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
