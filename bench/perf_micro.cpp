@@ -4,9 +4,14 @@
 // scales to campaign sizes.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "campaign/campaign.h"
 #include "gen/gns3.h"
@@ -262,7 +267,9 @@ void BM_SequentialTraceroute(benchmark::State& state) {
       static_cast<double>(prober.probes_sent()),
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SequentialTraceroute)->ArgNames({"size"})->ArgsProduct({{0, 1}});
+BENCHMARK(BM_SequentialTraceroute)
+    ->ArgNames({"size"})
+    ->ArgsProduct({{0, 1, 2}});
 
 void BM_BatchedTraceroute(benchmark::State& state) {
   // The batched tracer across real worlds. Args: (world size class,
@@ -291,7 +298,7 @@ void BM_BatchedTraceroute(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchedTraceroute)
     ->ArgNames({"size", "window"})
-    ->ArgsProduct({{0, 1}, {0, 4, 8}});
+    ->ArgsProduct({{0, 1, 2}, {0, 4, 8}});
 
 void BM_SendBatchVsSend(benchmark::State& state) {
   // The raw engine-entry-point comparison on identical work: one
@@ -407,6 +414,131 @@ BENCHMARK(BM_CampaignParallelScaling)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+/// Process peak RSS in MB (Linux ru_maxrss is KB, macOS bytes). Monotone
+/// over the process lifetime — meaningful as a per-row number only when
+/// the row runs in its own process (--benchmark_filter, as the CI
+/// ceiling check does) or when rows run smallest-world-first, which is
+/// how BM_CampaignScaling registers them.
+double PeakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+/// Hierarchical (internet-at-scale) worlds for the streaming-campaign
+/// scaling curve, built once per size class. Size 2 is the ~90k-router
+/// world — minutes of campaign per iteration, so it only registers when
+/// WORMHOLE_BENCH_HUGE is set (see RegisterHugeCampaignScaling).
+gen::SyntheticInternet& ScalingWorldOfSize(int size) {
+  static auto* worlds =
+      new std::map<int, std::unique_ptr<gen::SyntheticInternet>>();
+  std::unique_ptr<gen::SyntheticInternet>& slot = (*worlds)[size];
+  if (!slot) {
+    gen::InternetOptions options;
+    options.seed = 42;
+    options.hierarchical = true;
+    options.vp_count = 4;
+    switch (size) {
+      case 0:  // ~600 routers
+        options.tier1_count = 2;
+        options.transit_count = 6;
+        options.stub_count = 60;
+        break;
+      case 1:  // ~9k routers
+        options.tier1_count = 2;
+        options.transit_count = 40;
+        options.transit_routers = 32;
+        options.stub_count = 2400;
+        break;
+      default:  // ~90k routers
+        options.tier1_count = 3;
+        options.tier1_routers = 150;
+        options.transit_count = 300;
+        options.transit_routers = 40;
+        options.stub_count = 25000;
+        break;
+    }
+    slot = std::make_unique<gen::SyntheticInternet>(options);
+  }
+  return *slot;
+}
+
+void BM_CampaignScaling(benchmark::State& state) {
+  // The streaming-campaign scaling surface. Args: (world size class,
+  // discovery-target cap — 0 probes every loopback, stride-sampled
+  // otherwise — and stream shard size — 0 is the buffered pipeline).
+  // Compare shard=0 to shard>0 rows at fixed size/targets: same bytes
+  // out (tests/test_streaming_campaign.cpp), the peak_rss_mb counter is
+  // the difference. The targeted phase uses the paper's disjoint VP
+  // shards (shard_targets) so target volume scales the work, not the
+  // VP count.
+  gen::SyntheticInternet& world =
+      ScalingWorldOfSize(static_cast<int>(state.range(0)));
+  const auto all = world.AllLoopbacks();
+  std::vector<netbase::Ipv4Address> targets;
+  const auto cap = static_cast<std::size_t>(state.range(1));
+  if (cap == 0 || cap >= all.size()) {
+    targets = all;
+  } else {
+    const std::size_t stride = all.size() / cap;
+    for (std::size_t i = 0; i < all.size() && targets.size() < cap;
+         i += stride) {
+      targets.push_back(all[i]);
+    }
+  }
+  campaign::CampaignOptions options;
+  options.jobs = 1;
+  options.shard_targets = true;
+  options.stream_shard_size = static_cast<std::size_t>(state.range(2));
+  std::uint64_t probes = 0;
+  std::uint64_t traces = 0;
+  for (auto _ : state) {
+    campaign::Campaign campaign(world.engine(), world.vantage_points(),
+                                options);
+    const auto result = campaign.Run(targets);
+    probes += result.probes_sent;
+    traces += result.trace_count;
+    benchmark::DoNotOptimize(result.revelations.size());
+  }
+  state.counters["routers"] =
+      static_cast<double>(world.topology().router_count());
+  state.counters["targets"] = static_cast<double>(targets.size());
+  state.counters["traces"] =
+      static_cast<double>(traces) /
+      static_cast<double>(state.iterations());
+  state.counters["probes/s"] = benchmark::Counter(
+      static_cast<double>(probes), benchmark::Counter::kIsRate);
+  state.counters["peak_rss_mb"] = PeakRssMb();
+}
+BENCHMARK(BM_CampaignScaling)
+    ->ArgNames({"size", "targets", "shard"})
+    ->ArgsProduct({{0, 1}, {2048, 0}, {0, 64}})
+    ->Unit(benchmark::kMillisecond);
+
+/// The ~90k-router, >1M-probe acceptance point (docs/scaling.md). Opt in
+/// with WORMHOLE_BENCH_HUGE=1: one iteration takes minutes and builds a
+/// multi-GB world, which has no place in the CI smoke run.
+const bool kHugeRegistered = [] {
+  if (std::getenv("WORMHOLE_BENCH_HUGE") == nullptr) return false;
+  // Streaming and buffered rows at the same point — run each under its
+  // own --benchmark_filter so the monotone RSS counter stays per-row.
+  benchmark::RegisterBenchmark("BM_CampaignScaling", BM_CampaignScaling)
+      ->ArgNames({"size", "targets", "shard"})
+      ->Args({2, 0, 4096})
+      ->Args({2, 0, 0})
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+  return true;
+}();
 
 }  // namespace
 

@@ -18,7 +18,7 @@ void WriteCampaignReport(std::ostream& os,
   os << "# Invisible MPLS tunnel campaign report\n\n";
   os << "| | |\n|---|---|\n";
   os << "| probes sent | " << result.probes_sent << " |\n";
-  os << "| targeted traces | " << result.traces.size() << " |\n";
+  os << "| targeted traces | " << result.trace_count << " |\n";
   os << "| HDNs (threshold " << options.hdn_threshold << ") | "
      << result.targets.hdns.size() << " |\n";
   os << "| candidate Ingress-Egress pairs | " << result.revelations.size()

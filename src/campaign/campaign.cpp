@@ -81,6 +81,7 @@ std::vector<probe::TraceResult> Campaign::RunDiscovery(
 
 CampaignResult Campaign::Run(
     const std::vector<netbase::Ipv4Address>& discovery_targets) {
+  if (options_.stream_shard_size > 0) return RunStreaming(discovery_targets);
   CampaignResult result;
   const topo::Topology& topology = engine_->topology();
   const AliasResolver resolver = TruthResolver(topology);
@@ -118,6 +119,7 @@ CampaignResult Campaign::Run(
       result.traces.push_back(std::move(trace));
     }
   }
+  result.trace_count = result.traces.size();
 
   ClassifyFrpla(result);
 
@@ -127,6 +129,121 @@ CampaignResult Campaign::Run(
   for (std::size_t i = 0; i < result.traces.size(); ++i) {
     if (!trace_pair[i]) continue;
     const int observed = result.traces[i].LastRespondingTtl();
+    if (observed == 0) continue;
+    result.path_length_invisible.Add(observed);
+    int corrected = observed;
+    const auto it = result.revelations.find(*trace_pair[i]);
+    if (it != result.revelations.end() && it->second.succeeded()) {
+      corrected += static_cast<int>(it->second.revealed.size());
+    }
+    result.path_length_visible.Add(corrected);
+  }
+
+  for (const probe::Prober& prober : probers_) {
+    result.probes_sent += prober.probes_sent();
+  }
+  return result;
+}
+
+std::vector<CompactTraceLog> Campaign::TraceShardsStreaming(
+    const std::vector<std::vector<netbase::Ipv4Address>>& shards) {
+  // Same single-task-per-prober discipline as TraceShards — each VP's
+  // probe-id stream depends only on its own target order, so carving the
+  // walk into fixed-size shards changes when memory is freed and nothing
+  // else. `scratch` holds one shard of full traces; once the shard is
+  // compacted the vector is reused, so the per-VP high-water mark is
+  // stream_shard_size traces instead of the whole target list.
+  std::vector<CompactTraceLog> logs(probers_.size());
+  exec::ParallelFor(pool_, probers_.size(), [&](std::size_t vp) {
+    std::vector<probe::TraceResult> scratch;
+    for (const auto shard : FixedShards(shards[vp],
+                                        options_.stream_shard_size)) {
+      scratch.clear();
+      scratch.reserve(shard.size());
+      for (const netbase::Ipv4Address target : shard) {
+        scratch.push_back(
+            probers_[vp].Traceroute(target, options_.trace_options));
+      }
+      for (const probe::TraceResult& trace : scratch) {
+        logs[vp].Append(trace);
+      }
+    }
+  });
+  return logs;
+}
+
+CampaignResult Campaign::RunStreaming(
+    const std::vector<netbase::Ipv4Address>& discovery_targets) {
+  CampaignResult result;
+  const topo::Topology& topology = engine_->topology();
+  const AliasResolver resolver = TruthResolver(topology);
+
+  // Phase 0: streamed discovery. The buffered path flattens the per-VP
+  // trace vectors vp-major before BuildDataset; replaying the compact
+  // logs in the same vp-major order feeds AddTraceToDataset the exact
+  // same hop sequence. The logs die with the scope.
+  {
+    const auto discovery_shards =
+        ShardTargets(discovery_targets, probers_.size());
+    const auto logs = TraceShardsStreaming(discovery_shards);
+    for (const CompactTraceLog& log : logs) {
+      for (std::size_t i = 0; i < log.size(); ++i) {
+        AddTraceToDataset(result.inferred, log.Inflate(i), resolver,
+                          topology);
+      }
+    }
+  }
+
+  // Phase 1: HDN-guided probing, shard-compacted the same way.
+  result.targets = SelectTargets(result.inferred, options_.hdn_threshold);
+  const std::unordered_set<topo::NodeId> hdn_set(
+      result.targets.hdns.begin(), result.targets.hdns.end());
+  const auto shards = options_.shard_targets
+                          ? ShardTargets(result.targets.all, probers_.size())
+                          : std::vector<std::vector<netbase::Ipv4Address>>(
+                                probers_.size(), result.targets.all);
+  const auto logs = TraceShardsStreaming(shards);
+
+  // Sequential reduce in (vp, target-index) order, inflating one trace
+  // at a time. All probing above is already done, so the analysis probes
+  // AnalyzeTrace issues (fingerprint pings, revelation traces) extend
+  // each prober's id stream in exactly the positions the buffered reduce
+  // would — every simulated reply, and therefore every byte of the
+  // result, matches buffered mode.
+  std::size_t total_traces = 0;
+  for (const CompactTraceLog& log : logs) total_traces += log.size();
+  std::vector<std::optional<EndpointPair>> trace_pair;
+  trace_pair.reserve(total_traces);
+  std::vector<int> observed_ttls;
+  observed_ttls.reserve(total_traces);
+  for (std::size_t vp = 0; vp < probers_.size(); ++vp) {
+    for (std::size_t i = 0; i < logs[vp].size(); ++i) {
+      const probe::TraceResult trace = logs[vp].Inflate(i);
+      AddTraceToDataset(result.inferred, trace, resolver, topology);
+      trace_pair.push_back(
+          AnalyzeTrace(trace, result, probers_[vp], hdn_set));
+      observed_ttls.push_back(trace.LastRespondingTtl());
+    }
+  }
+  result.trace_count = total_traces;
+
+  // FRPLA needs the full revelation map, so it is a second pass over the
+  // compact logs — same trace order as the buffered pass over
+  // result.traces.
+  const FrplaSets sets = FrplaSetsOf(result);
+  for (const CandidateRecord& record : result.candidates) {
+    RfaSampleFromCandidate(record, result);
+  }
+  for (const CompactTraceLog& log : logs) {
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      FrplaFromTrace(log.Inflate(i), sets, result);
+    }
+  }
+
+  // Fig. 11 material from the per-trace notes taken during the reduce.
+  for (std::size_t i = 0; i < total_traces; ++i) {
+    if (!trace_pair[i]) continue;
+    const int observed = observed_ttls[i];
     if (observed == 0) continue;
     result.path_length_invisible.Add(observed);
     int corrected = observed;
@@ -230,13 +347,40 @@ std::optional<EndpointPair> Campaign::AnalyzeTrace(
   return pair;
 }
 
-void Campaign::ClassifyFrpla(CampaignResult& result) const {
-  std::set<netbase::Ipv4Address> ingresses;
-  std::set<netbase::Ipv4Address> egresses;
+Campaign::FrplaSets Campaign::FrplaSetsOf(const CampaignResult& result) {
+  FrplaSets sets;
   for (const auto& [pair, revelation] : result.revelations) {
-    ingresses.insert(pair.ingress);
-    egresses.insert(pair.egress);
+    sets.ingresses.insert(pair.ingress);
+    sets.egresses.insert(pair.egress);
   }
+  return sets;
+}
+
+void Campaign::FrplaFromTrace(const probe::TraceResult& trace,
+                              const FrplaSets& sets,
+                              CampaignResult& result) {
+  for (const probe::Hop& hop : trace.hops) {
+    if (!hop.address) continue;
+    if (hop.reply_kind != PacketKind::kTimeExceeded) continue;
+    // Egresses are handled by RfaSampleFromCandidate.
+    if (sets.egresses.contains(*hop.address)) continue;
+    const auto observation = reveal::ObserveRfa(hop);
+    if (!observation) continue;
+    const auto node = result.inferred.FindNode(*hop.address);
+    if (!node) continue;
+    const topo::AsNumber asn = result.inferred.node(*node).asn;
+    if (asn == 0) continue;
+
+    const reveal::ResponderRole role =
+        sets.ingresses.contains(*hop.address)
+            ? reveal::ResponderRole::kIngress
+            : reveal::ResponderRole::kOther;
+    result.frpla.Add(asn, role, *observation);
+  }
+}
+
+void Campaign::ClassifyFrpla(CampaignResult& result) const {
+  const FrplaSets sets = FrplaSetsOf(result);
 
   // Egress RFA samples come from the traces in which the address actually
   // acted as a tunnel egress (the candidate observations). A trace aimed
@@ -247,23 +391,7 @@ void Campaign::ClassifyFrpla(CampaignResult& result) const {
   }
 
   for (const probe::TraceResult& trace : result.traces) {
-    for (const probe::Hop& hop : trace.hops) {
-      if (!hop.address) continue;
-      if (hop.reply_kind != PacketKind::kTimeExceeded) continue;
-      if (egresses.contains(*hop.address)) continue;  // handled above
-      const auto observation = reveal::ObserveRfa(hop);
-      if (!observation) continue;
-      const auto node = result.inferred.FindNode(*hop.address);
-      if (!node) continue;
-      const topo::AsNumber asn = result.inferred.node(*node).asn;
-      if (asn == 0) continue;
-
-      const reveal::ResponderRole role =
-          ingresses.contains(*hop.address)
-              ? reveal::ResponderRole::kIngress
-              : reveal::ResponderRole::kOther;
-      result.frpla.Add(asn, role, *observation);
-    }
+    FrplaFromTrace(trace, sets, result);
   }
 }
 

@@ -5,9 +5,11 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <unordered_set>
 #include <vector>
 
+#include "campaign/compact_trace.h"
 #include "campaign/dataset.h"
 #include "campaign/targets.h"
 #include "exec/thread_pool.h"
@@ -54,6 +56,19 @@ struct CampaignOptions {
   /// hardware concurrency. The result is bit-identical for every value
   /// (see "Concurrency model" in docs/semantics.md).
   std::size_t jobs = 0;
+  /// Streaming mode (docs/scaling.md). When > 0, every vantage point
+  /// traces its targets in consecutive shards of this many targets; as a
+  /// shard retires, its traces are compacted into a packed per-VP log
+  /// (CompactTraceLog, ~8 B/hop) and the full TraceResults are freed —
+  /// peak memory is bounded by shard size instead of target count. The
+  /// sequential reduce then replays the logs in the same
+  /// (vp, target-index) order buffered mode uses, so every stat,
+  /// candidate, revelation and report byte is identical at any shard
+  /// size and any jobs count. The only difference: CampaignResult::traces
+  /// stays empty (that buffer is exactly the memory this mode exists to
+  /// not spend); use CampaignResult::trace_count for accounting.
+  /// 0 = buffered mode: retain every targeted TraceResult.
+  std::size_t stream_shard_size = 0;
 };
 
 /// Everything the campaign measured. Figures/tables are derived from this.
@@ -68,8 +83,12 @@ struct CandidateRecord {
 };
 
 struct CampaignResult {
-  /// Phase-one traces (the targeted ones used for analysis).
+  /// Phase-one traces (the targeted ones used for analysis). Empty in
+  /// streaming mode — see CampaignOptions::stream_shard_size.
   std::vector<probe::TraceResult> traces;
+  /// Number of targeted traces (== traces.size() in buffered mode; the
+  /// only trace statistic streaming mode retains).
+  std::uint64_t trace_count = 0;
   /// Dataset inferred from ALL traces (discovery + targeted).
   topo::ItdkDataset inferred;
   TargetSets targets;
@@ -128,11 +147,35 @@ class Campaign {
   std::vector<std::vector<probe::TraceResult>> TraceShards(
       const std::vector<std::vector<netbase::Ipv4Address>>& shards);
 
+  /// Streaming twin of TraceShards: each VP walks its target list in
+  /// fixed-size shards (options_.stream_shard_size), compacting every
+  /// retired shard into its packed log and freeing the full traces. The
+  /// probe streams are identical to TraceShards', so the compact logs
+  /// hold byte-identical observations.
+  std::vector<CompactTraceLog> TraceShardsStreaming(
+      const std::vector<std::vector<netbase::Ipv4Address>>& shards);
+
+  /// The streaming (bounded-memory) twin of Run; same output bytes.
+  CampaignResult RunStreaming(
+      const std::vector<netbase::Ipv4Address>& discovery_targets);
+
   /// Returns the candidate endpoint pair extracted from the trace, if any.
   std::optional<EndpointPair> AnalyzeTrace(
       const probe::TraceResult& trace, CampaignResult& result,
       probe::Prober& prober,
       const std::unordered_set<topo::NodeId>& hdn_set);
+
+  /// The ingress/egress address sets of the revelation map — the FRPLA
+  /// responder-role classifier's inputs, computed once after the reduce.
+  struct FrplaSets {
+    std::set<netbase::Ipv4Address> ingresses;
+    std::set<netbase::Ipv4Address> egresses;
+  };
+  static FrplaSets FrplaSetsOf(const CampaignResult& result);
+  /// Adds one trace's hop-level RFA samples (both Run flavours call this
+  /// over the traces in the same (vp, target-index) order).
+  static void FrplaFromTrace(const probe::TraceResult& trace,
+                             const FrplaSets& sets, CampaignResult& result);
   void ClassifyFrpla(CampaignResult& result) const;
   static void RfaSampleFromCandidate(const CandidateRecord& record,
                                      CampaignResult& result);

@@ -1,0 +1,63 @@
+// Packed per-VP trace storage for the streaming campaign.
+//
+// A full probe::TraceResult costs ~64 bytes per hop plus a label-stack
+// allocation per labelled hop — a million-trace campaign buffers over a
+// gigabyte before the reduce even starts. The streaming pipeline instead
+// compacts each retired shard of traces into this log (8 bytes per hop,
+// 12 per trace) and frees the originals; the sequential reduce later
+// re-inflates one trace at a time.
+//
+// Contract: Inflate(i) reproduces every field the campaign reduce reads —
+// target, flow id, reached/unreachable flags, and per hop the probe TTL,
+// responder address, reply kind and reply IP-TTL. Label stacks and RTTs
+// are NOT retained: no streaming consumer (dataset building, UHP/candidate
+// analysis, fingerprinting, FRPLA/RTLA, the report) reads them, and
+// keeping them is exactly the memory the mode exists to not spend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "probe/trace.h"
+
+namespace wormhole::campaign {
+
+class CompactTraceLog {
+ public:
+  /// Appends one finished trace (hop TTLs must be consecutive from
+  /// hops[0].probe_ttl, which is what the tracer produces).
+  void Append(const probe::TraceResult& trace);
+
+  /// Rebuilds trace `i` (labels empty, RTTs zero — see file comment).
+  [[nodiscard]] probe::TraceResult Inflate(std::size_t i) const;
+
+  [[nodiscard]] std::size_t size() const { return traces_.size(); }
+  [[nodiscard]] bool empty() const { return traces_.empty(); }
+  [[nodiscard]] std::size_t hop_count() const { return hops_.size(); }
+
+  /// Bytes retained, for memory accounting in benches/tests.
+  [[nodiscard]] std::size_t RetainedBytes() const {
+    return traces_.capacity() * sizeof(Header) +
+           hops_.capacity() * sizeof(PackedHop);
+  }
+
+ private:
+  struct Header {
+    netbase::Ipv4Address source;
+    netbase::Ipv4Address target;
+    std::uint32_t hop_begin = 0;
+    std::uint16_t flow_id = 0;
+    std::uint8_t first_ttl = 0;
+    std::uint8_t flags = 0;  ///< bit 0: reached, bit 1: unreachable
+  };
+  struct PackedHop {
+    std::uint32_t address = 0;  ///< 0 = timeout ("*")
+    std::uint8_t reply_kind = 0;
+    std::uint8_t reply_ip_ttl = 0;
+  };
+
+  std::vector<Header> traces_;
+  std::vector<PackedHop> hops_;
+};
+
+}  // namespace wormhole::campaign

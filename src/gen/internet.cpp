@@ -149,9 +149,10 @@ void SyntheticInternet::BuildAsLevel(const InternetOptions& options,
     return static_cast<HardwareProfile>(rng.WeightedIndex(weights));
   };
 
-  const auto make_as = [&](AsNumber asn, AsRole role, int routers) {
+  const auto make_as = [&](AsNumber asn, AsRole role, int routers,
+                           int block_bits = 16) {
     topology_.AddAs(asn, std::string(ToString(role)) + "-" +
-                             std::to_string(asn));
+                             std::to_string(asn), block_bits);
     AsProfile profile;
     profile.asn = asn;
     profile.role = role;
@@ -183,6 +184,156 @@ void SyntheticInternet::BuildAsLevel(const InternetOptions& options,
     return asn;
   };
 
+  const auto random_edge = [&](AsNumber asn) {
+    const auto& edges = profiles_.at(asn).edge_routers;
+    return edges[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int>(edges.size()) - 1))];
+  };
+  const auto peer = [&](AsNumber a, AsNumber b) {
+    topology_.AddLink(random_edge(a), random_edge(b),
+                      {.delay_ms = rng.UniformReal(3.0, 15.0)});
+  };
+
+  const auto place_vps = [&](const std::vector<AsNumber>& stubs) {
+    // Vantage points: hosts in distinct stub ASes spread over the draw
+    // order.
+    std::vector<AsNumber> vp_stubs = stubs;
+    std::shuffle(vp_stubs.begin(), vp_stubs.end(), rng.engine());
+    const int vps = std::min<int>(options.vp_count,
+                                  static_cast<int>(vp_stubs.size()));
+    for (int i = 0; i < vps; ++i) {
+      const auto& routers =
+          profiles_.at(vp_stubs[static_cast<std::size_t>(i)]).edge_routers;
+      vantage_points_.push_back(topology_.AttachHost(
+          routers.front(), "VP" + std::to_string(i)));
+    }
+  };
+
+  if (options.hierarchical) {
+    // ---- plan phase -----------------------------------------------------
+    // Draw every stub's primary (address) provider before creating any AS,
+    // so each transit's customers can be carved contiguously inside its
+    // announced aggregate — the invariant hierarchical BGP relies on.
+    const int transit_count = std::max(1, options.transit_count);
+    const AsNumber stub_base = std::max<AsNumber>(
+        kStubBase, kTransitBase + static_cast<AsNumber>(transit_count) + 8);
+    std::vector<std::vector<AsNumber>> customers(
+        static_cast<std::size_t>(transit_count));
+    for (int i = 0; i < options.stub_count; ++i) {
+      customers[static_cast<std::size_t>(
+                    rng.UniformInt(0, transit_count - 1))]
+          .push_back(stub_base + static_cast<AsNumber>(i));
+    }
+
+    // Smallest block (at most a /24) covering a stub's loopbacks, chain
+    // /31s and a possible VP stub, with headroom for the +25% jitter.
+    int stub_bits = 24;
+    const std::uint32_t stub_need =
+        static_cast<std::uint32_t>(options.stub_routers) * 8u + 16u;
+    while (stub_bits > 8 &&
+           (std::uint32_t{1} << (32 - stub_bits)) < stub_need) {
+      --stub_bits;
+    }
+
+    // Pre-size the flat containers once (±25% jitter headroom) so a
+    // 100k-router build never reallocates mid-construction.
+    const auto expected = [](int count, int per) {
+      return static_cast<std::size_t>(count) *
+             (static_cast<std::size_t>(per) + static_cast<std::size_t>(per) /
+                                                  4 +
+              1);
+    };
+    const std::size_t routers_est =
+        expected(options.tier1_count, options.tier1_routers) +
+        expected(transit_count, options.transit_routers) +
+        expected(options.stub_count, options.stub_routers);
+    const std::size_t links_est =
+        routers_est * 2 + static_cast<std::size_t>(options.stub_count) * 2;
+    topology_.Reserve(routers_est, routers_est + 2 * links_est + 16,
+                      links_est,
+                      static_cast<std::size_t>(options.vp_count));
+
+    // ---- build phase ----------------------------------------------------
+    std::vector<AsNumber> tier1s;
+    for (int i = 0; i < options.tier1_count; ++i) {
+      tier1s.push_back(make_as(kTier1Base + static_cast<AsNumber>(i),
+                               AsRole::kTier1,
+                               Jitter(options.tier1_routers, rng)));
+    }
+    std::vector<AsNumber> transits;
+    std::vector<AsNumber> stubs;
+    for (int i = 0; i < transit_count; ++i) {
+      const AsNumber t = kTransitBase + static_cast<AsNumber>(i);
+      const auto& kids = customers[static_cast<std::size_t>(i)];
+      // Aggregate sized to cover the transit's own /16 plus all of its
+      // customers' blocks; BeginAggregate aligns the cursor, the AddAs
+      // calls below then carve from inside the covering prefix.
+      const std::uint64_t need =
+          (std::uint64_t{1} << 16) +
+          static_cast<std::uint64_t>(kids.size())
+              * (std::uint64_t{1} << (32 - stub_bits));
+      int agg_bits = 16;
+      while (agg_bits > 2 &&
+             (std::uint64_t{1} << (32 - agg_bits)) < need) {
+        --agg_bits;
+      }
+      bgp_policy_.aggregates[t] = topology_.BeginAggregate(agg_bits);
+      transits.push_back(make_as(t, AsRole::kTransit,
+                                 Jitter(options.transit_routers, rng)));
+      for (const AsNumber s : kids) {
+        stubs.push_back(make_as(s, AsRole::kStub,
+                                Jitter(options.stub_routers, rng),
+                                stub_bits));
+        bgp_policy_.stub_ases.insert(s);
+      }
+    }
+    bgp_policy_.hierarchical = true;
+
+    // ---- AS-level links -------------------------------------------------
+    // Same shapes as the flat mode: Tier-1 mesh with parallel links,
+    // dual-homed transits, occasional lateral transit peering.
+    for (std::size_t i = 0; i < tier1s.size(); ++i) {
+      for (std::size_t j = i + 1; j < tier1s.size(); ++j) {
+        peer(tier1s[i], tier1s[j]);
+        peer(tier1s[i], tier1s[j]);
+      }
+    }
+    for (int i = 0; i < transit_count; ++i) {
+      const AsNumber t = transits[static_cast<std::size_t>(i)];
+      const int up1 =
+          rng.UniformInt(0, static_cast<int>(tier1s.size()) - 1);
+      int up2 = rng.UniformInt(0, static_cast<int>(tier1s.size()) - 1);
+      if (up2 == up1) up2 = (up2 + 1) % static_cast<int>(tier1s.size());
+      peer(t, tier1s[static_cast<std::size_t>(up1)]);
+      peer(t, tier1s[static_cast<std::size_t>(up2)]);
+      if (rng.Chance(0.35) && transits.size() > 1) {
+        AsNumber other = t;
+        while (other == t) {
+          other = transits[static_cast<std::size_t>(
+              rng.UniformInt(0, static_cast<int>(transits.size()) - 1))];
+        }
+        peer(t, other);
+      }
+      // Customers link to their address provider; a dual-homed stub gets
+      // a second transit for inbound diversity (outbound still follows
+      // the single default toward the lowest-ASN provider peer).
+      for (const AsNumber s : customers[static_cast<std::size_t>(i)]) {
+        peer(s, t);
+        if (rng.Chance(0.2) && transits.size() > 1) {
+          AsNumber p2 = t;
+          while (p2 == t) {
+            p2 = transits[static_cast<std::size_t>(
+                rng.UniformInt(0, static_cast<int>(transits.size()) - 1))];
+          }
+          peer(s, p2);
+        }
+      }
+    }
+
+    place_vps(stubs);
+    return;
+  }
+
   std::vector<AsNumber> tier1s;
   for (int i = 0; i < options.tier1_count; ++i) {
     tier1s.push_back(make_as(kTier1Base + i, AsRole::kTier1,
@@ -199,16 +350,6 @@ void SyntheticInternet::BuildAsLevel(const InternetOptions& options,
                             Jitter(options.stub_routers, rng)));
     bgp_policy_.stub_ases.insert(stubs.back());
   }
-
-  const auto random_edge = [&](AsNumber asn) {
-    const auto& edges = profiles_.at(asn).edge_routers;
-    return edges[static_cast<std::size_t>(
-        rng.UniformInt(0, static_cast<int>(edges.size()) - 1))];
-  };
-  const auto peer = [&](AsNumber a, AsNumber b) {
-    topology_.AddLink(random_edge(a), random_edge(b),
-                      {.delay_ms = rng.UniformReal(3.0, 15.0)});
-  };
 
   // Tier-1 full mesh with parallel links at distinct PEs.
   for (std::size_t i = 0; i < tier1s.size(); ++i) {
@@ -252,17 +393,7 @@ void SyntheticInternet::BuildAsLevel(const InternetOptions& options,
     }
   }
 
-  // Vantage points: hosts in distinct stub ASes spread over the draw order.
-  std::vector<AsNumber> vp_stubs = stubs;
-  std::shuffle(vp_stubs.begin(), vp_stubs.end(), rng.engine());
-  const int vps = std::min<int>(options.vp_count,
-                                static_cast<int>(vp_stubs.size()));
-  for (int i = 0; i < vps; ++i) {
-    const auto& routers = profiles_.at(vp_stubs[static_cast<std::size_t>(i)])
-                              .edge_routers;
-    vantage_points_.push_back(topology_.AttachHost(
-        routers.front(), "VP" + std::to_string(i)));
-  }
+  place_vps(stubs);
 }
 
 void SyntheticInternet::Reconverge() {

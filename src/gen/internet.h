@@ -69,6 +69,18 @@ struct InternetOptions {
   /// Vantage-point hosts, placed in distinct stub ASes.
   int vp_count = 12;
 
+  /// Internet-at-scale mode. Off (default), every AS gets a /16 and BGP
+  /// gives every router a route per AS — byte-identical to the historic
+  /// generator, fine up to a few thousand routers. On, the generator
+  /// plans the AS level first (arena-built per-provider customer lists),
+  /// allocates each stub a small block contiguously inside its primary
+  /// provider's aggregate, pre-reserves the topology's flat containers,
+  /// and converges BGP in hierarchical mode (stub defaults + provider
+  /// aggregates; see routing::BgpPolicy::hierarchical) — per-router FIB
+  /// state drops from O(#ASes) to O(#core ASes), which is what lets
+  /// 100k-router worlds build in seconds instead of not at all.
+  bool hierarchical = false;
+
   // Survey-driven deployment probabilities (applied to transit/Tier-1 ASes;
   // stubs never run MPLS here). Sources: gen/survey.h.
   double mpls_probability = survey::kMplsDeployment;

@@ -70,11 +70,122 @@ std::map<AsNumber, AsNumber> ComputeNextAs(const Topology& topology,
   return next_as;
 }
 
+/// Hierarchical-mode BFS over the CORE AS graph only (stubs are leaves:
+/// never expanded, never given entries). Same distances and tie-breaks as
+/// ComputeNextAs restricted to non-stub ASes.
+std::map<AsNumber, AsNumber> ComputeNextAsCore(
+    const std::vector<AsNumber>& core, const AsAdjacency& adjacency,
+    const BgpPolicy& policy, AsNumber to_as) {
+  std::map<AsNumber, int> distance;
+  std::map<AsNumber, AsNumber> next_as;
+  for (const AsNumber asn : core) {
+    distance[asn] = -1;
+    next_as[asn] = 0;
+  }
+  distance[to_as] = 0;
+  next_as[to_as] = to_as;
+
+  std::deque<AsNumber> queue{to_as};
+  while (!queue.empty()) {
+    const AsNumber current = queue.front();
+    queue.pop_front();
+    const auto it = adjacency.find(current);
+    if (it == adjacency.end()) continue;
+    for (const auto& [peer, links] : it->second) {
+      if (policy.stub_ases.contains(peer)) continue;
+      if (distance[peer] == -1) {
+        distance[peer] = distance[current] + 1;
+        next_as[peer] = current;
+        queue.push_back(peer);
+      } else if (distance[peer] == distance[current] + 1 &&
+                 current < next_as[peer]) {
+        next_as[peer] = current;
+      }
+    }
+  }
+  return next_as;
+}
+
+/// The covering prefix a core AS announces in hierarchical mode.
+Prefix AggregateOf(const Topology& topology, const BgpPolicy& policy,
+                   AsNumber asn) {
+  const auto it = policy.aggregates.find(asn);
+  return it != policy.aggregates.end() ? it->second : topology.as(asn).block;
+}
+
+/// Flattens the hierarchical per-source install plans: core ASes get one
+/// aggregate exit per other core AS plus a direct exit per stub customer;
+/// stub ASes get a single default exit toward their lowest-ASN provider.
+void FlattenHierarchicalExits(const Topology& topology,
+                              const BgpPolicy& policy,
+                              const std::vector<AsNumber>& core,
+                              BgpLevel& level) {
+  for (const AsNumber from_as : topology.AsNumbers()) {
+    std::vector<BgpExit>& exits = level.exits[from_as];
+    const auto adjacency_it = level.adjacency.find(from_as);
+    if (adjacency_it == level.adjacency.end()) continue;
+
+    if (policy.stub_ases.contains(from_as)) {
+      // Default toward the primary (lowest-ASN core) provider; its other
+      // providers still reach it directly, so dual-homing stays useful
+      // for inbound traffic.
+      for (const auto& [peer, links] : adjacency_it->second) {
+        if (policy.stub_ases.contains(peer)) continue;
+        exits.push_back({Prefix(netbase::Ipv4Address(0), 0), &links});
+        break;  // adjacency is ASN-ordered: first core peer is lowest
+      }
+      continue;
+    }
+
+    for (const AsNumber to_as : core) {
+      if (from_as == to_as) continue;
+      const AsNumber via = level.next_for.at(to_as).at(from_as);
+      if (via == 0) continue;  // unreachable
+      exits.push_back({AggregateOf(topology, policy, to_as),
+                       &adjacency_it->second.at(via)});
+    }
+    // Direct customer routes: more specific than any aggregate, so the
+    // LPM prefers them regardless of install order.
+    for (const auto& [peer, links] : adjacency_it->second) {
+      if (!policy.stub_ases.contains(peer)) continue;
+      exits.push_back({topology.as(peer).block, &links});
+    }
+  }
+}
+
 }  // namespace
 
 BgpLevel ComputeBgpLevel(const Topology& topology, const BgpPolicy& policy) {
   BgpLevel level;
   level.adjacency = BuildAsAdjacency(topology);
+  if (policy.hierarchical) {
+    std::vector<AsNumber> core;
+    for (const AsNumber asn : topology.AsNumbers()) {
+      if (!policy.stub_ases.contains(asn)) core.push_back(asn);
+    }
+    std::sort(core.begin(), core.end());
+    for (const AsNumber to_as : core) {
+      level.next_for[to_as] =
+          ComputeNextAsCore(core, level.adjacency, policy, to_as);
+    }
+    FlattenHierarchicalExits(topology, policy, core, level);
+    for (const AsNumber from_as : topology.AsNumbers()) {
+      std::vector<BorderSubnet>& subnets = level.border_subnets[from_as];
+      for (const RouterId border : topology.as(from_as).routers) {
+        for (const topo::InterfaceId iid :
+             topology.router(border).interfaces) {
+          const topo::Interface& iface = topology.interface(iid);
+          if (iface.link == topo::kNoLink ||
+              !topology.link(iface.link).up ||
+              topology.IsInternalLink(iface.link)) {
+            continue;
+          }
+          subnets.push_back({iface.subnet, border});
+        }
+      }
+    }
+    return level;
+  }
   for (const AsNumber to_as : topology.AsNumbers()) {
     level.next_for[to_as] =
         ComputeNextAs(topology, level.adjacency, policy, to_as);
@@ -134,11 +245,12 @@ void InstallBgpRoutesForRouter(const Topology& topology,
   // keeps the connected-route-wins rule in a single tree descent.
   for (const BorderSubnet& bs : level.border_subnets.at(from_as)) {
     if (bs.border == rid) continue;  // connected route already present
-    if (tree.distance[bs.border] == kUnreachable) continue;
+    const int border_distance = tree.DistanceTo(bs.border);
+    if (border_distance == kUnreachable) continue;
     FibEntry entry;
     entry.prefix = bs.subnet;
     entry.source = RouteSource::kBgp;
-    entry.metric = tree.distance[bs.border];
+    entry.metric = border_distance;
     const auto span = tree.FirstHops(bs.border);
     entry.next_hops.assign(span.data(), span.data() + span.size());
     entry.bgp_next_hop = topology.router(bs.border).loopback;
@@ -167,7 +279,7 @@ void InstallBgpRoutesForRouter(const Topology& topology,
       RouterId egress = topo::kNoRouter;
       int best = kUnreachable;
       for (const BorderLink& bl : border_links) {
-        const int d = tree.distance[bl.local];
+        const int d = tree.DistanceTo(bl.local);
         if (d < best) {
           best = d;
           egress = bl.local;

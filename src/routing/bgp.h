@@ -24,6 +24,24 @@ struct BgpPolicy {
   /// ASes that never transit traffic (stub/customer ASes). They can be the
   /// source or destination AS of a path but are not expanded through.
   std::set<topo::AsNumber> stub_ases;
+
+  /// Hierarchical (valley-free) scale mode. Off, every router carries one
+  /// route per reachable AS — O(#ASes) FIB entries per router, which is
+  /// fine for testbed worlds and fatal at 100k routers. On, routing
+  /// mirrors provider aggregation in the real Internet: a stub AS
+  /// installs its intra-AS routes plus a single 0.0.0.0/0 default toward
+  /// its (lowest-ASN) provider; a core AS installs one covering
+  /// `aggregates` prefix per other core AS plus a direct route per
+  /// adjacent stub customer. Per-router FIB size drops from O(#ASes) to
+  /// O(#core ASes + own customers), and the AS-level BFS shrinks from
+  /// the full AS graph to the core graph. Requires customer address
+  /// blocks to be allocated inside their provider's announced aggregate
+  /// (gen::internet's hierarchical address plan does this).
+  bool hierarchical = false;
+  /// Covering prefix each core AS announces (its own block plus its
+  /// customers' blocks); a core AS absent from the map announces just
+  /// its own block. Ignored unless `hierarchical`.
+  std::map<topo::AsNumber, Prefix> aggregates;
 };
 
 /// One eBGP adjacency: local border router + the link to the remote AS.

@@ -8,12 +8,18 @@ namespace wormhole::routing {
 SpfResult ComputeSpf(const topo::Topology& topology, RouterId source) {
   SpfEngine engine(topology);
   const SpfTree& tree = engine.TreeOf(source);
+  // Expand the windowed tree back to router_count-sized arrays — this
+  // compatibility view is for tests and small worlds only.
   SpfResult result;
   result.source = source;
-  result.distance = tree.distance;
-  result.hop_count = tree.hop_count;
-  result.next_hops.resize(tree.distance.size());
-  for (RouterId v = 0; v < result.next_hops.size(); ++v) {
+  const std::size_t n = topology.router_count();
+  result.distance.assign(n, kUnreachable);
+  result.hop_count.assign(n, kUnreachable);
+  result.next_hops.resize(n);
+  for (std::size_t i = 0; i < tree.distance.size(); ++i) {
+    const RouterId v = tree.base + static_cast<RouterId>(i);
+    result.distance[v] = tree.distance[i];
+    result.hop_count[v] = tree.hop_count[i];
     const auto span = tree.FirstHops(v);
     result.next_hops[v].assign(span.begin(), span.end());
   }
@@ -77,7 +83,7 @@ void InstallIgpRoutesForRouter(const topo::Topology& topology,
     bool multiple = false;
     for (const RouterId owner : group.owners) {
       if (owner == rid) continue;
-      const int d = tree.distance[owner];
+      const int d = tree.DistanceTo(owner);
       if (d == kUnreachable || d > best) continue;
       if (d < best) {
         best = d;
@@ -100,7 +106,7 @@ void InstallIgpRoutesForRouter(const topo::Topology& topology,
       // Equidistant owners (both ends of a /31 at the same metric): the
       // route's ECMP set is the union; AddRoute sorts and dedupes.
       for (const RouterId owner : group.owners) {
-        if (owner == rid || tree.distance[owner] != best) continue;
+        if (owner == rid || tree.DistanceTo(owner) != best) continue;
         const auto span = tree.FirstHops(owner);
         entry.next_hops.append(span.data(), span.data() + span.size());
       }
@@ -125,7 +131,7 @@ int IgpDistance(const topo::Topology& topology, RouterId from, RouterId to) {
     return kUnreachable;
   }
   SpfEngine engine(topology);
-  return engine.TreeOf(from).distance[to];
+  return engine.TreeOf(from).DistanceTo(to);
 }
 
 int IgpDistance(SpfEngine& engine, RouterId from, RouterId to) {
@@ -133,7 +139,7 @@ int IgpDistance(SpfEngine& engine, RouterId from, RouterId to) {
       engine.topology().router(to).asn) {
     return kUnreachable;
   }
-  return engine.TreeOf(from).distance[to];
+  return engine.TreeOf(from).DistanceTo(to);
 }
 
 int IgpHopDistance(const topo::Topology& topology, RouterId from,
@@ -142,7 +148,7 @@ int IgpHopDistance(const topo::Topology& topology, RouterId from,
     return kUnreachable;
   }
   SpfEngine engine(topology);
-  return engine.TreeOf(from).hop_count[to];
+  return engine.TreeOf(from).HopCountTo(to);
 }
 
 int IgpHopDistance(SpfEngine& engine, RouterId from, RouterId to) {
@@ -150,7 +156,7 @@ int IgpHopDistance(SpfEngine& engine, RouterId from, RouterId to) {
       engine.topology().router(to).asn) {
     return kUnreachable;
   }
-  return engine.TreeOf(from).hop_count[to];
+  return engine.TreeOf(from).HopCountTo(to);
 }
 
 }  // namespace wormhole::routing

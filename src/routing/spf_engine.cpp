@@ -204,29 +204,40 @@ void SpfEngine::ComputeInto(RouterId source, SpfTree& tree,
     }
   }
 
+  // Window the output over the id-range actually reached (the source's
+  // AS). The touched set is schedule-independent, so base/span — and with
+  // them the tree bytes — stay deterministic.
+  RouterId lo = source, hi = source;
+  for (const RouterId r : s.touched) {
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  const std::size_t span = std::size_t{hi} - lo + 1;
+
   tree.source = source;
-  tree.distance.assign(n, kUnreachable);
-  tree.hop_count.assign(n, kUnreachable);
-  tree.first_hop_begin.assign(n + 1, 0);
+  tree.base = lo;
+  tree.distance.assign(span, kUnreachable);
+  tree.hop_count.assign(span, kUnreachable);
+  tree.first_hop_begin.assign(span + 1, 0);
 
   std::uint32_t total = 0;
-  for (RouterId r = 0; r < n; ++r) {
-    tree.first_hop_begin[r] = total;
+  for (RouterId r = lo; r <= hi; ++r) {
+    tree.first_hop_begin[r - lo] = total;
     const int d = s.distance[r];
     if (d == kUnreachable) continue;
-    tree.distance[r] = d;
-    tree.hop_count[r] = s.hops[r];
+    tree.distance[r - lo] = d;
+    tree.hop_count[r - lo] = s.hops[r];
     if (r == source) continue;  // empty first-hop set; mask never written
     const std::uint64_t* r_mask = &s.mask[std::size_t{r} * words];
     for (std::size_t w = 0; w < words; ++w) {
       total += static_cast<std::uint32_t>(std::popcount(r_mask[w]));
     }
   }
-  tree.first_hop_begin[n] = total;
+  tree.first_hop_begin[span] = total;
 
   tree.first_hop_pool.clear();
   tree.first_hop_pool.reserve(total);
-  for (RouterId r = 0; r < n; ++r) {
+  for (RouterId r = lo; r <= hi; ++r) {
     if (s.distance[r] == kUnreachable || r == source) continue;
     const std::uint64_t* r_mask = &s.mask[std::size_t{r} * words];
     for (std::size_t w = 0; w < words; ++w) {

@@ -38,23 +38,44 @@ namespace wormhole::routing {
 
 constexpr int kUnreachable = std::numeric_limits<int>::max();
 
-/// One source router's shortest-path tree, flat and pooled: distances and
-/// hop counts are arrays indexed by RouterId (kUnreachable outside the
-/// source's AS), and the ECMP first-hop sets of all destinations live in
-/// one contiguous pool sliced by per-router offsets.
+/// One source router's shortest-path tree, flat and pooled. The arrays
+/// are windowed over the contiguous RouterId range the source actually
+/// reaches (its own AS — the adjacency holds intra-AS arcs only): element
+/// i describes router `base + i`. Everything outside the window is
+/// unreachable by construction. Windowing is what keeps a fully primed
+/// SPF cache at O(sum of AS-size²) instead of O(routers × AS count) —
+/// with router_count-sized arrays per tree, a 100k-router world's cache
+/// alone needed >100 GB.
 struct SpfTree {
   RouterId source = topo::kNoRouter;
-  std::vector<int> distance;
-  std::vector<int> hop_count;
-  /// first_hop_begin[v] .. first_hop_begin[v + 1] delimits v's slice of
-  /// first_hop_pool (sorted by (link, neighbor), duplicates merged).
+  /// First router id covered by the arrays; window is
+  /// [base, base + distance.size()).
+  RouterId base = 0;
+  std::vector<int> distance;   ///< indexed by v - base
+  std::vector<int> hop_count;  ///< indexed by v - base
+  /// first_hop_begin[i] .. first_hop_begin[i + 1] delimits router
+  /// (base + i)'s slice of first_hop_pool (sorted by (link, neighbor),
+  /// duplicates merged).
   std::vector<std::uint32_t> first_hop_begin;
   std::vector<NextHop> first_hop_pool;
 
+  /// Metric distance to `v`; kUnreachable outside the window.
+  [[nodiscard]] int DistanceTo(RouterId v) const {
+    const std::uint32_t i = v - base;  // below-base wraps to a huge index
+    return i < distance.size() ? distance[i] : kUnreachable;
+  }
+  /// Hop-count distance to `v`; kUnreachable outside the window.
+  [[nodiscard]] int HopCountTo(RouterId v) const {
+    const std::uint32_t i = v - base;
+    return i < hop_count.size() ? hop_count[i] : kUnreachable;
+  }
+  /// ECMP first-hop set towards `v`; empty outside the window.
   [[nodiscard]] std::span<const NextHop> FirstHops(RouterId v) const {
+    const std::uint32_t i = v - base;
+    if (i >= distance.size()) return {};
     return std::span<const NextHop>(first_hop_pool)
-        .subspan(first_hop_begin[v],
-                 first_hop_begin[v + 1] - first_hop_begin[v]);
+        .subspan(first_hop_begin[i],
+                 first_hop_begin[i + 1] - first_hop_begin[i]);
   }
 };
 

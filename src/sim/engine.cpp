@@ -784,6 +784,11 @@ constexpr std::uint8_t kFlagSkipIpDecrement = 1u << 1;
 // Lets run detection skip the per-member SameForwardKey compare on every
 // round after a run's first.
 constexpr std::uint8_t kFlagSameKeyAsPrev = 1u << 2;
+// Set when a shared run advanced this row's column-resident state (top of
+// stack, elapsed, hops) past its arena packet; tells StepBatchRow's
+// prologue that a write-back is due. Rows that only ever step generically
+// never pay the packet restore.
+constexpr std::uint8_t kFlagColumnsDirty = 1u << 3;
 constexpr std::uint8_t kTransitFlags =
     kFlagLocallyOriginated | kFlagSkipIpDecrement;
 
@@ -800,13 +805,19 @@ constexpr std::size_t kPrefetchNear = 3;
 /// reads must agree — kind, addressing, ECMP flow key, loop-guard count
 /// and the label *values* of the stack. Per-entry TTLs, probe ids and
 /// elapsed times may differ; they only feed member-local arithmetic.
-bool SameForwardKey(const Packet& a, const Packet& b) {
+/// The hop counts and top labels come from the SoA columns (the
+/// authoritative copy for live rows); the packets supply only the fields
+/// that stay coherent while a row is column-resident (kind, addressing,
+/// flow key, stack depth and the buried label values).
+bool SameForwardKey(const Packet& a, const Packet& b, std::int32_t hops_a,
+                    std::int32_t hops_b, std::uint32_t top_a,
+                    std::uint32_t top_b) {
   if (a.kind != b.kind || a.src != b.src || a.dst != b.dst ||
-      a.flow_id != b.flow_id || a.hops_traversed != b.hops_traversed ||
+      a.flow_id != b.flow_id || hops_a != hops_b || top_a != top_b ||
       a.labels.size() != b.labels.size()) {
     return false;
   }
-  for (std::size_t i = 0; i < a.labels.size(); ++i) {
+  for (std::size_t i = 0; i + 1 < a.labels.size(); ++i) {
     if (a.labels[i].label != b.labels[i].label) return false;
   }
   return true;
@@ -829,11 +840,31 @@ void Engine::RefreshBatchRow(BatchResult& b, std::size_t pos,
     b.top_label[pos] = kNoTopLabel;
     b.ttl[pos] = static_cast<std::uint8_t>(std::clamp(p.ip_ttl, 0, 255));
   }
+  b.elapsed[pos] = p.elapsed_ms;
+  b.hops[pos] = p.hops_traversed;
+}
+
+void Engine::WriteBackBatchRow(BatchResult& b, std::size_t pos) const {
+  if ((b.flags[pos] & kFlagColumnsDirty) == 0) return;
+  b.flags[pos] &= static_cast<std::uint8_t>(~kFlagColumnsDirty);
+  Packet& p = b.arena[b.slot[pos]];
+  p.elapsed_ms = b.elapsed[pos];
+  p.hops_traversed = b.hops[pos];
+  if (p.has_labels()) {
+    LabelStackEntry& top = p.labels.back();
+    top.label = b.top_label[pos];
+    top.ttl = b.ttl[pos];
+  } else {
+    p.ip_ttl = b.ttl[pos];
+  }
 }
 
 void Engine::StepBatchRow(BatchResult& b, std::size_t pos) const {
   const std::uint32_t s = b.slot[pos];
   EngineStats& pstats = b.per_slot_stats[s];
+  // Restore packet coherence: shared runs may have advanced this row's
+  // top-of-stack / elapsed / hop-count columns without touching the arena.
+  WriteBackBatchRow(b, pos);
   Transit t;
   t.packet = &b.arena[s];
   t.router = b.router[pos];
@@ -911,6 +942,8 @@ std::size_t Engine::GroupLiveByRouter(BatchResult& b,
         b.ttl[alive] = b.ttl[pos];
         b.top_label[alive] = b.top_label[pos];
         b.flags[alive] = b.flags[pos];
+        b.elapsed[alive] = b.elapsed[pos];
+        b.hops[alive] = b.hops[pos];
       }
       // The same-key bit speaks about the immediately preceding row; it
       // survives compaction only when that row did.
@@ -974,6 +1007,8 @@ std::size_t Engine::GroupLiveByRouter(BatchResult& b,
   b.ttl2.resize(alive);
   b.top_label2.resize(alive);
   b.flags2.resize(alive);
+  b.elapsed2.resize(alive);
+  b.hops2.resize(alive);
   for (std::size_t k = 0; k < alive; ++k) {
     const std::uint32_t from = order[k];
     b.slot2[k] = b.slot[from];
@@ -982,6 +1017,8 @@ std::size_t Engine::GroupLiveByRouter(BatchResult& b,
     b.ttl2[k] = b.ttl[from];
     b.top_label2[k] = b.top_label[from];
     b.flags2[k] = b.flags[from];
+    b.elapsed2[k] = b.elapsed[from];
+    b.hops2[k] = b.hops[from];
     // The same-key bit only survives when the row it speaks about — the
     // old immediate predecessor — is still the immediate predecessor.
     if (k == 0 || order[k - 1] + 1 != from) {
@@ -994,6 +1031,8 @@ std::size_t Engine::GroupLiveByRouter(BatchResult& b,
   b.ttl.swap(b.ttl2);
   b.top_label.swap(b.top_label2);
   b.flags.swap(b.flags2);
+  b.elapsed.swap(b.elapsed2);
+  b.hops.swap(b.hops2);
   return alive;
 }
 
@@ -1003,8 +1042,11 @@ bool Engine::TryStepRunShared(BatchResult& b, std::size_t begin,
   const RouterCache& rc = router_cache_[r];
   // Read-only: the run decision is resolved on the leader, applied to
   // every member later (misc-const-correctness would flag a `Packet&`).
+  // The leader packet supplies only its column-coherent fields (kind,
+  // addressing, flow key, stack depth); hop count and top label come
+  // from the authoritative SoA columns.
   const Packet& leader = b.arena[b.slot[begin]];
-  if (leader.hops_traversed > options_.max_hops) return false;
+  if (b.hops[begin] > options_.max_hops) return false;
 
   // Resolve the shared routing decision once, on the leader. Anything
   // outside the four plain forwarding shapes (delivery, steering with SID
@@ -1017,7 +1059,7 @@ bool Engine::TryStepRunShared(BatchResult& b, std::size_t begin,
   std::uint32_t imposed_label = 0;
 
   if (leader.has_labels()) {
-    const auto op = ResolveLabel(r, leader.labels.back().label, leader);
+    const auto op = ResolveLabel(r, b.top_label[begin], leader);
     if (!op) return false;
     switch (op->kind) {
       case LabelOp::Kind::kSwap:
@@ -1092,73 +1134,86 @@ bool Engine::TryStepRunShared(BatchResult& b, std::size_t begin,
       topology_->EndOn(hop.link, hop.neighbor).id;
   const bool min_ttl_on_pop = rc.config->min_ttl_on_pop;
   const bool propagate = rc.config->ttl_propagate;
+  const bool jitter = options_.delay_jitter_fraction > 0.0;
 
+  // The member loop advances the SoA columns only. Swap-family runs (the
+  // common LSP-interior case) never touch the arena packet at all — its
+  // top-of-stack, elapsed time and hop count go stale and are written
+  // back by StepBatchRow's prologue when the row next leaves the fast
+  // path. Pops and impositions must restructure the label stack, so they
+  // re-coherence exactly the packet fields they expose.
   for (std::size_t pos = begin; pos < end; ++pos) {
     const std::uint32_t s = b.slot[pos];
-    Packet& p = b.arena[s];
     EngineStats& pstats = b.per_slot_stats[s];
     ++pstats.hops_processed;
     switch (run) {
       case Run::kSwap: {
-        LabelStackEntry& top = p.labels.back();
-        top.ttl = static_cast<std::uint8_t>(top.ttl - 1);
-        top.label = out_label;
+        b.ttl[pos] = static_cast<std::uint8_t>(b.ttl[pos] - 1);
+        b.top_label[pos] = out_label;
         break;
       }
       case Run::kSwapExplicitNull: {
-        LabelStackEntry& top = p.labels.back();
-        top.ttl = static_cast<std::uint8_t>(top.ttl - 1);
-        top.label = kExplicitNull;
+        b.ttl[pos] = static_cast<std::uint8_t>(b.ttl[pos] - 1);
+        b.top_label[pos] = kExplicitNull;
         break;
       }
       case Run::kPop: {
+        Packet& p = b.arena[s];
         const auto popped = static_cast<int>(
-            static_cast<std::uint8_t>(p.labels.back().ttl - 1));
+            static_cast<std::uint8_t>(b.ttl[pos] - 1));
         p.labels.pop_back();
         ++pstats.labels_popped;
-        if (min_ttl_on_pop) {
-          if (!p.labels.empty()) {
-            LabelStackEntry& exposed = p.labels.back();
+        if (!p.labels.empty()) {
+          // The buried entries were never column-resident, so the newly
+          // exposed top is coherent in the packet.
+          LabelStackEntry& exposed = p.labels.back();
+          if (min_ttl_on_pop) {
             exposed.ttl = static_cast<std::uint8_t>(
                 std::min(static_cast<int>(exposed.ttl), popped));
-          } else {
-            p.ip_ttl = std::min(p.ip_ttl, popped);
           }
+          b.top_label[pos] = exposed.label;
+          b.ttl[pos] = exposed.ttl;
+        } else {
+          if (min_ttl_on_pop) p.ip_ttl = std::min(p.ip_ttl, popped);
+          b.top_label[pos] = kNoTopLabel;
+          b.ttl[pos] =
+              static_cast<std::uint8_t>(std::clamp(p.ip_ttl, 0, 255));
         }
         break;
       }
       case Run::kIp: {
         // Member eligibility guaranteed ip_ttl > 1, so the decrement
-        // cannot expire here.
-        --p.ip_ttl;
+        // cannot expire here. Unlabelled rows keep the IP TTL in the
+        // ttl column.
+        b.ttl[pos] = static_cast<std::uint8_t>(b.ttl[pos] - 1);
         if (impose) {
+          Packet& p = b.arena[s];
+          p.ip_ttl = static_cast<int>(b.ttl[pos]);
           LabelStackEntry lse;
           lse.label = imposed_label;
           lse.ttl =
               static_cast<std::uint8_t>(propagate ? p.ip_ttl : 255);
           p.labels.push_back(lse);
           ++pstats.labels_pushed;
+          b.top_label[pos] = lse.label;
+          b.ttl[pos] = lse.ttl;
         }
         break;
       }
     }
-    p.elapsed_ms += JitteredDelay(base_delay,
-                                  options_.delay_jitter_fraction,
-                                  p.probe_id, hop.link);
-    ++p.hops_traversed;
+    b.elapsed[pos] +=
+        jitter ? JitteredDelay(base_delay, options_.delay_jitter_fraction,
+                               b.arena[s].probe_id, hop.link)
+               : base_delay;
+    ++b.hops[pos];
     b.router[pos] = hop.neighbor;
     b.in_iface[pos] = arrival;
     // Every member got the identical label transform, so key equality
     // with the preceding member is preserved — record it so the next
-    // round's run detection skips the full compare.
-    b.flags[pos] = pos == begin ? 0 : kFlagSameKeyAsPrev;
-    if (p.has_labels()) {
-      b.top_label[pos] = p.labels.back().label;
-      b.ttl[pos] = p.labels.back().ttl;
-    } else {
-      b.top_label[pos] = kNoTopLabel;
-      b.ttl[pos] = static_cast<std::uint8_t>(std::clamp(p.ip_ttl, 0, 255));
-    }
+    // round's run detection skips the full compare. The dirty bit defers
+    // the packet write-back until the row next steps generically.
+    b.flags[pos] = static_cast<std::uint8_t>(
+        (pos == begin ? 0 : kFlagSameKeyAsPrev) | kFlagColumnsDirty);
   }
   return true;
 }
@@ -1178,6 +1233,8 @@ void Engine::SendBatch(std::span<netbase::Packet> probes, BatchResult& b,
   b.ttl.clear();
   b.top_label.clear();
   b.flags.clear();
+  b.elapsed.clear();
+  b.hops.clear();
   b.arena.reserve(n);  // slot pointers must stay stable for the batch
   b.origin.reserve(n);
   b.slot.reserve(n);
@@ -1186,6 +1243,8 @@ void Engine::SendBatch(std::span<netbase::Packet> probes, BatchResult& b,
   b.ttl.reserve(n);
   b.top_label.reserve(n);
   b.flags.reserve(n);
+  b.elapsed.reserve(n);
+  b.hops.reserve(n);
 
   // Injection: exactly Send's preamble, per slot. Campaign batches share
   // one origin host, so the FindHost hash lookup is memoized on src.
@@ -1214,6 +1273,8 @@ void Engine::SendBatch(std::span<netbase::Packet> probes, BatchResult& b,
       b.top_label.push_back(kNoTopLabel);
       b.ttl.push_back(static_cast<std::uint8_t>(std::clamp(p.ip_ttl, 0, 255)));
     }
+    b.elapsed.push_back(p.elapsed_ms);
+    b.hops.push_back(p.hops_traversed);
   }
 
   // A row is run-shareable when its one-shot transit flags are clear,
@@ -1269,7 +1330,9 @@ void Engine::SendBatch(std::span<netbase::Packet> probes, BatchResult& b,
         while (run_end < live && b.router[run_end] == b.router[pos] &&
                eligible(run_end) &&
                ((b.flags[run_end] & kFlagSameKeyAsPrev) != 0 ||
-                SameForwardKey(lead, b.arena[b.slot[run_end]]))) {
+                SameForwardKey(lead, b.arena[b.slot[run_end]], b.hops[pos],
+                               b.hops[run_end], b.top_label[pos],
+                               b.top_label[run_end]))) {
           ++run_end;
         }
       }

@@ -156,15 +156,22 @@ class Engine {
     // Per-slot origin host address (reply acceptance check).
     std::vector<netbase::Ipv4Address> origin;
     // Live-transit SoA rows, compacted and grouped by router each round.
-    // `ttl` is the effective top-of-stack TTL and `top_label` the top
-    // label value (kNoTopLabel when unlabelled) — the prefetch and
-    // run-sharing decisions read these without touching the packet.
+    // While a row is live these columns — not the arena packet — are the
+    // AUTHORITATIVE copy of its top-of-stack (`ttl`, `top_label`;
+    // kNoTopLabel when unlabelled, in which case `ttl` is the IP TTL),
+    // elapsed time and hop count: shared-decision runs update only the
+    // columns, and the packet is written back just before any generic
+    // step, expiry or delivery (see StepBatchRow's prologue and the
+    // kPop/impose write-backs in TryStepRunShared). The prefetch and
+    // run-sharing decisions therefore never touch the packet.
     std::vector<std::uint32_t> slot;
     std::vector<topo::RouterId> router;
     std::vector<topo::InterfaceId> in_iface;
     std::vector<std::uint8_t> ttl;
     std::vector<std::uint32_t> top_label;
     std::vector<std::uint8_t> flags;
+    std::vector<double> elapsed;
+    std::vector<std::int32_t> hops;
     // Gather targets for the group-by-router permutation (swapped with
     // the rows above each round).
     std::vector<std::uint32_t> slot2;
@@ -173,6 +180,8 @@ class Engine {
     std::vector<std::uint8_t> ttl2;
     std::vector<std::uint32_t> top_label2;
     std::vector<std::uint8_t> flags2;
+    std::vector<double> elapsed2;
+    std::vector<std::int32_t> hops2;
     // Sort scratch: the round's live permutation and per-router counts.
     std::vector<std::uint32_t> order;
     std::vector<std::uint32_t> counts;
@@ -365,9 +374,15 @@ class Engine {
                         std::size_t end) const;
 
   /// Re-derives row `pos`'s SoA fields (router, interface, TTL, top
-  /// label, flags) from its transit after a step left it in flight.
+  /// label, flags, elapsed, hops) from its transit after a step left it
+  /// in flight — the packet is coherent at that point.
   void RefreshBatchRow(BatchResult& batch, std::size_t pos,
                        const Transit& t) const;
+
+  /// Writes row `pos`'s column-resident state (top-of-stack TTL/label,
+  /// elapsed time, hop count) back into its arena packet, restoring full
+  /// packet coherence before a generic step runs Send's hop loop on it.
+  void WriteBackBatchRow(BatchResult& batch, std::size_t pos) const;
 
   const topo::Topology* topology_;
   const mpls::MplsConfigMap* configs_;

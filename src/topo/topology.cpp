@@ -5,13 +5,6 @@
 
 namespace wormhole::topo {
 
-namespace {
-
-// Synthetic "public" space: each AS gets a /16 carved out of 5.0.0.0/8.
-constexpr std::uint32_t kBlockBase = 0x05000000;  // 5.0.0.0
-
-}  // namespace
-
 const char* ToString(Vendor vendor) {
   switch (vendor) {
     case Vendor::kCiscoIos: return "Cisco IOS";
@@ -24,22 +17,56 @@ const char* ToString(Vendor vendor) {
   return "?";
 }
 
-AsNumber Topology::AddAs(AsNumber asn, std::string name) {
+AsNumber Topology::AddAs(AsNumber asn, std::string name, int block_bits) {
   if (as_index_.contains(asn)) {
     throw std::invalid_argument("AS " + std::to_string(asn) +
                                 " already exists");
   }
+  if (block_bits < 8 || block_bits > 30) {
+    throw std::invalid_argument("AddAs: block_bits outside [8, 30]");
+  }
   AutonomousSystem as;
   as.asn = asn;
   as.name = std::move(name);
-  // /16 block: 5.b.h.l where b increments per AS; spill into 6.0.0.0/8 etc.
-  const std::uint32_t block = next_block_++;
-  as.block = Prefix(Ipv4Address(kBlockBase + (block << 16)), 16);
+  // Bump-allocate a size-aligned block. Default /16s reproduce the
+  // historic layout exactly: 5.b.0.0/16 with b incrementing per AS,
+  // spilling into 6.0.0.0/8 etc.
+  const auto size =
+      static_cast<std::uint32_t>(std::uint64_t{1} << (32 - block_bits));
+  const std::uint32_t base = (next_addr_ + size - 1) & ~(size - 1);
+  if (base + (size - 1) < base) {
+    throw std::runtime_error("topology address space exhausted");
+  }
+  next_addr_ = base + size;
+  as.block = Prefix(Ipv4Address(base), block_bits);
   as_index_[asn] = ases_.size();
   ases_.push_back(std::move(as));
-  next_offset_[asn] = 0;
   ++version_;
   return asn;
+}
+
+Prefix Topology::BeginAggregate(int bits) {
+  if (bits < 2 || bits > 30) {
+    throw std::invalid_argument("BeginAggregate: bits outside [2, 30]");
+  }
+  const auto size =
+      static_cast<std::uint32_t>(std::uint64_t{1} << (32 - bits));
+  const std::uint32_t base = (next_addr_ + size - 1) & ~(size - 1);
+  if (base + (size - 1) < base) {
+    throw std::runtime_error("topology address space exhausted");
+  }
+  next_addr_ = base;
+  return Prefix(Ipv4Address(base), bits);
+}
+
+void Topology::Reserve(std::size_t routers, std::size_t interfaces,
+                       std::size_t links, std::size_t hosts) {
+  routers_.reserve(routers);
+  interfaces_.reserve(interfaces);
+  links_.reserve(links);
+  hosts_.reserve(hosts);
+  name_to_router_.reserve(routers);
+  host_index_.reserve(hosts);
 }
 
 const AutonomousSystem& Topology::as(AsNumber asn) const {
@@ -58,8 +85,8 @@ std::vector<AsNumber> Topology::AsNumbers() const {
 }
 
 Prefix Topology::AllocateSubnet(AsNumber asn, int length) {
-  const auto& as = this->as(asn);
-  auto& offset = next_offset_[asn];
+  auto& as = ases_[as_index_.at(asn)];
+  auto& offset = as.next_offset;
   const auto size = static_cast<std::uint32_t>(
       std::uint64_t{1} << (32 - length));
   // Align the offset to the subnet size.
@@ -71,6 +98,15 @@ Prefix Topology::AllocateSubnet(AsNumber asn, int length) {
   const Prefix subnet(as.block.At(offset), length);
   offset += size;
   return subnet;
+}
+
+void Topology::IndexAddress(Ipv4Address address, InterfaceId iface) {
+  const std::uint32_t off = address.value() - kBlockBase;
+  const std::size_t page = off / kAddressPageSize;
+  if (page >= address_pages_.size()) address_pages_.resize(page + 1);
+  auto& slots = address_pages_[page];
+  if (slots.empty()) slots.assign(kAddressPageSize, kNoInterface);
+  slots[off % kAddressPageSize] = iface;
 }
 
 RouterId Topology::AddRouter(AsNumber asn, std::string name, Vendor vendor) {
@@ -102,8 +138,7 @@ RouterId Topology::AddRouter(AsNumber asn, std::string name, Vendor vendor) {
   lo.name = router.name + ".lo";
   router.loopback_interface = lo.id;
 
-  address_to_router_[lo.address] = id;
-  address_to_interface_[lo.address] = lo.id;
+  IndexAddress(lo.address, lo.id);
   name_to_router_[router.name] = id;
   interfaces_.push_back(std::move(lo));
   ases_[it->second].routers.push_back(id);
@@ -138,8 +173,7 @@ LinkId Topology::AddLink(RouterId a, RouterId b, LinkOptions options) {
     iface.subnet = subnet;
     iface.name = router.name + ".if" +
                  std::to_string(router.interfaces.size());
-    address_to_router_[iface.address] = router.id;
-    address_to_interface_[iface.address] = iface.id;
+    IndexAddress(iface.address, iface.id);
     router.interfaces.push_back(iface.id);
     interfaces_.push_back(iface);
     return iface.id;
@@ -147,6 +181,9 @@ LinkId Topology::AddLink(RouterId a, RouterId b, LinkOptions options) {
 
   link.a = make_interface(ra, 0);
   link.b = make_interface(rb, 1);
+  if (ra.asn == rb.asn) {
+    ases_[as_index_.at(ra.asn)].internal_links.push_back(link_id);
+  }
   links_.push_back(link);
   ++version_;
   return link_id;
@@ -163,8 +200,7 @@ Ipv4Address Topology::AttachHost(RouterId gateway, std::string name) {
   stub.address = subnet.At(0);
   stub.subnet = subnet;
   stub.name = router.name + ".stub" + std::to_string(hosts_.size());
-  address_to_router_[stub.address] = gateway;
-  address_to_interface_[stub.address] = stub.id;
+  IndexAddress(stub.address, stub.id);
   router.interfaces.push_back(stub.id);
 
   Host host;
@@ -186,16 +222,23 @@ const Host* Topology::FindHost(Ipv4Address address) const {
 
 std::optional<RouterId> Topology::FindRouterByAddress(
     Ipv4Address address) const {
-  const auto it = address_to_router_.find(address);
-  if (it == address_to_router_.end()) return std::nullopt;
-  return it->second;
+  const auto iface = FindInterfaceByAddress(address);
+  if (!iface) return std::nullopt;
+  return interfaces_[*iface].router;
 }
 
 std::optional<InterfaceId> Topology::FindInterfaceByAddress(
     Ipv4Address address) const {
-  const auto it = address_to_interface_.find(address);
-  if (it == address_to_interface_.end()) return std::nullopt;
-  return it->second;
+  const std::uint32_t value = address.value();
+  if (value < kBlockBase) return std::nullopt;
+  const std::uint32_t off = value - kBlockBase;
+  const std::size_t page = off / kAddressPageSize;
+  if (page >= address_pages_.size()) return std::nullopt;
+  const auto& slots = address_pages_[page];
+  if (slots.empty()) return std::nullopt;
+  const InterfaceId iface = slots[off % kAddressPageSize];
+  if (iface == kNoInterface) return std::nullopt;
+  return iface;
 }
 
 std::optional<RouterId> Topology::FindRouterByName(
@@ -256,14 +299,16 @@ std::vector<Prefix> Topology::ConnectedPrefixes(RouterId router) const {
 
 std::vector<Prefix> Topology::InternalPrefixes(AsNumber asn) const {
   std::vector<Prefix> out;
-  for (const RouterId rid : as(asn).routers) {
+  const AutonomousSystem& as = this->as(asn);
+  out.reserve(as.routers.size() + as.internal_links.size());
+  for (const RouterId rid : as.routers) {
     out.push_back(Prefix::Host(routers_.at(rid).loopback));
   }
-  for (const Link& link : links_) {
-    if (!link.up || !IsInternalLink(link.id)) continue;
-    if (routers_.at(interfaces_.at(link.a).router).asn == asn) {
-      out.push_back(link.subnet);
-    }
+  // Per-AS link list: O(AS size), not O(total links) — at 100k routers
+  // the global scan made convergence quadratic in world size.
+  for (const LinkId lid : as.internal_links) {
+    const Link& link = links_[lid];
+    if (link.up) out.push_back(link.subnet);
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());

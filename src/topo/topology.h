@@ -83,9 +83,15 @@ struct AutonomousSystem {
   AsNumber asn = 0;
   std::string name;
   std::vector<RouterId> routers;
+  /// Links with both endpoints in this AS (kept by AddLink), so per-AS
+  /// consumers (InternalPrefixes, IGP planning) never scan the global
+  /// link table.
+  std::vector<LinkId> internal_links;
   /// Address block from which this AS's loopbacks and subnets are carved;
   /// doubles as the AS's externally announced aggregate.
   Prefix block;
+  /// Next free offset inside `block` (bump allocator).
+  std::uint32_t next_offset = 0;
 };
 
 /// Options for AddLink.
@@ -107,10 +113,28 @@ struct Host {
 
 class Topology {
  public:
-  /// Declares an AS and reserves an address block for it. Blocks are /16s
-  /// carved from 5.0.0.0/8 (synthetic "public" space — the campaign prunes
-  /// RFC1918 addresses like the paper prunes non-routable ones).
-  AsNumber AddAs(AsNumber asn, std::string name);
+  /// Declares an AS and reserves an address block for it. Blocks are
+  /// carved from 5.0.0.0/8 onward (synthetic "public" space — the
+  /// campaign prunes RFC1918 addresses like the paper prunes
+  /// non-routable ones) by a bump allocator that aligns each block to
+  /// its own size. The default /16 preserves the historic "5.b.0.0/16
+  /// per AS" layout; scale worlds pass smaller blocks (e.g. /24) for
+  /// their thousands of stub ASes so the address space — and the flat
+  /// address table over it — stays compact.
+  AsNumber AddAs(AsNumber asn, std::string name, int block_bits = 16);
+
+  /// Aligns the allocation cursor up to a 2^(32-bits) boundary and
+  /// returns the covering prefix WITHOUT reserving it: the next AddAs
+  /// calls carve their blocks from inside it. Hierarchical scale worlds
+  /// use this to place a provider and its customer ASes contiguously
+  /// under one announceable aggregate.
+  Prefix BeginAggregate(int bits);
+
+  /// Pre-sizes the flat containers (routers/interfaces/links/hosts and
+  /// the address table) so large generated worlds build without
+  /// incremental reallocation. Call before the first AddRouter.
+  void Reserve(std::size_t routers, std::size_t interfaces,
+               std::size_t links, std::size_t hosts = 0);
 
   /// Adds a router to an existing AS; allocates its loopback (/32).
   RouterId AddRouter(AsNumber asn, std::string name, Vendor vendor);
@@ -208,6 +232,9 @@ class Topology {
  private:
   Prefix AllocateSubnet(AsNumber asn, int length);
 
+  /// Registers an allocated interface address in the flat address table.
+  void IndexAddress(Ipv4Address address, InterfaceId iface);
+
   std::vector<Router> routers_;
   std::vector<Interface> interfaces_;
   std::vector<Link> links_;
@@ -215,12 +242,22 @@ class Topology {
   std::unordered_map<Ipv4Address, std::size_t> host_index_;
   std::vector<AutonomousSystem> ases_;
   std::unordered_map<AsNumber, std::size_t> as_index_;
-  std::unordered_map<Ipv4Address, RouterId> address_to_router_;
-  std::unordered_map<Ipv4Address, InterfaceId> address_to_interface_;
   std::unordered_map<std::string, RouterId> name_to_router_;
-  /// Next free offset inside each AS block.
-  std::unordered_map<AsNumber, std::uint32_t> next_offset_;
-  std::uint32_t next_block_ = 0;
+
+  // Flat paged address table over the allocator's contiguous range
+  // [kBlockBase, next_addr_): page p holds the InterfaceId owning
+  // address kBlockBase + p * kAddressPageSize + slot (kNoInterface when
+  // unassigned). Every allocated address is dense in that range, so this
+  // replaces the two per-address hash maps with one indexed load — the
+  // lookup the per-hop data plane and the million-row campaign reducers
+  // hit — at a fraction of the memory.
+  static constexpr std::uint32_t kAddressPageSize = 4096;
+  /// First address the block allocator hands out (5.0.0.0).
+  static constexpr std::uint32_t kBlockBase = 0x05000000;
+  std::vector<std::vector<InterfaceId>> address_pages_;
+
+  /// Bump cursor of the block allocator (absolute address).
+  std::uint32_t next_addr_ = kBlockBase;
   std::uint64_t version_ = 0;
 };
 

@@ -7,6 +7,7 @@
 // counting wrappers; it must therefore stay its own test binary.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -234,6 +235,61 @@ TEST(EngineFastPath, SteadyStateSendBatchRecyclesItsArena) {
       received += outcome.received ? 1 : 0;
     }
     EXPECT_EQ(received, std::size_t{16});
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(EngineFastPath, SteadyStateSoAColumnsSurviveAReshuffledBatch) {
+  // The per-row elapsed/hops/top-of-stack SoA columns are the
+  // authoritative copy of a live transit's state during shared-decision
+  // runs. Reordering the fan (same multiset of TTLs, different slot
+  // order) reshuffles the group-by-router permutation every round; the
+  // second batch must still run entirely in the recycled columns — zero
+  // heap traffic — and land every outcome in its original slot.
+  gen::Gns3Testbed testbed(
+      {.scenario = gen::Gns3Scenario::kBackwardRecursive});
+  const sim::Engine& engine = testbed.engine();
+  const auto target = testbed.Address("CE2.left");
+
+  std::vector<netbase::Packet> fan;
+  sim::Engine::BatchResult batch;
+  std::uint32_t id = 0;
+  const auto fill = [&](bool reversed) {
+    fan.clear();
+    for (int i = 0; i < 16; ++i) {
+      netbase::Packet probe;
+      probe.kind = netbase::PacketKind::kEchoRequest;
+      probe.src = testbed.vantage_point();
+      probe.dst = target;
+      probe.ip_ttl = reversed ? 16 - i : 1 + i;
+      probe.probe_id = ++id;
+      fan.push_back(probe);
+    }
+  };
+
+  fill(/*reversed=*/false);
+  engine.SendBatch(fan, batch);  // warm-up: sizes columns and arena
+  // Calibrate from the warm-up: kind_by_ttl[t] is what a TTL-(t+1) probe
+  // gets back (the testbed is deterministic, so the reversed batch must
+  // reproduce it TTL for TTL).
+  std::array<netbase::PacketKind, 16> kind_by_ttl{};
+  ASSERT_EQ(batch.outcomes.size(), kind_by_ttl.size());
+  for (std::size_t i = 0; i < kind_by_ttl.size(); ++i) {
+    ASSERT_TRUE(batch.outcomes[i].received) << "warm-up slot " << i;
+    kind_by_ttl[i] = batch.outcomes[i].reply.kind;
+  }
+
+  const std::uint64_t allocs = CountAllocations([&] {
+    fill(/*reversed=*/true);
+    engine.SendBatch(fan, batch);
+    for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+      ASSERT_TRUE(batch.outcomes[i].received) << "slot " << i;
+      // Slot i carried TTL 16-i this time: its outcome must be the one
+      // the warm-up saw for that TTL — outcomes never migrate between
+      // slots however the live rows were regrouped.
+      EXPECT_EQ(batch.outcomes[i].reply.kind, kind_by_ttl[15 - i])
+          << "slot " << i;
+    }
   });
   EXPECT_EQ(allocs, 0u);
 }

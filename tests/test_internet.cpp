@@ -149,5 +149,64 @@ TEST_F(InternetTest, ForceTtlPropagationMakesTunnelsExplicit) {
   EXPECT_EQ(labeled_hops(), labels_before);
 }
 
+// --- hierarchical (Internet-at-scale) mode ---------------------------------
+
+TEST(HierarchicalInternetTest, ScaleWorldRoutesEndToEnd) {
+  SyntheticInternet net({.seed = 11,
+                         .tier1_count = 2,
+                         .transit_count = 8,
+                         .stub_count = 60,
+                         .vp_count = 4,
+                         .hierarchical = true});
+
+  // Customer blocks really live inside their provider's announced
+  // aggregate — the invariant the default+aggregate routing relies on.
+  ASSERT_FALSE(net.bgp_policy().aggregates.empty());
+  for (const auto& [asn, profile] : net.profiles()) {
+    if (profile.role != AsRole::kStub) continue;
+    bool covered = false;
+    for (const auto& [transit, agg] : net.bgp_policy().aggregates) {
+      if (agg.Contains(net.topology().as(asn).block)) covered = true;
+    }
+    EXPECT_TRUE(covered) << "stub AS " << asn << " outside every aggregate";
+  }
+
+  // Every loopback answers a VP ping: the forward path rides the stub
+  // default + core aggregates, the reply rides a direct customer route.
+  probe::Prober prober(net.engine(), net.vantage_points().front());
+  int reached = 0, total = 0;
+  for (const auto loopback : net.AllLoopbacks()) {
+    ++total;
+    if (prober.Ping(loopback).responded) ++reached;
+  }
+  EXPECT_EQ(reached, total);
+
+  // FIB compactness: a stub router holds intra-AS routes plus one
+  // default, not one route per AS.
+  for (const auto& [asn, profile] : net.profiles()) {
+    if (profile.role != AsRole::kStub) continue;
+    for (const topo::RouterId rid : net.topology().as(asn).routers) {
+      EXPECT_LT(net.network().fibs()[rid].size(), 64u);
+    }
+  }
+}
+
+TEST(HierarchicalInternetTest, DeterministicForSameSeed) {
+  const InternetOptions options{.seed = 23,
+                                .tier1_count = 2,
+                                .transit_count = 5,
+                                .stub_count = 20,
+                                .vp_count = 3,
+                                .hierarchical = true};
+  SyntheticInternet a(options);
+  SyntheticInternet b(options);
+  ASSERT_EQ(a.topology().router_count(), b.topology().router_count());
+  EXPECT_EQ(a.topology().link_count(), b.topology().link_count());
+  for (std::size_t i = 0; i < a.topology().router_count(); ++i) {
+    EXPECT_EQ(a.topology().routers()[i].loopback,
+              b.topology().routers()[i].loopback);
+  }
+}
+
 }  // namespace
 }  // namespace wormhole::gen

@@ -1,0 +1,159 @@
+// Streaming-campaign equivalence: CampaignOptions::stream_shard_size
+// bounds peak memory (per-shard compaction into CompactTraceLog) but must
+// not change ONE byte of the analysis output — same engine stats, same
+// probe counts, same report — at any shard size and any worker count.
+// These tests pin that contract on the golden seed-17 world.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "analysis/campaign_report.h"
+#include "campaign/campaign.h"
+#include "campaign/compact_trace.h"
+#include "campaign/targets.h"
+#include "gen/internet.h"
+
+namespace wormhole {
+namespace {
+
+/// Builds the golden-snapshot world, runs the campaign, and serializes
+/// everything streaming mode is expected to reproduce (the buffered
+/// trace buffer itself is deliberately excluded — streaming never
+/// retains it; test_golden_campaign pins those bytes).
+std::string RunCampaign(std::size_t jobs, std::size_t stream_shard_size) {
+  gen::InternetOptions options;
+  options.seed = 17;
+  options.tier1_count = 2;
+  options.transit_count = 4;
+  options.stub_count = 10;
+  options.vp_count = 3;
+  options.anonymous_router_probability = 0.02;
+  options.icmp_loss = 0.05;
+
+  gen::SyntheticInternet net(options);
+  campaign::Campaign campaign(
+      net.engine(), net.vantage_points(),
+      {.jobs = jobs, .stream_shard_size = stream_shard_size});
+  const campaign::CampaignResult result = campaign.Run(net.AllLoopbacks());
+  const sim::EngineStats stats = net.engine().stats();
+
+  if (stream_shard_size > 0) {
+    EXPECT_TRUE(result.traces.empty())
+        << "streaming mode must not buffer traces";
+  } else {
+    EXPECT_EQ(result.trace_count, result.traces.size());
+  }
+  EXPECT_GT(result.trace_count, 0u);
+
+  std::ostringstream out;
+  out << "S packets_injected " << stats.packets_injected << "\n";
+  out << "S hops_processed " << stats.hops_processed << "\n";
+  out << "S icmp_generated " << stats.icmp_generated << "\n";
+  out << "S labels_pushed " << stats.labels_pushed << "\n";
+  out << "S labels_popped " << stats.labels_popped << "\n";
+  out << "S probes_sent " << result.probes_sent << "\n";
+  out << "S revelation_traces " << result.revelation_traces << "\n";
+  out << "S revealed_count " << result.revealed_count() << "\n";
+  out << "S trace_count " << result.trace_count << "\n";
+  analysis::WriteCampaignReport(out, result, net.topology());
+  return out.str();
+}
+
+TEST(StreamingCampaign, ShardSizeNeverChangesAByte) {
+  // shard=1 retires every trace immediately, 64 exercises mid-stream
+  // boundaries, 1<<20 is a single whole-run shard — three very different
+  // memory schedules, identical bytes.
+  const std::string buffered = RunCampaign(/*jobs=*/1, /*shard=*/0);
+  ASSERT_FALSE(buffered.empty());
+  for (const std::size_t shard : {std::size_t{1}, std::size_t{64},
+                                  std::size_t{1} << 20}) {
+    const std::string streamed = RunCampaign(/*jobs=*/1, shard);
+    EXPECT_EQ(streamed, buffered) << "shard=" << shard;
+  }
+}
+
+TEST(StreamingCampaign, WorkerCountNeverChangesAByte) {
+  const std::string buffered = RunCampaign(/*jobs=*/1, /*shard=*/0);
+  for (const std::size_t shard : {std::size_t{1}, std::size_t{64},
+                                  std::size_t{1} << 20}) {
+    const std::string streamed = RunCampaign(/*jobs=*/4, shard);
+    EXPECT_EQ(streamed, buffered) << "jobs=4 shard=" << shard;
+  }
+}
+
+TEST(CompactTraceLog, RoundTripsEveryFieldTheReduceReads) {
+  probe::TraceResult trace;
+  trace.source = netbase::Ipv4Address(0x0A000001);
+  trace.target = netbase::Ipv4Address(0x0A0000FE);
+  trace.flow_id = 7;
+  trace.reached = true;
+  for (int ttl = 2; ttl <= 5; ++ttl) {
+    probe::Hop hop;
+    hop.probe_ttl = ttl;
+    if (ttl != 3) {  // hop 3 is a timeout ("*")
+      hop.address = netbase::Ipv4Address(0x0A000100u + ttl);
+      hop.reply_kind = ttl == 5 ? netbase::PacketKind::kEchoReply
+                                : netbase::PacketKind::kTimeExceeded;
+      hop.reply_ip_ttl = 255 - ttl;
+      hop.rtt_ms = 1.5;  // NOT retained, by contract
+    }
+    trace.hops.push_back(hop);
+  }
+
+  campaign::CompactTraceLog log;
+  log.Append(trace);
+  probe::TraceResult empty;
+  empty.source = trace.source;
+  empty.target = netbase::Ipv4Address(0x0A0000FD);
+  empty.flow_id = 9;
+  empty.unreachable = true;
+  log.Append(empty);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.hop_count(), 4u);
+
+  const probe::TraceResult back = log.Inflate(0);
+  EXPECT_EQ(back.source, trace.source);
+  EXPECT_EQ(back.target, trace.target);
+  EXPECT_EQ(back.flow_id, trace.flow_id);
+  EXPECT_TRUE(back.reached);
+  EXPECT_FALSE(back.unreachable);
+  ASSERT_EQ(back.hops.size(), trace.hops.size());
+  for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+    EXPECT_EQ(back.hops[i].probe_ttl, trace.hops[i].probe_ttl);
+    EXPECT_EQ(back.hops[i].address, trace.hops[i].address);
+    EXPECT_EQ(back.hops[i].reply_kind, trace.hops[i].reply_kind);
+    EXPECT_EQ(back.hops[i].reply_ip_ttl, trace.hops[i].reply_ip_ttl);
+  }
+
+  const probe::TraceResult back1 = log.Inflate(1);
+  EXPECT_EQ(back1.target, empty.target);
+  EXPECT_TRUE(back1.unreachable);
+  EXPECT_FALSE(back1.reached);
+  EXPECT_TRUE(back1.hops.empty());
+}
+
+TEST(FixedShards, CoversEveryTargetInOrder) {
+  std::vector<netbase::Ipv4Address> targets;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    targets.emplace_back(0x0A000000u + i);
+  }
+
+  const auto shards = campaign::FixedShards(targets, 4);
+  ASSERT_EQ(shards.size(), 3u);  // 4 + 4 + 2
+  EXPECT_EQ(shards.back().size(), 2u);
+  std::size_t seen = 0;
+  for (const auto shard : shards) {
+    for (const netbase::Ipv4Address a : shard) {
+      EXPECT_EQ(a, targets[seen++]);
+    }
+  }
+  EXPECT_EQ(seen, targets.size());
+
+  // 0 = one whole-run shard; oversize = same.
+  EXPECT_EQ(campaign::FixedShards(targets, 0).size(), 1u);
+  EXPECT_EQ(campaign::FixedShards(targets, 100).size(), 1u);
+}
+
+}  // namespace
+}  // namespace wormhole

@@ -23,6 +23,27 @@ from pathlib import Path
 # benchmark entry is metadata (routes, batch size, ...), not a metric.
 RATE_COUNTERS = ("probes/s", "packets/s", "traces/s", "lookups/s")
 
+# Counters whose value is a footprint (smaller is better). Diffed
+# alongside the speed metric when both sides report them, and the targets
+# of --ceiling checks. peak_rss_mb is monotone over the process lifetime,
+# so ceilings should run against a --benchmark_filter'ed single-row
+# snapshot (the CI bench-smoke job does).
+SIZE_COUNTERS = ("peak_rss_mb",)
+
+
+def parse_ceiling(spec: str) -> tuple[str, float]:
+    name, sep, value = spec.partition("=")
+    if not sep or not name:
+        print(f"error: --ceiling wants NAME=VALUE, got {spec!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    try:
+        return name, float(value)
+    except ValueError:
+        print(f"error: --ceiling value {value!r} is not a number",
+              file=sys.stderr)
+        sys.exit(2)
+
 
 def load_benchmarks(path: Path) -> dict[str, dict]:
     try:
@@ -58,6 +79,16 @@ def main() -> int:
         default=0.25,
         help="fractional regression that fails (default 0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--ceiling",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="fail if any candidate benchmark's NAME counter exceeds "
+             "VALUE (repeatable; e.g. --ceiling peak_rss_mb=512). "
+             "Checked against the candidate alone, so new benchmarks "
+             "without a baseline are still gated.",
+    )
     args = parser.parse_args()
     if not 0 < args.threshold < 1:
         print("error: --threshold must be in (0, 1)", file=sys.stderr)
@@ -87,8 +118,43 @@ def main() -> int:
             regressions.append(name)
         print(f"  {name}: {base_metric} {base_value:.4g} -> "
               f"{cand_value:.4g} ({change:+.1%}) {marker}")
+        # Footprint counters ride along as a second metric: growth past
+        # the threshold is as much a regression as lost throughput.
+        for counter in SIZE_COUNTERS:
+            if counter not in base[name] or counter not in cand[name]:
+                continue
+            base_size = float(base[name][counter])
+            cand_size = float(cand[name][counter])
+            if base_size <= 0:
+                continue
+            growth = cand_size / base_size - 1.0
+            marker = "ok"
+            if growth > args.threshold:
+                marker = "REGRESSION"
+                regressions.append(f"{name}[{counter}]")
+            print(f"  {name}: {counter} {base_size:.4g} -> "
+                  f"{cand_size:.4g} ({growth:+.1%}) {marker}")
     for name in sorted(set(cand) - set(base)):
         print(f"  (new benchmark, no baseline: {name})")
+
+    ceilings = [parse_ceiling(spec) for spec in args.ceiling]
+    for counter, limit in ceilings:
+        checked = 0
+        for name in sorted(cand):
+            if counter not in cand[name]:
+                continue
+            checked += 1
+            value = float(cand[name][counter])
+            marker = "ok"
+            if value > limit:
+                marker = "OVER CEILING"
+                regressions.append(f"{name}[{counter}>{limit:g}]")
+            print(f"  {name}: {counter} {value:.4g} "
+                  f"(ceiling {limit:g}) {marker}")
+        if checked == 0:
+            print(f"  (ceiling {counter}={limit:g}: no candidate "
+                  f"benchmark reports that counter)", file=sys.stderr)
+            regressions.append(f"[{counter} missing]")
 
     if regressions:
         print(
