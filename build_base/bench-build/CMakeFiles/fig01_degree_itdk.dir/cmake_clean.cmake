@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_degree_itdk"
+  "../bench/fig01_degree_itdk.pdb"
+  "CMakeFiles/fig01_degree_itdk.dir/fig01_degree_itdk.cpp.o"
+  "CMakeFiles/fig01_degree_itdk.dir/fig01_degree_itdk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_degree_itdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

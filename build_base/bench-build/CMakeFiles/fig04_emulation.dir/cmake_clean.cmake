@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_emulation"
+  "../bench/fig04_emulation.pdb"
+  "CMakeFiles/fig04_emulation.dir/fig04_emulation.cpp.o"
+  "CMakeFiles/fig04_emulation.dir/fig04_emulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_ftl"
+  "../bench/fig05_ftl.pdb"
+  "CMakeFiles/fig05_ftl.dir/fig05_ftl.cpp.o"
+  "CMakeFiles/fig05_ftl.dir/fig05_ftl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_rtt"
+  "../bench/fig06_rtt.pdb"
+  "CMakeFiles/fig06_rtt.dir/fig06_rtt.cpp.o"
+  "CMakeFiles/fig06_rtt.dir/fig06_rtt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_rfa"
+  "../bench/fig07_rfa.pdb"
+  "CMakeFiles/fig07_rfa.dir/fig07_rfa.cpp.o"
+  "CMakeFiles/fig07_rfa.dir/fig07_rfa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_rfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_rfa_probes"
+  "../bench/fig08_rfa_probes.pdb"
+  "CMakeFiles/fig08_rfa_probes.dir/fig08_rfa_probes.cpp.o"
+  "CMakeFiles/fig08_rfa_probes.dir/fig08_rfa_probes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_rfa_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

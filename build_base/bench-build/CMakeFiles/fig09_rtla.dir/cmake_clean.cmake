@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_rtla"
+  "../bench/fig09_rtla.pdb"
+  "CMakeFiles/fig09_rtla.dir/fig09_rtla.cpp.o"
+  "CMakeFiles/fig09_rtla.dir/fig09_rtla.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_rtla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_degree"
+  "../bench/fig10_degree.pdb"
+  "CMakeFiles/fig10_degree.dir/fig10_degree.cpp.o"
+  "CMakeFiles/fig10_degree.dir/fig10_degree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

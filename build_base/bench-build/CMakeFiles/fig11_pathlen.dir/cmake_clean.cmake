@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_pathlen"
+  "../bench/fig11_pathlen.pdb"
+  "CMakeFiles/fig11_pathlen.dir/fig11_pathlen.cpp.o"
+  "CMakeFiles/fig11_pathlen.dir/fig11_pathlen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pathlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_micro"
+  "../bench/perf_micro.pdb"
+  "CMakeFiles/perf_micro.dir/perf_micro.cpp.o"
+  "CMakeFiles/perf_micro.dir/perf_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table01_signatures"
+  "../bench/table01_signatures.pdb"
+  "CMakeFiles/table01_signatures.dir/table01_signatures.cpp.o"
+  "CMakeFiles/table01_signatures.dir/table01_signatures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

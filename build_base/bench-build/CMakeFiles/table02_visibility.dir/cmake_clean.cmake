@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table02_visibility"
+  "../bench/table02_visibility.pdb"
+  "CMakeFiles/table02_visibility.dir/table02_visibility.cpp.o"
+  "CMakeFiles/table02_visibility.dir/table02_visibility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table03_crossval"
+  "../bench/table03_crossval.pdb"
+  "CMakeFiles/table03_crossval.dir/table03_crossval.cpp.o"
+  "CMakeFiles/table03_crossval.dir/table03_crossval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_crossval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table04_discovery"
+  "../bench/table04_discovery.pdb"
+  "CMakeFiles/table04_discovery.dir/table04_discovery.cpp.o"
+  "CMakeFiles/table04_discovery.dir/table04_discovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

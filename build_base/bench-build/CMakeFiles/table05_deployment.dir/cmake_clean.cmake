@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table05_deployment"
+  "../bench/table05_deployment.pdb"
+  "CMakeFiles/table05_deployment.dir/table05_deployment.cpp.o"
+  "CMakeFiles/table05_deployment.dir/table05_deployment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

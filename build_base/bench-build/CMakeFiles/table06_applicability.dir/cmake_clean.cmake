@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table06_applicability"
+  "../bench/table06_applicability.pdb"
+  "CMakeFiles/table06_applicability.dir/table06_applicability.cpp.o"
+  "CMakeFiles/table06_applicability.dir/table06_applicability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_applicability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

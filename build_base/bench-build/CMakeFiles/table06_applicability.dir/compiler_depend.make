@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table06_applicability.
+# This may be replaced when dependencies are built.

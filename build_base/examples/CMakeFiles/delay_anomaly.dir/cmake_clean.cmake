@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_anomaly.dir/delay_anomaly.cpp.o"
+  "CMakeFiles/delay_anomaly.dir/delay_anomaly.cpp.o.d"
+  "delay_anomaly"
+  "delay_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_campaign.dir/internet_campaign.cpp.o"
+  "CMakeFiles/internet_campaign.dir/internet_campaign.cpp.o.d"
+  "internet_campaign"
+  "internet_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

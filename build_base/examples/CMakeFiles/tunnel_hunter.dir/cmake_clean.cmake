@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunnel_hunter.dir/tunnel_hunter.cpp.o"
+  "CMakeFiles/tunnel_hunter.dir/tunnel_hunter.cpp.o.d"
+  "tunnel_hunter"
+  "tunnel_hunter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunnel_hunter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tunnel_hunter.
+# This may be replaced when dependencies are built.

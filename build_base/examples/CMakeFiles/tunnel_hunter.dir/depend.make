@@ -1,0 +1,2 @@
+# Empty dependencies file for tunnel_hunter.
+# This may be replaced when dependencies are built.

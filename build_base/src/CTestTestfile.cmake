@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build_base/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("exec")
+subdirs("netbase")
+subdirs("topo")
+subdirs("routing")
+subdirs("mpls")
+subdirs("sim")
+subdirs("probe")
+subdirs("io")
+subdirs("fingerprint")
+subdirs("reveal")
+subdirs("gen")
+subdirs("campaign")
+subdirs("analysis")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_analysis.dir/campaign_report.cpp.o"
+  "CMakeFiles/wormhole_analysis.dir/campaign_report.cpp.o.d"
+  "CMakeFiles/wormhole_analysis.dir/correct.cpp.o"
+  "CMakeFiles/wormhole_analysis.dir/correct.cpp.o.d"
+  "CMakeFiles/wormhole_analysis.dir/metrics.cpp.o"
+  "CMakeFiles/wormhole_analysis.dir/metrics.cpp.o.d"
+  "CMakeFiles/wormhole_analysis.dir/report.cpp.o"
+  "CMakeFiles/wormhole_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/wormhole_analysis.dir/tables.cpp.o"
+  "CMakeFiles/wormhole_analysis.dir/tables.cpp.o.d"
+  "libwormhole_analysis.a"
+  "libwormhole_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_campaign.dir/campaign.cpp.o"
+  "CMakeFiles/wormhole_campaign.dir/campaign.cpp.o.d"
+  "CMakeFiles/wormhole_campaign.dir/crossval.cpp.o"
+  "CMakeFiles/wormhole_campaign.dir/crossval.cpp.o.d"
+  "CMakeFiles/wormhole_campaign.dir/dataset.cpp.o"
+  "CMakeFiles/wormhole_campaign.dir/dataset.cpp.o.d"
+  "CMakeFiles/wormhole_campaign.dir/targets.cpp.o"
+  "CMakeFiles/wormhole_campaign.dir/targets.cpp.o.d"
+  "libwormhole_campaign.a"
+  "libwormhole_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

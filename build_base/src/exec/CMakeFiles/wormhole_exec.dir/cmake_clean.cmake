@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_exec.dir/thread_pool.cpp.o"
+  "CMakeFiles/wormhole_exec.dir/thread_pool.cpp.o.d"
+  "libwormhole_exec.a"
+  "libwormhole_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

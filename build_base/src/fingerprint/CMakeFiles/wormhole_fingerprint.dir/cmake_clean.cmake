@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_fingerprint.dir/signature.cpp.o"
+  "CMakeFiles/wormhole_fingerprint.dir/signature.cpp.o.d"
+  "libwormhole_fingerprint.a"
+  "libwormhole_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

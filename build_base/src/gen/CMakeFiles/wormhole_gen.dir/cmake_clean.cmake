@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_gen.dir/gns3.cpp.o"
+  "CMakeFiles/wormhole_gen.dir/gns3.cpp.o.d"
+  "CMakeFiles/wormhole_gen.dir/internet.cpp.o"
+  "CMakeFiles/wormhole_gen.dir/internet.cpp.o.d"
+  "CMakeFiles/wormhole_gen.dir/router_config.cpp.o"
+  "CMakeFiles/wormhole_gen.dir/router_config.cpp.o.d"
+  "libwormhole_gen.a"
+  "libwormhole_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_io.dir/tracefile.cpp.o"
+  "CMakeFiles/wormhole_io.dir/tracefile.cpp.o.d"
+  "libwormhole_io.a"
+  "libwormhole_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpls/config.cpp" "src/mpls/CMakeFiles/wormhole_mpls.dir/config.cpp.o" "gcc" "src/mpls/CMakeFiles/wormhole_mpls.dir/config.cpp.o.d"
+  "/root/repo/src/mpls/ldp.cpp" "src/mpls/CMakeFiles/wormhole_mpls.dir/ldp.cpp.o" "gcc" "src/mpls/CMakeFiles/wormhole_mpls.dir/ldp.cpp.o.d"
+  "/root/repo/src/mpls/rsvp_te.cpp" "src/mpls/CMakeFiles/wormhole_mpls.dir/rsvp_te.cpp.o" "gcc" "src/mpls/CMakeFiles/wormhole_mpls.dir/rsvp_te.cpp.o.d"
+  "/root/repo/src/mpls/segment_routing.cpp" "src/mpls/CMakeFiles/wormhole_mpls.dir/segment_routing.cpp.o" "gcc" "src/mpls/CMakeFiles/wormhole_mpls.dir/segment_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_base/src/routing/CMakeFiles/wormhole_routing.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/topo/CMakeFiles/wormhole_topo.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/netbase/CMakeFiles/wormhole_netbase.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/exec/CMakeFiles/wormhole_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

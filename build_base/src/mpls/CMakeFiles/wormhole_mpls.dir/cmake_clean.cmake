@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_mpls.dir/config.cpp.o"
+  "CMakeFiles/wormhole_mpls.dir/config.cpp.o.d"
+  "CMakeFiles/wormhole_mpls.dir/ldp.cpp.o"
+  "CMakeFiles/wormhole_mpls.dir/ldp.cpp.o.d"
+  "CMakeFiles/wormhole_mpls.dir/rsvp_te.cpp.o"
+  "CMakeFiles/wormhole_mpls.dir/rsvp_te.cpp.o.d"
+  "CMakeFiles/wormhole_mpls.dir/segment_routing.cpp.o"
+  "CMakeFiles/wormhole_mpls.dir/segment_routing.cpp.o.d"
+  "libwormhole_mpls.a"
+  "libwormhole_mpls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_mpls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_netbase.dir/ipv4.cpp.o"
+  "CMakeFiles/wormhole_netbase.dir/ipv4.cpp.o.d"
+  "CMakeFiles/wormhole_netbase.dir/stats.cpp.o"
+  "CMakeFiles/wormhole_netbase.dir/stats.cpp.o.d"
+  "libwormhole_netbase.a"
+  "libwormhole_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/probe/multipath.cpp" "src/probe/CMakeFiles/wormhole_probe.dir/multipath.cpp.o" "gcc" "src/probe/CMakeFiles/wormhole_probe.dir/multipath.cpp.o.d"
+  "/root/repo/src/probe/prober.cpp" "src/probe/CMakeFiles/wormhole_probe.dir/prober.cpp.o" "gcc" "src/probe/CMakeFiles/wormhole_probe.dir/prober.cpp.o.d"
+  "/root/repo/src/probe/trace.cpp" "src/probe/CMakeFiles/wormhole_probe.dir/trace.cpp.o" "gcc" "src/probe/CMakeFiles/wormhole_probe.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_base/src/sim/CMakeFiles/wormhole_sim.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/mpls/CMakeFiles/wormhole_mpls.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/routing/CMakeFiles/wormhole_routing.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/topo/CMakeFiles/wormhole_topo.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/netbase/CMakeFiles/wormhole_netbase.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/exec/CMakeFiles/wormhole_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

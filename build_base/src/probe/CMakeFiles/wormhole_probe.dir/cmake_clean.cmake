@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_probe.dir/multipath.cpp.o"
+  "CMakeFiles/wormhole_probe.dir/multipath.cpp.o.d"
+  "CMakeFiles/wormhole_probe.dir/prober.cpp.o"
+  "CMakeFiles/wormhole_probe.dir/prober.cpp.o.d"
+  "CMakeFiles/wormhole_probe.dir/trace.cpp.o"
+  "CMakeFiles/wormhole_probe.dir/trace.cpp.o.d"
+  "libwormhole_probe.a"
+  "libwormhole_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

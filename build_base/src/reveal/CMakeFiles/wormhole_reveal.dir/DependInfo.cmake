@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reveal/frpla.cpp" "src/reveal/CMakeFiles/wormhole_reveal.dir/frpla.cpp.o" "gcc" "src/reveal/CMakeFiles/wormhole_reveal.dir/frpla.cpp.o.d"
+  "/root/repo/src/reveal/revelator.cpp" "src/reveal/CMakeFiles/wormhole_reveal.dir/revelator.cpp.o" "gcc" "src/reveal/CMakeFiles/wormhole_reveal.dir/revelator.cpp.o.d"
+  "/root/repo/src/reveal/rtla.cpp" "src/reveal/CMakeFiles/wormhole_reveal.dir/rtla.cpp.o" "gcc" "src/reveal/CMakeFiles/wormhole_reveal.dir/rtla.cpp.o.d"
+  "/root/repo/src/reveal/uhp_trigger.cpp" "src/reveal/CMakeFiles/wormhole_reveal.dir/uhp_trigger.cpp.o" "gcc" "src/reveal/CMakeFiles/wormhole_reveal.dir/uhp_trigger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_base/src/probe/CMakeFiles/wormhole_probe.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/fingerprint/CMakeFiles/wormhole_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/sim/CMakeFiles/wormhole_sim.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/mpls/CMakeFiles/wormhole_mpls.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/routing/CMakeFiles/wormhole_routing.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/topo/CMakeFiles/wormhole_topo.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/netbase/CMakeFiles/wormhole_netbase.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/exec/CMakeFiles/wormhole_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_reveal.dir/frpla.cpp.o"
+  "CMakeFiles/wormhole_reveal.dir/frpla.cpp.o.d"
+  "CMakeFiles/wormhole_reveal.dir/revelator.cpp.o"
+  "CMakeFiles/wormhole_reveal.dir/revelator.cpp.o.d"
+  "CMakeFiles/wormhole_reveal.dir/rtla.cpp.o"
+  "CMakeFiles/wormhole_reveal.dir/rtla.cpp.o.d"
+  "CMakeFiles/wormhole_reveal.dir/uhp_trigger.cpp.o"
+  "CMakeFiles/wormhole_reveal.dir/uhp_trigger.cpp.o.d"
+  "libwormhole_reveal.a"
+  "libwormhole_reveal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_reveal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

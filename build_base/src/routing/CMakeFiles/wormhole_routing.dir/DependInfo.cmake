@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/bgp.cpp" "src/routing/CMakeFiles/wormhole_routing.dir/bgp.cpp.o" "gcc" "src/routing/CMakeFiles/wormhole_routing.dir/bgp.cpp.o.d"
+  "/root/repo/src/routing/fib.cpp" "src/routing/CMakeFiles/wormhole_routing.dir/fib.cpp.o" "gcc" "src/routing/CMakeFiles/wormhole_routing.dir/fib.cpp.o.d"
+  "/root/repo/src/routing/igp.cpp" "src/routing/CMakeFiles/wormhole_routing.dir/igp.cpp.o" "gcc" "src/routing/CMakeFiles/wormhole_routing.dir/igp.cpp.o.d"
+  "/root/repo/src/routing/spf_engine.cpp" "src/routing/CMakeFiles/wormhole_routing.dir/spf_engine.cpp.o" "gcc" "src/routing/CMakeFiles/wormhole_routing.dir/spf_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_base/src/topo/CMakeFiles/wormhole_topo.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/exec/CMakeFiles/wormhole_exec.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/netbase/CMakeFiles/wormhole_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

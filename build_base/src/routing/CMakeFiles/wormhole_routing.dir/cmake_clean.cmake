@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_routing.dir/bgp.cpp.o"
+  "CMakeFiles/wormhole_routing.dir/bgp.cpp.o.d"
+  "CMakeFiles/wormhole_routing.dir/fib.cpp.o"
+  "CMakeFiles/wormhole_routing.dir/fib.cpp.o.d"
+  "CMakeFiles/wormhole_routing.dir/igp.cpp.o"
+  "CMakeFiles/wormhole_routing.dir/igp.cpp.o.d"
+  "CMakeFiles/wormhole_routing.dir/spf_engine.cpp.o"
+  "CMakeFiles/wormhole_routing.dir/spf_engine.cpp.o.d"
+  "libwormhole_routing.a"
+  "libwormhole_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_sim.dir/engine.cpp.o"
+  "CMakeFiles/wormhole_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/wormhole_sim.dir/network.cpp.o"
+  "CMakeFiles/wormhole_sim.dir/network.cpp.o.d"
+  "CMakeFiles/wormhole_sim.dir/vendor.cpp.o"
+  "CMakeFiles/wormhole_sim.dir/vendor.cpp.o.d"
+  "libwormhole_sim.a"
+  "libwormhole_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_topo.dir/itdk.cpp.o"
+  "CMakeFiles/wormhole_topo.dir/itdk.cpp.o.d"
+  "CMakeFiles/wormhole_topo.dir/topology.cpp.o"
+  "CMakeFiles/wormhole_topo.dir/topology.cpp.o.d"
+  "libwormhole_topo.a"
+  "libwormhole_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_parity.dir/test_batch_parity.cpp.o"
+  "CMakeFiles/test_batch_parity.dir/test_batch_parity.cpp.o.d"
+  "test_batch_parity"
+  "test_batch_parity.pdb"
+  "test_batch_parity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convergence_parity.dir/test_convergence_parity.cpp.o"
+  "CMakeFiles/test_convergence_parity.dir/test_convergence_parity.cpp.o.d"
+  "test_convergence_parity"
+  "test_convergence_parity.pdb"
+  "test_convergence_parity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convergence_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastpath.dir/test_fastpath.cpp.o"
+  "CMakeFiles/test_fastpath.dir/test_fastpath.cpp.o.d"
+  "test_fastpath"
+  "test_fastpath.pdb"
+  "test_fastpath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

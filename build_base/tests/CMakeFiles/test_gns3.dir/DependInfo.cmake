@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gns3.cpp" "tests/CMakeFiles/test_gns3.dir/test_gns3.cpp.o" "gcc" "tests/CMakeFiles/test_gns3.dir/test_gns3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_base/src/analysis/CMakeFiles/wormhole_analysis.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/campaign/CMakeFiles/wormhole_campaign.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/gen/CMakeFiles/wormhole_gen.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/reveal/CMakeFiles/wormhole_reveal.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/io/CMakeFiles/wormhole_io.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/fingerprint/CMakeFiles/wormhole_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/probe/CMakeFiles/wormhole_probe.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/sim/CMakeFiles/wormhole_sim.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/mpls/CMakeFiles/wormhole_mpls.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/routing/CMakeFiles/wormhole_routing.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/topo/CMakeFiles/wormhole_topo.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/netbase/CMakeFiles/wormhole_netbase.dir/DependInfo.cmake"
+  "/root/repo/build_base/src/exec/CMakeFiles/wormhole_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gns3.dir/test_gns3.cpp.o"
+  "CMakeFiles/test_gns3.dir/test_gns3.cpp.o.d"
+  "test_gns3"
+  "test_gns3.pdb"
+  "test_gns3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gns3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gns3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_campaign.dir/test_golden_campaign.cpp.o"
+  "CMakeFiles/test_golden_campaign.dir/test_golden_campaign.cpp.o.d"
+  "test_golden_campaign"
+  "test_golden_campaign.pdb"
+  "test_golden_campaign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_mixed.dir/test_integration_mixed.cpp.o"
+  "CMakeFiles/test_integration_mixed.dir/test_integration_mixed.cpp.o.d"
+  "test_integration_mixed"
+  "test_integration_mixed.pdb"
+  "test_integration_mixed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_internet.dir/test_internet.cpp.o"
+  "CMakeFiles/test_internet.dir/test_internet.cpp.o.d"
+  "test_internet"
+  "test_internet.pdb"
+  "test_internet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_failure.dir/test_link_failure.cpp.o"
+  "CMakeFiles/test_link_failure.dir/test_link_failure.cpp.o.d"
+  "test_link_failure"
+  "test_link_failure.pdb"
+  "test_link_failure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpls.dir/test_mpls.cpp.o"
+  "CMakeFiles/test_mpls.dir/test_mpls.cpp.o.d"
+  "test_mpls"
+  "test_mpls.pdb"
+  "test_mpls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

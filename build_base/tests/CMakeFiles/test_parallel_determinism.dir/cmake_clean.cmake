@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_determinism.dir/test_parallel_determinism.cpp.o"
+  "CMakeFiles/test_parallel_determinism.dir/test_parallel_determinism.cpp.o.d"
+  "test_parallel_determinism"
+  "test_parallel_determinism.pdb"
+  "test_parallel_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

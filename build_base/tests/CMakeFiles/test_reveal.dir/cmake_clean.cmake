@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reveal.dir/test_reveal.cpp.o"
+  "CMakeFiles/test_reveal.dir/test_reveal.cpp.o.d"
+  "test_reveal"
+  "test_reveal.pdb"
+  "test_reveal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reveal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

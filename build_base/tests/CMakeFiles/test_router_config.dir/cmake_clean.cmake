@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_config.dir/test_router_config.cpp.o"
+  "CMakeFiles/test_router_config.dir/test_router_config.cpp.o.d"
+  "test_router_config"
+  "test_router_config.pdb"
+  "test_router_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

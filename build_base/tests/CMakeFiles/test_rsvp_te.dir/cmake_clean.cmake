@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsvp_te.dir/test_rsvp_te.cpp.o"
+  "CMakeFiles/test_rsvp_te.dir/test_rsvp_te.cpp.o.d"
+  "test_rsvp_te"
+  "test_rsvp_te.pdb"
+  "test_rsvp_te[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsvp_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

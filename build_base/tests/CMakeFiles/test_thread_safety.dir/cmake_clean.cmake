@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_safety.dir/test_thread_safety.cpp.o"
+  "CMakeFiles/test_thread_safety.dir/test_thread_safety.cpp.o.d"
+  "test_thread_safety"
+  "test_thread_safety.pdb"
+  "test_thread_safety[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uhp_trigger.dir/test_uhp_trigger.cpp.o"
+  "CMakeFiles/test_uhp_trigger.dir/test_uhp_trigger.cpp.o.d"
+  "test_uhp_trigger"
+  "test_uhp_trigger.pdb"
+  "test_uhp_trigger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uhp_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

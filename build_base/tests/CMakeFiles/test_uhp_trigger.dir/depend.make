@@ -1,0 +1,2 @@
+# Empty dependencies file for test_uhp_trigger.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole.dir/wormhole_cli.cpp.o"
+  "CMakeFiles/wormhole.dir/wormhole_cli.cpp.o.d"
+  "wormhole"
+  "wormhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build_base/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage "/root/repo/build_base/tools/wormhole")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_emulate "/root/repo/build_base/tools/wormhole" "emulate" "uhp")
+set_tests_properties(cli_emulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_configs "/root/repo/build_base/tools/wormhole" "configs" "dpr")
+set_tests_properties(cli_configs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_campaign "/root/repo/build_base/tools/wormhole" "campaign" "7" "/root/repo/build_base/cli_test.traces")
+set_tests_properties(cli_campaign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_replay "/root/repo/build_base/tools/wormhole" "replay" "/root/repo/build_base/cli_test.traces")
+set_tests_properties(cli_replay PROPERTIES  DEPENDS "cli_campaign" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_replay_missing_file "/root/repo/build_base/tools/wormhole" "replay" "/nonexistent.traces")
+set_tests_properties(cli_replay_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_report "/root/repo/build_base/tools/wormhole" "report" "7" "/root/repo/build_base/cli_report_out")
+set_tests_properties(cli_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lint.fixtures "/root/.pyenv/shims/python3" "/root/repo/tools/lint/lint_test.py")
+set_tests_properties(lint.fixtures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;43;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lint.determinism "/root/.pyenv/shims/python3" "/root/repo/tools/lint/determinism_lint.py" "--root" "/root/repo")
+set_tests_properties(lint.determinism PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;46;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lint.semantic.fixtures "/root/.pyenv/shims/python3" "/root/repo/tools/lint/semantic_lint_test.py")
+set_tests_properties(lint.semantic.fixtures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;50;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lint.semantic "/root/.pyenv/shims/python3" "/root/repo/tools/lint/semantic_lint.py" "--root" "/root/repo" "--compile-commands" "/root/repo/build_base/compile_commands.json")
+set_tests_properties(lint.semantic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;53;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lint.thread_safety "/root/.pyenv/shims/python3" "/root/repo/tools/lint/thread_safety_fixture_test.py")
+set_tests_properties(lint.thread_safety PROPERTIES  SKIP_RETURN_CODE "77" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;59;add_test;/root/repo/tools/CMakeLists.txt;0;")
