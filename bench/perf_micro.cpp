@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -14,6 +15,7 @@
 #endif
 
 #include "campaign/campaign.h"
+#include "campaign/trace_cache.h"
 #include "gen/gns3.h"
 #include "gen/internet.h"
 #include "mpls/ldp.h"
@@ -21,6 +23,8 @@
 #include "netbase/packet.h"
 #include "probe/prober.h"
 #include "reveal/revelator.h"
+#include "routing/as_path.h"
+#include "routing/delta.h"
 #include "routing/fib.h"
 #include "routing/igp.h"
 #include "routing/spf_engine.h"
@@ -524,6 +528,124 @@ BENCHMARK(BM_CampaignScaling)
     ->ArgsProduct({{0, 1}, {2048, 0}, {0, 64}})
     ->Unit(benchmark::kMillisecond);
 
+/// The flap target for BM_DeltaReprobe: an internal link of an
+/// MPLS-enabled transit AS — churn inside a carrier, the paper's setting
+/// and the case delta re-probing is built for (a stub flap would be
+/// trivially cheap, a tier-1 flap dirties most pairs). Transits that
+/// peer with a vantage point's stub AS are skipped: every forward path
+/// from that VP crosses its provider, so flapping it dirties ~all of the
+/// VP's pairs — that is the full-rerun regime BM_CampaignScaling already
+/// measures, not the steady-state "churn in a distant carrier" this
+/// benchmark models.
+topo::LinkId PickTransitFlapLink(const gen::SyntheticInternet& world) {
+  const topo::Topology& topology = world.topology();
+  std::set<topo::AsNumber> vp_ases;
+  for (const netbase::Ipv4Address vp : world.vantage_points()) {
+    if (const topo::Host* host = topology.FindHost(vp)) {
+      vp_ases.insert(topology.router(host->gateway).asn);
+    }
+  }
+  std::set<topo::AsNumber> vp_adjacent;
+  for (topo::LinkId l = 0; l < topology.link_count(); ++l) {
+    if (topology.IsInternalLink(l)) continue;
+    const topo::AsNumber a =
+        topology.router(topology.interface(topology.link(l).a).router).asn;
+    const topo::AsNumber b =
+        topology.router(topology.interface(topology.link(l).b).router).asn;
+    if (vp_ases.contains(a)) vp_adjacent.insert(b);
+    if (vp_ases.contains(b)) vp_adjacent.insert(a);
+  }
+  for (topo::LinkId l = 0; l < topology.link_count(); ++l) {
+    if (!topology.IsInternalLink(l)) continue;
+    const topo::AsNumber asn =
+        topology.router(topology.interface(topology.link(l).a).router).asn;
+    const gen::AsProfile& profile = world.profile(asn);
+    if (profile.role == gen::AsRole::kTransit && profile.mpls &&
+        !vp_adjacent.contains(asn)) {
+      return l;
+    }
+  }
+  return topo::kNoLink;
+}
+
+void BM_DeltaReprobe(benchmark::State& state) {
+  // Flap-to-fresh-report latency (docs/incremental.md). Args: (world
+  // size class, delta). Each iteration flaps one transit-internal link
+  // down and back up; after every flap the campaign report is brought
+  // back up to date. delta=0 re-runs the full streaming campaign (the
+  // baseline, matching BM_CampaignScaling's shard=64 configuration);
+  // delta=1 invalidates an epoch-versioned TraceCache with the
+  // ConvergenceDelta + AS-path dirty set and re-probes only the dirty
+  // (vp, target) pairs — identical output bytes
+  // (tests/test_convergence_parity.cpp), so the rows differ only in
+  // latency and the reprobe_frac counter.
+  gen::SyntheticInternet& world =
+      ScalingWorldOfSize(static_cast<int>(state.range(0)));
+  topo::Topology& topology = world.mutable_topology();
+  const bool use_delta = state.range(1) != 0;
+  const auto targets = world.AllLoopbacks();
+  const topo::LinkId flapped = PickTransitFlapLink(world);
+  if (flapped == topo::kNoLink) {
+    state.SkipWithError("no MPLS transit-internal link");
+    return;
+  }
+
+  campaign::CampaignOptions options;
+  options.jobs = 1;
+  options.shard_targets = true;
+  options.stream_shard_size = 64;
+  campaign::Campaign campaign(world.engine(), world.vantage_points(),
+                              options);
+  campaign::TraceCache cache;
+  // Warm fill (untimed): the steady state is "cache populated, link
+  // churns" — the cold fill is just a streaming campaign.
+  if (use_delta) benchmark::DoNotOptimize(campaign.RunDelta(targets, cache));
+
+  std::uint64_t pairs_total = 0;
+  std::uint64_t pairs_reprobed = 0;
+  std::uint64_t reports = 0;
+  for (auto _ : state) {
+    for (const bool up : {false, true}) {
+      topology.SetLinkUp(flapped, up);
+      const routing::ConvergenceDelta delta =
+          world.network().OnLinkStateChange(flapped);
+      if (use_delta) {
+        const routing::AsPathOracle oracle(topology,
+                                           world.network().bgp_level(),
+                                           world.network().bgp_policy());
+        cache.Invalidate(delta, oracle);
+        const auto result = campaign.RunDelta(targets, cache);
+        pairs_total += result.delta_pairs_total;
+        pairs_reprobed += result.delta_pairs_reprobed;
+        benchmark::DoNotOptimize(result.revelations.size());
+      } else {
+        campaign::Campaign cold(world.engine(), world.vantage_points(),
+                                options);
+        const auto result = cold.Run(targets);
+        benchmark::DoNotOptimize(result.revelations.size());
+      }
+      ++reports;
+    }
+  }
+  state.counters["routers"] =
+      static_cast<double>(world.topology().router_count());
+  state.counters["reports/s"] = benchmark::Counter(
+      static_cast<double>(reports), benchmark::Counter::kIsRate);
+  if (use_delta) {
+    state.counters["reprobe_frac"] =
+        pairs_total == 0 ? 0.0
+                         : static_cast<double>(pairs_reprobed) /
+                               static_cast<double>(pairs_total);
+    state.counters["cache_mb"] =
+        static_cast<double>(cache.RetainedBytes()) / (1024.0 * 1024.0);
+  }
+  state.counters["peak_rss_mb"] = PeakRssMb();
+}
+BENCHMARK(BM_DeltaReprobe)
+    ->ArgNames({"size", "delta"})
+    ->ArgsProduct({{1}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
 /// The ~90k-router, >1M-probe acceptance point (docs/scaling.md). Opt in
 /// with WORMHOLE_BENCH_HUGE=1: one iteration takes minutes and builds a
 /// multi-GB world, which has no place in the CI smoke run.
@@ -535,6 +657,12 @@ const bool kHugeRegistered = [] {
       ->ArgNames({"size", "targets", "shard"})
       ->Args({2, 0, 4096})
       ->Args({2, 0, 0})
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+  benchmark::RegisterBenchmark("BM_DeltaReprobe", BM_DeltaReprobe)
+      ->ArgNames({"size", "delta"})
+      ->Args({2, 0})
+      ->Args({2, 1})
       ->Unit(benchmark::kMillisecond)
       ->Iterations(1);
   return true;

@@ -111,7 +111,7 @@ std::vector<DeploymentRow> MakeDeploymentTable(
   std::map<AsNumber, Bucket> buckets;
 
   // Signature mix per AS over every fingerprinted address.
-  for (const auto& [address, signature] : result.signatures.table()) {
+  for (const auto& [address, signature] : result.signatures.SortedEntries()) {
     const AsNumber asn = topology.AsOfAddress(address);
     if (asn == 0) continue;
     if (!result.signatures.SignatureOf(address)) continue;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <set>
 
+#include "netbase/contracts.h"
+
 namespace wormhole::campaign {
 
 using netbase::PacketKind;
@@ -115,7 +117,7 @@ CampaignResult Campaign::Run(
     for (probe::TraceResult& trace : per_vp[vp]) {
       AddTraceToDataset(result.inferred, trace, resolver, topology);
       trace_pair.push_back(
-          AnalyzeTrace(trace, result, probers_[vp], hdn_set));
+          AnalyzeTrace(trace, result, vp, probers_[vp], hdn_set));
       result.traces.push_back(std::move(trace));
     }
   }
@@ -153,11 +155,17 @@ std::vector<CompactTraceLog> Campaign::TraceShardsStreaming(
   // else. `scratch` holds one shard of full traces; once the shard is
   // compacted the vector is reused, so the per-VP high-water mark is
   // stream_shard_size traces instead of the whole target list.
+  // A probing pass must never span a reconvergence: reconvergence is the
+  // engine's exclusive write phase, and a mid-shard epoch bump would mean
+  // traces of two routing states under one epoch stamp.
+  const std::uint64_t epoch = engine_->convergence_epoch();
   std::vector<CompactTraceLog> logs(probers_.size());
   exec::ParallelFor(pool_, probers_.size(), [&](std::size_t vp) {
     std::vector<probe::TraceResult> scratch;
     for (const auto shard : FixedShards(shards[vp],
                                         options_.stream_shard_size)) {
+      WORMHOLE_ASSERT(engine_->convergence_epoch() == epoch,
+                      "reconvergence during a probing shard");
       scratch.clear();
       scratch.reserve(shard.size());
       for (const netbase::Ipv4Address target : shard) {
@@ -174,9 +182,84 @@ std::vector<CompactTraceLog> Campaign::TraceShardsStreaming(
 
 CampaignResult Campaign::RunStreaming(
     const std::vector<netbase::Ipv4Address>& discovery_targets) {
+  return StreamingCampaign(discovery_targets, nullptr);
+}
+
+CampaignResult Campaign::RunDelta(
+    const std::vector<netbase::Ipv4Address>& discovery_targets,
+    TraceCache& cache) {
+  ResetProbers();
+  return StreamingCampaign(discovery_targets, &cache);
+}
+
+void Campaign::ResetProbers() {
+  for (probe::Prober& prober : probers_) {
+    prober = probe::Prober(*engine_, prober.vantage_point());
+  }
+}
+
+std::vector<CompactTraceLog> Campaign::TraceShardsDelta(
+    TraceCache::Phase phase,
+    const std::vector<std::vector<netbase::Ipv4Address>>& shards,
+    TraceCache& cache, std::uint64_t epoch, bool strict_offsets,
+    std::vector<std::uint64_t>& served, std::vector<std::uint64_t>& total) {
+  // One task per VP, targets walked in the same order as
+  // TraceShardsStreaming, so the live probes land on exactly the ids the
+  // cold run gave them (cache hits replay their id budget via
+  // SkipProbes). Each task reads and writes only its own (phase, vp)
+  // cache slot — see the TraceCache thread-safety contract.
+  std::vector<CompactTraceLog> logs(probers_.size());
+  exec::ParallelFor(pool_, probers_.size(), [&](std::size_t vp) {
+    probe::Prober& prober = probers_[vp];
+    for (const auto shard : FixedShards(shards[vp],
+                                        options_.stream_shard_size)) {
+      WORMHOLE_ASSERT(engine_->convergence_epoch() == epoch,
+                      "reconvergence during a probing shard");
+      for (const netbase::Ipv4Address target : shard) {
+        ++total[vp];
+        const TraceCache::Lookup cached =
+            cache.Find(phase, vp, target, epoch, prober.probes_sent(),
+                       strict_offsets);
+        if (cached.hit) {
+          logs[vp].AppendFrom(cache.LogOf(phase, vp), cached.trace_index);
+          prober.SkipProbes(cached.probes_used);
+          ++served[vp];
+          continue;
+        }
+        const std::uint64_t before = prober.probes_sent();
+        const probe::TraceResult trace =
+            prober.Traceroute(target, options_.trace_options);
+        cache.Record(phase, vp, trace, epoch, before,
+                     prober.probes_sent() - before);
+        logs[vp].Append(trace);
+      }
+    }
+  });
+  return logs;
+}
+
+CampaignResult Campaign::StreamingCampaign(
+    const std::vector<netbase::Ipv4Address>& discovery_targets,
+    TraceCache* cache) {
   CampaignResult result;
   const topo::Topology& topology = engine_->topology();
   const AliasResolver resolver = TruthResolver(topology);
+
+  const std::uint64_t epoch = engine_->convergence_epoch();
+  // On a lossy world the reply bytes depend on probe ids, so a cached
+  // trace may only be served at the exact id offset it was recorded at;
+  // loss-free worlds can serve at any offset (docs/incremental.md).
+  const bool strict_offsets =
+      cache != nullptr && engine_->RepliesDependOnProbeIds();
+  if (cache != nullptr) cache->Begin(topology, probers_.size());
+  // Route the reduce's echo pings (fingerprint echo halves, candidate
+  // egress probes) through the cache's ping table for the rest of this
+  // run; revelation probing always runs live.
+  delta_cache_ = cache;
+  delta_epoch_ = epoch;
+  delta_strict_ = strict_offsets;
+  std::vector<std::uint64_t> served(probers_.size(), 0);
+  std::vector<std::uint64_t> total(probers_.size(), 0);
 
   // Phase 0: streamed discovery. The buffered path flattens the per-VP
   // trace vectors vp-major before BuildDataset; replaying the compact
@@ -185,11 +268,17 @@ CampaignResult Campaign::RunStreaming(
   {
     const auto discovery_shards =
         ShardTargets(discovery_targets, probers_.size());
-    const auto logs = TraceShardsStreaming(discovery_shards);
+    const auto logs =
+        cache != nullptr
+            ? TraceShardsDelta(TraceCache::Phase::kDiscovery,
+                               discovery_shards, *cache, epoch,
+                               strict_offsets, served, total)
+            : TraceShardsStreaming(discovery_shards);
+    probe::TraceResult scratch;
     for (const CompactTraceLog& log : logs) {
       for (std::size_t i = 0; i < log.size(); ++i) {
-        AddTraceToDataset(result.inferred, log.Inflate(i), resolver,
-                          topology);
+        log.InflateInto(i, scratch);
+        AddTraceToDataset(result.inferred, scratch, resolver, topology);
       }
     }
   }
@@ -202,7 +291,11 @@ CampaignResult Campaign::RunStreaming(
                           ? ShardTargets(result.targets.all, probers_.size())
                           : std::vector<std::vector<netbase::Ipv4Address>>(
                                 probers_.size(), result.targets.all);
-  const auto logs = TraceShardsStreaming(shards);
+  const auto logs =
+      cache != nullptr
+          ? TraceShardsDelta(TraceCache::Phase::kTargeted, shards, *cache,
+                             epoch, strict_offsets, served, total)
+          : TraceShardsStreaming(shards);
 
   // Sequential reduce in (vp, target-index) order, inflating one trace
   // at a time. All probing above is already done, so the analysis probes
@@ -216,13 +309,14 @@ CampaignResult Campaign::RunStreaming(
   trace_pair.reserve(total_traces);
   std::vector<int> observed_ttls;
   observed_ttls.reserve(total_traces);
+  probe::TraceResult scratch;
   for (std::size_t vp = 0; vp < probers_.size(); ++vp) {
     for (std::size_t i = 0; i < logs[vp].size(); ++i) {
-      const probe::TraceResult trace = logs[vp].Inflate(i);
-      AddTraceToDataset(result.inferred, trace, resolver, topology);
+      logs[vp].InflateInto(i, scratch);
+      AddTraceToDataset(result.inferred, scratch, resolver, topology);
       trace_pair.push_back(
-          AnalyzeTrace(trace, result, probers_[vp], hdn_set));
-      observed_ttls.push_back(trace.LastRespondingTtl());
+          AnalyzeTrace(scratch, result, vp, probers_[vp], hdn_set));
+      observed_ttls.push_back(scratch.LastRespondingTtl());
     }
   }
   result.trace_count = total_traces;
@@ -236,7 +330,8 @@ CampaignResult Campaign::RunStreaming(
   }
   for (const CompactTraceLog& log : logs) {
     for (std::size_t i = 0; i < log.size(); ++i) {
-      FrplaFromTrace(log.Inflate(i), sets, result);
+      log.InflateInto(i, scratch);
+      FrplaFromTrace(scratch, sets, result);
     }
   }
 
@@ -257,11 +352,37 @@ CampaignResult Campaign::RunStreaming(
   for (const probe::Prober& prober : probers_) {
     result.probes_sent += prober.probes_sent();
   }
+  if (cache != nullptr) {
+    for (std::size_t vp = 0; vp < probers_.size(); ++vp) {
+      result.delta_pairs_total += total[vp];
+      result.delta_pairs_reprobed += total[vp] - served[vp];
+    }
+  }
+  delta_cache_ = nullptr;
+  delta_epoch_ = 0;
+  delta_strict_ = false;
   return result;
 }
 
+probe::PingResult Campaign::CachedPing(std::size_t vp,
+                                       probe::Prober& prober,
+                                       netbase::Ipv4Address address) {
+  if (delta_cache_ == nullptr) return prober.Ping(address);
+  const TraceCache::PingLookup cached = delta_cache_->FindPing(
+      vp, address, delta_epoch_, prober.probes_sent(), delta_strict_);
+  if (cached.hit) {
+    prober.SkipProbes(cached.probes_used);
+    return cached.result;
+  }
+  const std::uint64_t before = prober.probes_sent();
+  const probe::PingResult ping = prober.Ping(address);
+  delta_cache_->RecordPing(vp, prober.vantage_point(), ping, delta_epoch_,
+                           before, prober.probes_sent() - before);
+  return ping;
+}
+
 std::optional<EndpointPair> Campaign::AnalyzeTrace(
-    const probe::TraceResult& trace, CampaignResult& result,
+    const probe::TraceResult& trace, CampaignResult& result, std::size_t vp,
     probe::Prober& prober,
     const std::unordered_set<topo::NodeId>& hdn_set) {
   // UHP signatures: attribute each duplicate-hop suspicion to the AS of
@@ -284,8 +405,12 @@ std::optional<EndpointPair> Campaign::AnalyzeTrace(
     } else if (hop.reply_kind == PacketKind::kEchoReply) {
       result.signatures.RecordEchoReply(*hop.address, hop.reply_ip_ttl);
     }
-    if (options_.fingerprint) {
-      result.signatures.EnsureEchoReply(prober, *hop.address);
+    if (options_.fingerprint &&
+        result.signatures.NeedsEchoReply(*hop.address)) {
+      const probe::PingResult ping = CachedPing(vp, prober, *hop.address);
+      if (ping.responded) {
+        result.signatures.RecordEchoReply(*hop.address, ping.reply_ip_ttl);
+      }
     }
   }
 
@@ -332,7 +457,7 @@ std::optional<EndpointPair> Campaign::AnalyzeTrace(
                     static_cast<std::size_t>(trace.hops[0].probe_ttl));
   record.egress_forward_ttl = egress_hop.probe_ttl;
   record.egress_return_ttl = egress_hop.reply_ip_ttl;
-  const probe::PingResult ping = prober.Ping(y);
+  const probe::PingResult ping = CachedPing(vp, prober, y);
   if (ping.responded) record.egress_echo_ttl = ping.reply_ip_ttl;
   record.revealed = it->second.succeeded();
   record.revealed_count = static_cast<int>(it->second.revealed.size());

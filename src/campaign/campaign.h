@@ -12,6 +12,7 @@
 #include "campaign/compact_trace.h"
 #include "campaign/dataset.h"
 #include "campaign/targets.h"
+#include "campaign/trace_cache.h"
 #include "exec/thread_pool.h"
 #include "fingerprint/signature.h"
 #include "netbase/stats.h"
@@ -106,6 +107,13 @@ struct CampaignResult {
   std::map<topo::AsNumber, std::size_t> uhp_suspicions;
   std::uint64_t probes_sent = 0;
   std::uint64_t revelation_traces = 0;
+  /// Delta-run accounting (RunDelta only; zero otherwise): (vp, target)
+  /// pairs considered across both probing phases, and how many of them
+  /// were actually re-probed live (the rest were served from the cache).
+  /// Not part of the report — the report stays byte-identical to a cold
+  /// run by construction.
+  std::uint64_t delta_pairs_total = 0;
+  std::uint64_t delta_pairs_reprobed = 0;
 
   /// Successful revelations only.
   [[nodiscard]] std::size_t revealed_count() const;
@@ -138,6 +146,20 @@ class Campaign {
   std::vector<probe::TraceResult> RunDiscovery(
       const std::vector<netbase::Ipv4Address>& targets);
 
+  /// Cache-backed streaming run (docs/incremental.md). Byte-identical to
+  /// a cold Run at any jobs/shard combination: every (vp, target) trace
+  /// whose cache entry carries the current convergence epoch is spliced
+  /// from the cache (with its probe-id consumption replayed), everything
+  /// else — cache misses, fingerprint pings, revelations — runs live.
+  /// The probers are reset first, so each RunDelta is id-for-id the
+  /// campaign a fresh Campaign object would run. Typical cycle: cold
+  /// RunDelta fills `cache`; after topology.SetLinkUp +
+  /// Network::OnLinkStateChange, Invalidate the cache with the returned
+  /// delta; RunDelta again re-probes only the dirty pairs.
+  CampaignResult RunDelta(
+      const std::vector<netbase::Ipv4Address>& discovery_targets,
+      TraceCache& cache);
+
   /// The worker count actually in use (resolves jobs == 0).
   [[nodiscard]] std::size_t jobs() const { return pool_.size(); }
 
@@ -155,21 +177,50 @@ class Campaign {
   std::vector<CompactTraceLog> TraceShardsStreaming(
       const std::vector<std::vector<netbase::Ipv4Address>>& shards);
 
+  /// Delta twin of TraceShardsStreaming: per (vp, target) either splices
+  /// the cached packed trace (replaying its probe-id budget) or traces
+  /// live and records the result. Target order — and therefore each
+  /// prober's probe-id stream — is identical to TraceShardsStreaming's.
+  /// `served` / `total` accumulate per-VP hit accounting.
+  std::vector<CompactTraceLog> TraceShardsDelta(
+      TraceCache::Phase phase,
+      const std::vector<std::vector<netbase::Ipv4Address>>& shards,
+      TraceCache& cache, std::uint64_t epoch, bool strict_offsets,
+      std::vector<std::uint64_t>& served, std::vector<std::uint64_t>& total);
+
   /// The streaming (bounded-memory) twin of Run; same output bytes.
   CampaignResult RunStreaming(
       const std::vector<netbase::Ipv4Address>& discovery_targets);
 
+  /// Shared body of RunStreaming (cache == nullptr) and RunDelta.
+  CampaignResult StreamingCampaign(
+      const std::vector<netbase::Ipv4Address>& discovery_targets,
+      TraceCache* cache);
+
+  /// Rebuilds every prober in place so probe ids restart at 1 — the
+  /// precondition for a RunDelta to be id-for-id a cold campaign.
+  void ResetProbers();
+
   /// Returns the candidate endpoint pair extracted from the trace, if any.
+  /// `vp` is the prober's vantage-point index (CachedPing slot key).
   std::optional<EndpointPair> AnalyzeTrace(
-      const probe::TraceResult& trace, CampaignResult& result,
+      const probe::TraceResult& trace, CampaignResult& result, std::size_t vp,
       probe::Prober& prober,
       const std::unordered_set<topo::NodeId>& hdn_set);
+
+  /// Reduce-time echo ping (fingerprint echo half, candidate egress
+  /// probe). Outside a delta run this is exactly prober.Ping; inside one
+  /// it consults the cache's per-VP ping table first, replaying the
+  /// probe-id budget of a hit so the prober's id stream stays id-for-id
+  /// the cold run's (docs/incremental.md).
+  probe::PingResult CachedPing(std::size_t vp, probe::Prober& prober,
+                               netbase::Ipv4Address address);
 
   /// The ingress/egress address sets of the revelation map — the FRPLA
   /// responder-role classifier's inputs, computed once after the reduce.
   struct FrplaSets {
-    std::set<netbase::Ipv4Address> ingresses;
-    std::set<netbase::Ipv4Address> egresses;
+    std::unordered_set<netbase::Ipv4Address> ingresses;
+    std::unordered_set<netbase::Ipv4Address> egresses;
   };
   static FrplaSets FrplaSetsOf(const CampaignResult& result);
   /// Adds one trace's hop-level RFA samples (both Run flavours call this
@@ -184,6 +235,12 @@ class Campaign {
   std::vector<probe::Prober> probers_;
   CampaignOptions options_;
   exec::ThreadPool pool_;
+  /// Non-null only while StreamingCampaign runs with a cache: routes
+  /// CachedPing through it. The reduce is sequential, so the ping table
+  /// never sees concurrent access.
+  TraceCache* delta_cache_ = nullptr;
+  std::uint64_t delta_epoch_ = 0;
+  bool delta_strict_ = false;
 };
 
 }  // namespace wormhole::campaign

@@ -33,18 +33,38 @@ void CompactTraceLog::Append(const probe::TraceResult& trace) {
   }
 }
 
+void CompactTraceLog::AppendFrom(const CompactTraceLog& other,
+                                 std::size_t i) {
+  Header header = other.traces_.at(i);
+  const std::size_t hop_end = i + 1 < other.traces_.size()
+                                  ? other.traces_[i + 1].hop_begin
+                                  : other.hops_.size();
+  const std::size_t hop_begin = header.hop_begin;
+  header.hop_begin = static_cast<std::uint32_t>(hops_.size());
+  traces_.push_back(header);
+  hops_.insert(hops_.end(), other.hops_.begin() + hop_begin,
+               other.hops_.begin() + hop_end);
+}
+
 probe::TraceResult CompactTraceLog::Inflate(std::size_t i) const {
+  probe::TraceResult out;
+  InflateInto(i, out);
+  return out;
+}
+
+void CompactTraceLog::InflateInto(std::size_t i,
+                                  probe::TraceResult& out) const {
   const Header& header = traces_.at(i);
   const std::size_t hop_end = i + 1 < traces_.size()
                                   ? traces_[i + 1].hop_begin
                                   : hops_.size();
 
-  probe::TraceResult out;
   out.source = header.source;
   out.target = header.target;
   out.flow_id = header.flow_id;
   out.reached = (header.flags & 1) != 0;
   out.unreachable = (header.flags & 2) != 0;
+  out.hops.clear();
   out.hops.reserve(hop_end - header.hop_begin);
   for (std::size_t h = header.hop_begin; h < hop_end; ++h) {
     const PackedHop& packed = hops_[h];
@@ -58,7 +78,6 @@ probe::TraceResult CompactTraceLog::Inflate(std::size_t i) const {
     }
     out.hops.push_back(std::move(hop));
   }
-  return out;
 }
 
 }  // namespace wormhole::campaign

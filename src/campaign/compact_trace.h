@@ -31,6 +31,17 @@ class CompactTraceLog {
   /// Rebuilds trace `i` (labels empty, RTTs zero — see file comment).
   [[nodiscard]] probe::TraceResult Inflate(std::size_t i) const;
 
+  /// Rebuilds trace `i` into `out`, reusing its hop storage. The reduce
+  /// inflates every trace up to three times (dataset, analysis, FRPLA);
+  /// a reused scratch keeps those passes allocation-free after the first
+  /// trace.
+  void InflateInto(std::size_t i, probe::TraceResult& out) const;
+
+  /// Appends trace `i` of `other` verbatim (header rebased onto this
+  /// log's hop array). This is how delta re-probing splices cached traces
+  /// into a fresh per-VP log without an Inflate/Append round trip.
+  void AppendFrom(const CompactTraceLog& other, std::size_t i);
+
   [[nodiscard]] std::size_t size() const { return traces_.size(); }
   [[nodiscard]] bool empty() const { return traces_.empty(); }
   [[nodiscard]] std::size_t hop_count() const { return hops_.size(); }

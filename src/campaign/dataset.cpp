@@ -42,9 +42,18 @@ void AddTraceToDataset(topo::ItdkDataset& dataset,
       if (!hop.address) previous = topo::kNoNode;
       continue;
     }
-    const netbase::Ipv4Address key = resolver(*hop.address);
-    const topo::NodeId node = dataset.NodeOf(key);
-    dataset.AddAlias(node, *hop.address);
+    // Fast path: once an address has been aliased its node is fixed, so
+    // a single index lookup replaces the resolver call plus the
+    // NodeOf/AddAlias pair (campaign reduces revisit the same responders
+    // thousands of times).
+    topo::NodeId node;
+    if (const auto known = dataset.FindNode(*hop.address)) {
+      node = *known;
+    } else {
+      const netbase::Ipv4Address key = resolver(*hop.address);
+      node = dataset.NodeOf(key);
+      dataset.AddAlias(node, *hop.address);
+    }
     if (dataset.node(node).asn == 0) {
       dataset.SetAs(node, topology.AsOfAddress(*hop.address));
     }

@@ -1,0 +1,306 @@
+#include "campaign/trace_cache.h"
+
+#include <algorithm>
+
+#include "netbase/contracts.h"
+
+namespace wormhole::campaign {
+
+void TraceCache::Begin(const topo::Topology& topology,
+                       std::size_t vp_count) {
+  if (topology_ != &topology || vp_count_ != vp_count) {
+    slots_.clear();
+    ping_slots_.clear();
+    topology_ = &topology;
+    vp_count_ = vp_count;
+  }
+  slots_.resize(2 * vp_count_);
+  ping_slots_.resize(vp_count_);
+}
+
+const TraceCache::Slot& TraceCache::SlotOf(Phase phase,
+                                           std::size_t vp) const {
+  return slots_.at(static_cast<std::size_t>(phase) * vp_count_ + vp);
+}
+
+TraceCache::Slot& TraceCache::SlotOf(Phase phase, std::size_t vp) {
+  return slots_.at(static_cast<std::size_t>(phase) * vp_count_ + vp);
+}
+
+topo::AsNumber TraceCache::AddressAs(netbase::Ipv4Address address) const {
+  if (const auto rid = topology_->FindRouterByAddress(address)) {
+    return topology_->router(*rid).asn;
+  }
+  if (const topo::Host* host = topology_->FindHost(address)) {
+    return topology_->router(host->gateway).asn;
+  }
+  return 0;
+}
+
+TraceCache::Lookup TraceCache::Find(Phase phase, std::size_t vp,
+                                    netbase::Ipv4Address target,
+                                    std::uint64_t epoch,
+                                    std::uint64_t probes_sent,
+                                    bool strict_offsets) const {
+  const Slot& slot = SlotOf(phase, vp);
+  const auto it = slot.index.find(target.value());
+  if (it == slot.index.end()) return {};
+  const Entry& entry = slot.entries[it->second];
+  if (entry.epoch != epoch) return {};
+  if (strict_offsets && entry.start_probe_count != probes_sent) return {};
+  return Lookup{.hit = true,
+                .trace_index = entry.trace_index,
+                .probes_used = entry.probes_used};
+}
+
+void TraceCache::Record(Phase phase, std::size_t vp,
+                        const probe::TraceResult& trace, std::uint64_t epoch,
+                        std::uint64_t start_probe_count,
+                        std::uint64_t probes_used) {
+  Slot& slot = SlotOf(phase, vp);
+  if (!slot.bound) {
+    slot.vantage_point = trace.source;
+    slot.vp_as = AddressAs(trace.source);
+    slot.bound = true;
+  }
+  WORMHOLE_DCHECK(slot.vantage_point == trace.source,
+                  "one TraceCache slot per vantage point");
+
+  Entry entry;
+  entry.target = trace.target;
+  entry.trace_index = static_cast<std::uint32_t>(slot.log.size());
+  entry.epoch = epoch;
+  entry.start_probe_count = start_probe_count;
+  entry.probes_used = static_cast<std::uint32_t>(probes_used);
+
+  // The entry's AS footprint: every AS whose routing state the trace
+  // bytes can depend on through responders (return paths start in the
+  // responder's AS). The vantage point and the oracle's forward walk are
+  // folded in at Invalidate time.
+  std::vector<topo::AsNumber> ases;
+  ases.reserve(trace.hops.size() + 1);
+  const topo::AsNumber target_as = AddressAs(trace.target);
+  if (target_as == 0) entry.any_unknown_as = true;
+  else ases.push_back(target_as);
+  for (const probe::Hop& hop : trace.hops) {
+    if (!hop.address) continue;
+    const topo::AsNumber asn = AddressAs(*hop.address);
+    if (asn == 0) entry.any_unknown_as = true;
+    else ases.push_back(asn);
+  }
+  std::sort(ases.begin(), ases.end());
+  ases.erase(std::unique(ases.begin(), ases.end()), ases.end());
+  entry.as_begin = static_cast<std::uint32_t>(slot.as_pool.size());
+  slot.as_pool.insert(slot.as_pool.end(), ases.begin(), ases.end());
+  entry.as_end = static_cast<std::uint32_t>(slot.as_pool.size());
+
+  slot.log.Append(trace);
+  slot.index[trace.target.value()] =
+      static_cast<std::uint32_t>(slot.entries.size());
+  slot.entries.push_back(entry);
+}
+
+const CompactTraceLog& TraceCache::LogOf(Phase phase, std::size_t vp) const {
+  return SlotOf(phase, vp).log;
+}
+
+TraceCache::PingLookup TraceCache::FindPing(std::size_t vp,
+                                            netbase::Ipv4Address address,
+                                            std::uint64_t epoch,
+                                            std::uint64_t probes_sent,
+                                            bool strict_offsets) const {
+  const PingSlot& slot = ping_slots_.at(vp);
+  const auto it = slot.index.find(address.value());
+  if (it == slot.index.end()) return {};
+  const PingEntry& entry = slot.entries[it->second];
+  if (entry.epoch != epoch) return {};
+  if (strict_offsets && entry.start_probe_count != probes_sent) return {};
+  PingLookup lookup;
+  lookup.hit = true;
+  lookup.result.target = entry.address;
+  lookup.result.responded = entry.responded;
+  lookup.result.reply_ip_ttl = entry.reply_ip_ttl;
+  lookup.result.rtt_ms = entry.rtt_ms;
+  lookup.probes_used = entry.probes_used;
+  return lookup;
+}
+
+void TraceCache::RecordPing(std::size_t vp, netbase::Ipv4Address source,
+                            const probe::PingResult& ping,
+                            std::uint64_t epoch,
+                            std::uint64_t start_probe_count,
+                            std::uint64_t probes_used) {
+  PingSlot& slot = ping_slots_.at(vp);
+  if (!slot.bound) {
+    slot.vantage_point = source;
+    slot.vp_as = AddressAs(source);
+    slot.bound = true;
+  }
+  WORMHOLE_DCHECK(slot.vantage_point == source,
+                  "one ping slot per vantage point");
+  PingEntry entry;
+  entry.address = ping.target;
+  entry.asn = AddressAs(ping.target);
+  entry.epoch = epoch;
+  entry.start_probe_count = start_probe_count;
+  entry.probes_used = static_cast<std::uint32_t>(probes_used);
+  entry.responded = ping.responded;
+  entry.reply_ip_ttl = ping.reply_ip_ttl;
+  entry.rtt_ms = ping.rtt_ms;
+  slot.index[ping.target.value()] =
+      static_cast<std::uint32_t>(slot.entries.size());
+  slot.entries.push_back(entry);
+}
+
+void TraceCache::Invalidate(const routing::ConvergenceDelta& delta,
+                            const routing::AsPathOracle& oracle) {
+  if (delta.scope == routing::ConvergenceDelta::Scope::kGlobal) {
+    // The AS level itself moved: every path may differ and the oracle's
+    // pre-flap answers say nothing. Drop everything.
+    for (Slot& slot : slots_) slot = Slot{};
+    for (PingSlot& slot : ping_slots_) slot = PingSlot{};
+    return;
+  }
+
+  const topo::AsNumber touched =
+      delta.scope == routing::ConvergenceDelta::Scope::kIntraAs
+          ? delta.touched_as
+          : 0;
+  // Both phase slots of a vantage point share its address and source AS,
+  // so the (expensive to warm) walk memos below are built once per VP
+  // and reused across the phases.
+  for (std::size_t vp = 0; vp < vp_count_; ++vp) {
+    Slot* const phase_slots[] = {&SlotOf(Phase::kDiscovery, vp),
+                                 &SlotOf(Phase::kTargeted, vp)};
+    PingSlot& pings = ping_slots_.at(vp);
+    netbase::Ipv4Address vantage_point{};
+    topo::AsNumber vp_as = 0;
+    bool bound = false;
+    for (const Slot* slot : phase_slots) {
+      if (slot->bound) {
+        vantage_point = slot->vantage_point;
+        vp_as = slot->vp_as;
+        bound = true;
+      }
+    }
+    if (pings.bound) {
+      WORMHOLE_DCHECK(!bound || pings.vantage_point == vantage_point,
+                      "ping slot of one VP shares the vantage point");
+      vantage_point = pings.vantage_point;
+      vp_as = pings.vp_as;
+      bound = true;
+    }
+    if (!bound) continue;
+
+    // Per-VP classifier: "can a reply from AS `a` to this vantage point
+    // cross the touched AS?" — responders repeat across entries and
+    // their walks share tails, so verdicts amortize to O(1). Note
+    // reply.MayContain(touched) is trivially true (a path starts in its
+    // own AS), so scanning an entry's recorded footprint also catches
+    // footprints that contain the touched AS itself.
+    routing::ReturnPathClassifier reply(oracle, vantage_point, touched);
+    const auto reply_path_touched = [&](topo::AsNumber a) {
+      return reply.MayContain(a);
+    };
+
+    // Per-VP forward classifier: "may the forward path from this VP to
+    // the target cross the touched AS, or any AS on it have a dirty
+    // return path?" (a previously silent hop could start or stop
+    // replying if its reply's path moved). Announcer- and owner-level
+    // memos make it amortized O(1) per entry; the one per-address walk
+    // element — RouterOwnerOf(target) — is exactly AddressAs(target),
+    // which Record folded into the entry's footprint slice, so the
+    // slice scan below covers it. (Targets whose address does not
+    // resolve were already marked any_unknown_as at Record time.)
+    routing::ForwardPathClassifier forward(oracle, reply, vp_as);
+
+    for (Slot* const slot : phase_slots) {
+      if (!slot->bound || slot->entries.empty()) continue;
+      WORMHOLE_DCHECK(slot->vantage_point == vantage_point,
+                      "phase slots of one VP share the vantage point");
+      // Walking the flat entries vector visits superseded entries too,
+      // but they sit at older epochs (their replacement was recorded at
+      // the epoch that superseded them), so the promotability test
+      // skips them; only live entries can move. Promotion is per-entry,
+      // so visit order cannot change the outcome.
+      for (Entry& entry : slot->entries) {
+        // Only previous-epoch entries are promotable; older ones
+        // already miss and will be re-traced (self-healing after an
+        // uninvalidated reconvergence).
+        if (entry.epoch + 1 != delta.epoch) continue;
+        if (delta.scope == routing::ConvergenceDelta::Scope::kNone) {
+          entry.epoch = delta.epoch;
+          continue;
+        }
+
+        bool dirty = entry.any_unknown_as || vp_as == 0;
+        // Cheap pre-filter: anything under the touched AS's announced
+        // aggregate routes toward (or through) it — dirty without a
+        // walk.
+        if (!dirty && delta.touched_aggregate.Contains(entry.target)) {
+          dirty = true;
+        }
+        // Return paths from every AS holding an observed responder —
+        // including AddressAs(target), which doubles as the walk's
+        // per-address RouterOwnerOf element (see the memo note above).
+        for (std::uint32_t a = entry.as_begin; !dirty && a < entry.as_end;
+             ++a) {
+          dirty = reply_path_touched(slot->as_pool[a]);
+        }
+        if (!dirty) {
+          dirty = forward.Dirty(entry.target,
+                                oracle.BlockOwnerOf(entry.target));
+        }
+        if (!dirty) entry.epoch = delta.epoch;
+      }
+    }
+
+    // Reduce-time echo pings: the trace dirty rule with the pinged
+    // address in the role of the target. A ping has exactly one
+    // responder (the address itself), so the footprint scan collapses
+    // to one reply-path check of its AS.
+    for (PingEntry& entry : pings.entries) {
+      if (entry.epoch + 1 != delta.epoch) continue;
+      if (delta.scope == routing::ConvergenceDelta::Scope::kNone) {
+        entry.epoch = delta.epoch;
+        continue;
+      }
+      bool dirty = entry.asn == 0 || vp_as == 0;
+      if (!dirty && delta.touched_aggregate.Contains(entry.address)) {
+        dirty = true;
+      }
+      if (!dirty) dirty = reply_path_touched(entry.asn);
+      if (!dirty) {
+        dirty = forward.Dirty(entry.address,
+                              oracle.BlockOwnerOf(entry.address));
+      }
+      if (!dirty) entry.epoch = delta.epoch;
+    }
+  }
+}
+
+std::size_t TraceCache::entry_count() const {
+  std::size_t live = 0;
+  for (const Slot& slot : slots_) live += slot.index.size();
+  return live;
+}
+
+std::size_t TraceCache::RetainedBytes() const {
+  std::size_t bytes = 0;
+  for (const Slot& slot : slots_) {
+    bytes += slot.log.RetainedBytes();
+    bytes += slot.entries.capacity() * sizeof(Entry);
+    bytes += slot.as_pool.capacity() * sizeof(topo::AsNumber);
+    // Node-based map: key+value plus per-node bookkeeping.
+    bytes += slot.index.size() *
+             (sizeof(std::uint32_t) * 2 + 4 * sizeof(void*));
+  }
+  for (const PingSlot& slot : ping_slots_) {
+    bytes += slot.entries.capacity() * sizeof(PingEntry);
+    bytes += slot.index.size() *
+             (sizeof(std::uint32_t) * 2 + 4 * sizeof(void*));
+  }
+  return bytes;
+}
+
+}  // namespace wormhole::campaign

@@ -1,5 +1,7 @@
 #include "fingerprint/signature.h"
 
+#include <algorithm>
+
 #include "probe/trace.h"
 
 namespace wormhole::fingerprint {
@@ -52,10 +54,23 @@ void SignatureCollector::RecordEchoReply(netbase::Ipv4Address address,
 
 void SignatureCollector::EnsureEchoReply(probe::Prober& prober,
                                          netbase::Ipv4Address address) {
-  const auto it = partial_.find(address);
-  if (it != partial_.end() && it->second.echo_reply_initial != 0) return;
+  if (!NeedsEchoReply(address)) return;
   const probe::PingResult result = prober.Ping(address);
   if (result.responded) RecordEchoReply(address, result.reply_ip_ttl);
+}
+
+bool SignatureCollector::NeedsEchoReply(netbase::Ipv4Address address) const {
+  const auto it = partial_.find(address);
+  return it == partial_.end() || it->second.echo_reply_initial == 0;
+}
+
+std::vector<std::pair<netbase::Ipv4Address, Signature>>
+SignatureCollector::SortedEntries() const {
+  std::vector<std::pair<netbase::Ipv4Address, Signature>> entries(
+      partial_.begin(), partial_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
 }
 
 std::optional<Signature> SignatureCollector::SignatureOf(

@@ -8,9 +8,11 @@
 //   <128,128> Juniper (JunosE)      <64,64>  Brocade/Alcatel/Linux
 #pragma once
 
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "netbase/ipv4.h"
 #include "probe/prober.h"
@@ -60,19 +62,28 @@ class SignatureCollector {
   /// Probes `address` with `prober` (ping) if no echo-reply seen yet.
   void EnsureEchoReply(probe::Prober& prober, netbase::Ipv4Address address);
 
+  /// Would EnsureEchoReply ping? (No echo-reply initial TTL recorded for
+  /// `address` yet.) Lets callers route the ping through a cache while
+  /// keeping EnsureEchoReply's exact trigger condition.
+  [[nodiscard]] bool NeedsEchoReply(netbase::Ipv4Address address) const;
+
   /// The pair-signature of `address`, if both halves were observed.
   [[nodiscard]] std::optional<Signature> SignatureOf(
       netbase::Ipv4Address address) const;
   [[nodiscard]] SignatureClass ClassOf(netbase::Ipv4Address address) const;
 
-  [[nodiscard]] const std::map<netbase::Ipv4Address, Signature>& table()
-      const {
-    return partial_;
-  }
+  /// Every (address, signature) pair observed so far, sorted by address.
+  /// The store itself is a hash map (the campaign reduce records per
+  /// hop, so lookups are the hot path); report code must iterate this
+  /// sorted copy.
+  [[nodiscard]] std::vector<std::pair<netbase::Ipv4Address, Signature>>
+  SortedEntries() const;
+
+  [[nodiscard]] std::size_t size() const { return partial_.size(); }
 
  private:
   // initial TTLs; 0 = not yet observed.
-  std::map<netbase::Ipv4Address, Signature> partial_;
+  std::unordered_map<netbase::Ipv4Address, Signature> partial_;
 };
 
 }  // namespace wormhole::fingerprint

@@ -59,6 +59,17 @@ class Prober {
   /// Number of probe packets issued so far (campaign accounting).
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
 
+  /// Advances the probe-id sequence and the sent counter by `n` without
+  /// sending anything, replaying the id consumption of a trace served
+  /// from a cache (campaign::TraceCache) so every later live probe
+  /// carries exactly the id it would have carried in a cold run. The
+  /// adaptive window hint is deliberately left alone: it only shapes
+  /// discarded speculation, never observable bytes.
+  void SkipProbes(std::uint64_t n) {
+    next_probe_id_ += static_cast<std::uint32_t>(n);
+    probes_sent_ += n;
+  }
+
  private:
   TraceResult TracerouteBatched(netbase::Ipv4Address target,
                                 const TraceOptions& options);

@@ -1,0 +1,427 @@
+#include "routing/as_path.h"
+
+#include <algorithm>
+
+namespace wormhole::routing {
+
+AsPathOracle::AsPathOracle(const topo::Topology& topology,
+                           const BgpLevel& level, const BgpPolicy& policy)
+    : topology_(&topology), level_(&level), policy_(&policy) {
+  const std::vector<topo::AsNumber> as_numbers = topology.AsNumbers();
+  blocks_.reserve(as_numbers.size());
+  for (const topo::AsNumber asn : as_numbers) {
+    blocks_.push_back(OwnedPrefix{topology.as(asn).block, asn});
+    if (policy.hierarchical && !policy.stub_ases.contains(asn)) {
+      const auto it = policy.aggregates.find(asn);
+      aggregates_.push_back(OwnedPrefix{it != policy.aggregates.end()
+                                            ? it->second
+                                            : topology.as(asn).block,
+                                        asn});
+    }
+  }
+  const auto by_base = [](const OwnedPrefix& a, const OwnedPrefix& b) {
+    return a.prefix.address().value() < b.prefix.address().value();
+  };
+  std::sort(blocks_.begin(), blocks_.end(), by_base);
+  std::sort(aggregates_.begin(), aggregates_.end(), by_base);
+
+  topo::AsNumber max_asn = 0;
+  for (const topo::AsNumber asn : as_numbers) {
+    max_asn = std::max(max_asn, asn);
+  }
+  stub_flat_.assign(max_asn + 1, 0);
+  for (const topo::AsNumber asn : policy.stub_ases) {
+    if (asn <= max_asn) stub_flat_[asn] = 1;
+  }
+  provider_flat_.assign(max_asn + 1, 0);
+  for (const auto& [asn, peers] : level.adjacency) {
+    if (asn > max_asn) continue;
+    for (const auto& [peer, links] : peers) {
+      if (!IsStub(peer)) {
+        provider_flat_[asn] = peer;
+        break;
+      }
+    }
+  }
+}
+
+topo::AsNumber AsPathOracle::BlockOwnerOf(
+    netbase::Ipv4Address address) const {
+  // Blocks are disjoint and sorted: the only candidate is the last block
+  // whose base is <= the address.
+  auto it = std::upper_bound(
+      blocks_.begin(), blocks_.end(), address,
+      [](netbase::Ipv4Address a, const OwnedPrefix& p) {
+        return a.value() < p.prefix.address().value();
+      });
+  if (it == blocks_.begin()) return 0;
+  --it;
+  return it->prefix.Contains(address) ? it->asn : 0;
+}
+
+topo::AsNumber AsPathOracle::AggregateOwnerOf(
+    netbase::Ipv4Address address) const {
+  auto it = std::upper_bound(
+      aggregates_.begin(), aggregates_.end(), address,
+      [](netbase::Ipv4Address a, const OwnedPrefix& p) {
+        return a.value() < p.prefix.address().value();
+      });
+  if (it == aggregates_.begin()) return 0;
+  --it;
+  return it->prefix.Contains(address) ? it->asn : 0;
+}
+
+topo::AsNumber AsPathOracle::RouterOwnerOf(
+    netbase::Ipv4Address address) const {
+  if (const auto rid = topology_->FindRouterByAddress(address)) {
+    return topology_->router(*rid).asn;
+  }
+  if (const topo::Host* host = topology_->FindHost(address)) {
+    return topology_->router(host->gateway).asn;
+  }
+  return 0;
+}
+
+bool AsPathOracle::IsStub(topo::AsNumber asn) const {
+  if (asn < stub_flat_.size()) return stub_flat_[asn] != 0;
+  return IsStubSlow(asn);
+}
+
+bool AsPathOracle::IsStubSlow(topo::AsNumber asn) const {
+  return policy_->stub_ases.contains(asn);
+}
+
+bool AsPathOracle::Adjacent(topo::AsNumber a, topo::AsNumber b) const {
+  const auto row = level_->adjacency.find(a);
+  return row != level_->adjacency.end() && row->second.contains(b);
+}
+
+topo::AsNumber AsPathOracle::PrimaryProviderOf(topo::AsNumber stub) const {
+  if (stub < provider_flat_.size()) return provider_flat_[stub];
+  return PrimaryProviderOfSlow(stub);
+}
+
+topo::AsNumber AsPathOracle::PrimaryProviderOfSlow(
+    topo::AsNumber stub) const {
+  const auto row = level_->adjacency.find(stub);
+  if (row == level_->adjacency.end()) return 0;
+  // adjacency is an ordered map: the first non-stub peer is the
+  // lowest-ASN provider, exactly the default target
+  // FlattenHierarchicalExits picks.
+  for (const auto& [peer, links] : row->second) {
+    if (!IsStub(peer)) return peer;
+  }
+  return 0;
+}
+
+bool AsPathOracle::CollectPathAses(topo::AsNumber from_as,
+                                   netbase::Ipv4Address to_addr,
+                                   std::vector<topo::AsNumber>& out) const {
+  const topo::AsNumber owner = BlockOwnerOf(to_addr);
+  const topo::AsNumber router_owner = RouterOwnerOf(to_addr);
+  if (from_as == 0 || owner == 0 || router_owner == 0) return false;
+  // The endpoints: source AS, the block owner the LPM walk steers by,
+  // and the AS actually holding the address (differs from the block
+  // owner for border-/31 addresses carved from the peer's block — the
+  // final cross-link hop).
+  out.push_back(from_as);
+  out.push_back(owner);
+  out.push_back(router_owner);
+
+  topo::AsNumber cur = from_as;
+  if (cur == owner) return true;
+  // Each AS is visited at most once on a converged path; anything longer
+  // is a loop (or a plan inconsistency) — bail conservatively.
+  std::size_t guard = blocks_.size() + 2;
+
+  if (!policy_->hierarchical) {
+    // Flat mode: every AS routes toward the owner's block; replay
+    // next_for hop by hop.
+    const auto row = level_->next_for.find(owner);
+    if (row == level_->next_for.end()) return false;
+    while (cur != owner) {
+      if (guard-- == 0) return false;
+      const auto next = row->second.find(cur);
+      if (next == row->second.end() || next->second == 0) return false;
+      cur = next->second;
+      out.push_back(cur);
+    }
+    return true;
+  }
+
+  // Hierarchical mode. A stub source carries a single default toward its
+  // primary provider — the packet cannot leave the stub any other way.
+  // (Destinations inside the stub returned above; destinations on the
+  // stub's own border /31s are covered by owner/router_owner.)
+  if (IsStub(cur)) {
+    const topo::AsNumber provider = PrimaryProviderOf(cur);
+    if (provider == 0) return false;
+    cur = provider;
+    out.push_back(cur);
+    if (cur == owner) return true;
+  }
+
+  // Core walk. At each core AS the LPM match for `to_addr` is either a
+  // direct customer-block route (the owner is an adjacent stub: the
+  // packet is delivered next hop) or the covering core aggregate, which
+  // routes toward the AS announcing it.
+  const topo::AsNumber target_core =
+      IsStub(owner) ? AggregateOwnerOf(to_addr) : owner;
+  if (target_core == 0) return false;
+  const auto row = level_->next_for.find(target_core);
+  if (row == level_->next_for.end()) return false;
+  while (true) {
+    if (cur == owner) return true;
+    if (IsStub(owner) && Adjacent(cur, owner)) return true;
+    // Reached the aggregate's announcer but the owning stub is not a
+    // neighbor: the plan is inconsistent with the address — bail.
+    if (cur == target_core) return false;
+    if (guard-- == 0) return false;
+    const auto next = row->second.find(cur);
+    if (next == row->second.end() || next->second == 0) return false;
+    cur = next->second;
+    out.push_back(cur);
+  }
+}
+
+bool AsPathOracle::PathMayContain(topo::AsNumber from_as,
+                                  netbase::Ipv4Address to_addr,
+                                  topo::AsNumber asn) const {
+  std::vector<topo::AsNumber> ases;
+  if (!CollectPathAses(from_as, to_addr, ases)) return true;
+  return std::find(ases.begin(), ases.end(), asn) != ases.end();
+}
+
+ReturnPathClassifier::ReturnPathClassifier(const AsPathOracle& oracle,
+                                           netbase::Ipv4Address to_addr,
+                                           topo::AsNumber touched)
+    : oracle_(&oracle), touched_(touched) {
+  topo::AsNumber max_asn = 0;
+  for (const AsPathOracle::OwnedPrefix& block : oracle.blocks_) {
+    max_asn = std::max(max_asn, block.asn);
+  }
+  core_.assign(max_asn + 1, kUnknown);
+  verdicts_.assign(max_asn + 1, kUnknown);
+  owner_ = oracle.BlockOwnerOf(to_addr);
+  router_owner_ = oracle.RouterOwnerOf(to_addr);
+  if (owner_ == 0 || router_owner_ == 0) {
+    all_dirty_ = true;
+    return;
+  }
+  if (oracle.policy_->hierarchical) {
+    owner_stub_ = oracle.IsStub(owner_);
+    target_core_ = owner_stub_ ? oracle.AggregateOwnerOf(to_addr) : owner_;
+  } else {
+    target_core_ = owner_;
+  }
+  // CollectPathAses only consults the aggregate / next_for row once the
+  // walk actually enters the core, so hoisting the lookups here answers
+  // dirty for a few sources the exact walk would have bounded first
+  // (e.g. the destination's own AS when the row is missing) — a strict
+  // over-approximation, and only on inconsistent plans.
+  if (target_core_ == 0) {
+    all_dirty_ = true;
+    return;
+  }
+  const auto row = oracle.level_->next_for.find(target_core_);
+  if (row == oracle.level_->next_for.end()) {
+    all_dirty_ = true;
+    return;
+  }
+  row_ = &row->second;
+}
+
+bool ReturnPathClassifier::MayContain(topo::AsNumber from_as) {
+  if (all_dirty_ || from_as == 0 || from_as >= verdicts_.size()) return true;
+  if (from_as == touched_ || owner_ == touched_ ||
+      router_owner_ == touched_) {
+    return true;
+  }
+  if (verdicts_[from_as] != kUnknown) return verdicts_[from_as] == kDirty;
+
+  bool dirty;
+  if (from_as == owner_) {
+    // Path = {from, owner, router_owner}, none of them touched (above).
+    dirty = false;
+  } else if (oracle_->policy_->hierarchical && oracle_->IsStub(from_as)) {
+    // The stub's single default toward its primary provider.
+    const topo::AsNumber provider = oracle_->PrimaryProviderOf(from_as);
+    if (provider == 0 || provider == touched_ ||
+        provider >= core_.size()) {
+      dirty = true;
+    } else if (provider == owner_) {
+      dirty = false;
+    } else {
+      dirty = CoreWalkDirty(provider);
+    }
+  } else {
+    dirty = CoreWalkDirty(from_as);
+  }
+  verdicts_[from_as] = dirty ? kDirty : kClean;
+  return dirty;
+}
+
+bool ReturnPathClassifier::CoreWalkDirty(topo::AsNumber start) {
+  std::vector<topo::AsNumber> trail;
+  topo::AsNumber cur = start;
+  bool dirty;
+  while (true) {
+    // kInProgress = the walk rejoined itself: a loop, which the exact
+    // walk's visit guard also classifies as unbounded.
+    if (core_[cur] != kUnknown) {
+      dirty = core_[cur] != kClean;
+      break;
+    }
+    if (cur == owner_) {
+      dirty = false;
+      break;
+    }
+    if (owner_stub_ && oracle_->Adjacent(cur, owner_)) {
+      // Direct customer-block route: delivered next hop.
+      dirty = false;
+      break;
+    }
+    if (cur == target_core_) {
+      // Reached the announcer but the owning stub is not a neighbor —
+      // the exact walk bails unbounded here.
+      dirty = true;
+      break;
+    }
+    core_[cur] = kInProgress;
+    trail.push_back(cur);
+    const auto next = row_->find(cur);
+    if (next == row_->end() || next->second == 0 ||
+        next->second >= core_.size()) {
+      dirty = true;
+      break;
+    }
+    cur = next->second;
+    if (cur == touched_) {
+      dirty = true;
+      break;
+    }
+  }
+  const std::uint8_t verdict = dirty ? kDirty : kClean;
+  for (const topo::AsNumber a : trail) core_[a] = verdict;
+  return dirty;
+}
+
+ForwardPathClassifier::ForwardPathClassifier(const AsPathOracle& oracle,
+                                             ReturnPathClassifier& reply,
+                                             topo::AsNumber from_as)
+    : oracle_(&oracle), reply_(&reply), from_as_(from_as) {
+  // Every forward path contains the source (and, for a stub source, its
+  // primary provider): if either end's reply path is already dirty, so
+  // is every entry — exactly what the exact per-target check concludes.
+  if (from_as == 0 || reply.MayContain(from_as)) {
+    all_dirty_ = true;
+    return;
+  }
+  start_ = from_as;
+  if (oracle.policy_->hierarchical && oracle.IsStub(from_as)) {
+    start_ = oracle.PrimaryProviderOf(from_as);
+    if (start_ == 0 || reply.MayContain(start_)) {
+      all_dirty_ = true;
+      return;
+    }
+  }
+  topo::AsNumber max_asn = 0;
+  for (const AsPathOracle::OwnedPrefix& block : oracle.blocks_) {
+    max_asn = std::max(max_asn, block.asn);
+  }
+  owner_state_.assign(max_asn + 1, kUnknown);
+  core_state_.assign(max_asn + 1, kUnknown);
+  path_begin_.assign(max_asn + 1, 0);
+  path_end_.assign(max_asn + 1, 0);
+}
+
+bool ForwardPathClassifier::Dirty(netbase::Ipv4Address target,
+                                  topo::AsNumber owner) {
+  if (all_dirty_ || owner == 0 || owner >= owner_state_.size()) return true;
+  if (owner_state_[owner] != kUnknown) return owner_state_[owner] == kDirty;
+  // The verdict is a pure function of the owner for a fixed source: the
+  // announcer row is per-block, and the one per-address walk element —
+  // RouterOwnerOf(target) — is the caller's footprint-scan job.
+  const bool dirty = ComputeDirty(target, owner);
+  owner_state_[owner] = dirty ? kDirty : kClean;
+  return dirty;
+}
+
+bool ForwardPathClassifier::ComputeDirty(netbase::Ipv4Address target,
+                                         topo::AsNumber owner) {
+  if (reply_->MayContain(owner)) return true;
+  // The endpoints are covered: the source (and a stub source's provider)
+  // in the constructor, the owner above. A walk that starts delivered
+  // is clean.
+  if (owner == from_as_ || owner == start_) return false;
+  const bool owner_stub =
+      oracle_->policy_->hierarchical && oracle_->IsStub(owner);
+  const topo::AsNumber announcer =
+      owner_stub ? oracle_->AggregateOwnerOf(target) : owner;
+  if (announcer == 0 || announcer >= core_state_.size()) return true;
+  if (core_state_[announcer] == kUnknown) WalkCore(announcer);
+  if (core_state_[announcer] == kDirty) return true;
+  // Clean walk to the announcer. A non-stub owner IS the announcer: the
+  // exact walk ends exactly there. A stub owner is delivered by the
+  // first AS on the walk adjacent to it (the direct customer-block
+  // route); without one the exact walk reaches the announcer and bails
+  // unbounded — dirty.
+  if (!owner_stub) return false;
+  for (std::uint32_t i = path_begin_[announcer]; i < path_end_[announcer];
+       ++i) {
+    if (adj_store_[pool_adj_[i]][owner] != 0) return false;
+  }
+  return true;
+}
+
+std::uint32_t ForwardPathClassifier::AdjBitmapOf(topo::AsNumber asn) {
+  const auto it = adj_of_.find(asn);
+  if (it != adj_of_.end()) return it->second;
+  std::vector<std::uint8_t> bits(owner_state_.size(), 0);
+  const auto row = oracle_->level_->adjacency.find(asn);
+  if (row != oracle_->level_->adjacency.end()) {
+    for (const auto& [peer, links] : row->second) {
+      if (peer < bits.size()) bits[peer] = 1;
+    }
+  }
+  const auto index = static_cast<std::uint32_t>(adj_store_.size());
+  adj_store_.push_back(std::move(bits));
+  adj_of_.emplace(asn, index);
+  return index;
+}
+
+void ForwardPathClassifier::WalkCore(topo::AsNumber announcer) {
+  const auto row = oracle_->level_->next_for.find(announcer);
+  if (row == oracle_->level_->next_for.end()) {
+    core_state_[announcer] = kDirty;
+    return;
+  }
+  const auto begin = static_cast<std::uint32_t>(pool_.size());
+  topo::AsNumber cur = start_;
+  // Same loop bound as the exact walk: each AS is visited at most once
+  // on a converged path, so exhaustion means a loop — dirty.
+  std::size_t guard = oracle_->blocks_.size() + 2;
+  while (true) {
+    pool_.push_back(cur);
+    if (reply_->MayContain(cur)) break;
+    if (cur == announcer) {
+      core_state_[announcer] = kClean;
+      path_begin_[announcer] = begin;
+      path_end_[announcer] = static_cast<std::uint32_t>(pool_.size());
+      pool_adj_.resize(pool_.size());
+      for (std::uint32_t i = begin; i < pool_adj_.size(); ++i) {
+        pool_adj_[i] = AdjBitmapOf(pool_[i]);
+      }
+      return;
+    }
+    if (guard-- == 0) break;
+    const auto next = row->second.find(cur);
+    if (next == row->second.end() || next->second == 0) break;
+    cur = next->second;
+  }
+  // Dirty walks keep no path: no owner verdict ever reads one.
+  pool_.resize(begin);
+  core_state_[announcer] = kDirty;
+}
+
+}  // namespace wormhole::routing

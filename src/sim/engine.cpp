@@ -182,6 +182,7 @@ Engine::RouterCache Engine::BuildRouterCache(topo::RouterId r) const {
 }
 
 void Engine::RefreshRouters(const std::vector<topo::RouterId>& routers) {
+  ++convergence_epoch_;
   for (const RouterId r : routers) {
     router_cache_[r] = BuildRouterCache(r);
   }
@@ -194,6 +195,13 @@ void Engine::RefreshRouters(const std::vector<topo::RouterId>& routers) {
     router_cache_[host.gateway].hosts.push_back(
         AttachedHost{host.address, host.stub_interface});
   }
+}
+
+bool Engine::RepliesDependOnProbeIds() const {
+  for (RouterId r = 0; r < topology_->router_count(); ++r) {
+    if (configs_->For(r).icmp_loss > 0.0) return true;
+  }
+  return false;
 }
 
 std::optional<Engine::LabelOp> Engine::ResolveLabel(

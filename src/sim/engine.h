@@ -106,7 +106,28 @@ class Engine {
   /// Rebuilds the hot-path caches of just `routers` after an incremental
   /// reconvergence re-installed their routes/labels (the FIB vector and
   /// LDP tables keep their addresses; only derived state is re-resolved).
+  /// Bumps the convergence epoch.
   void RefreshRouters(const std::vector<topo::RouterId>& routers);
+
+  /// Monotone convergence-epoch counter: 1 after construction, +1 per
+  /// RefreshRouters call (sim::Network calls it exactly once per
+  /// reconvergence). A probe's outcome is a pure function of the state
+  /// published under one epoch, so an epoch-stamped result cache knows a
+  /// cached entry is only servable while the stamp matches — the single
+  /// source of truth the delta-reprobe layer versions against
+  /// (docs/incremental.md).
+  [[nodiscard]] std::uint64_t convergence_epoch() const {
+    return convergence_epoch_;
+  }
+
+  /// True when some router's ICMP-loss probability is non-zero: the loss
+  /// draw is keyed by (probe id, router), so trace BYTES then depend on
+  /// the probe-id offset a trace starts at. When false, reply existence
+  /// and content are pure functions of the routing state (delay jitter
+  /// only perturbs RTTs, which compact trace logs drop), so a cached
+  /// trace replays byte-identically at any probe-id offset. Scans the
+  /// live configs on each call — tests mutate them after construction.
+  [[nodiscard]] bool RepliesDependOnProbeIds() const;
 
   struct Outcome {
     bool received = false;
@@ -393,6 +414,9 @@ class Engine {
   EngineOptions options_;
   /// Indexed by RouterId; built once in the constructor.
   std::vector<RouterCache> router_cache_;
+  /// See convergence_epoch(). Written only inside the exclusive
+  /// convergence phase (RefreshRouters), read freely outside it.
+  std::uint64_t convergence_epoch_ = 1;
 
   // Cache-line-sized stat shards, one per thread slot (threads beyond the
   // shard count share slots, hence the relaxed atomics). stats() merges on

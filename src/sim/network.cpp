@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "exec/thread_pool.h"
+#include "netbase/label.h"
 #include "routing/igp.h"
 
 namespace wormhole::sim {
@@ -80,7 +81,7 @@ void Network::InstallRoutes(const std::vector<topo::RouterId>& routers,
   });
 }
 
-void Network::OnLinkStateChange(topo::LinkId link) {
+routing::ConvergenceDelta Network::OnLinkStateChange(topo::LinkId link) {
   // The exclusive write phase: no probe may be in flight (see header).
   exec::RoleLock converge(convergence_role_);
   const topo::Link& l = topology_->link(link);
@@ -88,19 +89,42 @@ void Network::OnLinkStateChange(topo::LinkId link) {
       topology_->router(topology_->interface(l.a).router).asn;
   const topo::AsNumber as_b =
       topology_->router(topology_->interface(l.b).router).asn;
+  routing::ConvergenceDelta delta;
   if (as_a == as_b) {
-    ReconvergeAs(as_a);
+    ReconvergeAs(as_a, delta);
   } else {
-    ReconvergeInterAs();
+    ReconvergeInterAs(delta);
   }
+  // Stamp AFTER the rebuild: this is the epoch the new state lives under.
+  delta.epoch = engine_->convergence_epoch();
+  return delta;
 }
 
-void Network::ReconvergeAs(topo::AsNumber asn) {
+void Network::ReconvergeAs(topo::AsNumber asn,
+                           routing::ConvergenceDelta& delta) {
   const std::vector<topo::RouterId>& members = topology_->as(asn).routers;
+  delta.scope = routing::ConvergenceDelta::Scope::kIntraAs;
+  delta.touched_as = asn;
+  // The AS announces one prefix to the world; any address under it may
+  // route differently inside the AS now.
+  const auto aggregate = bgp_policy_.aggregates.find(asn);
+  delta.touched_aggregate = aggregate != bgp_policy_.aggregates.end()
+                                ? aggregate->second
+                                : topology_->as(asn).block;
+  // Label range before the LDP rebuild (the rebuild below may shrink it;
+  // a label the old domain bound is touched either way).
+  const mpls::LdpDomain* domain = ldp_.DomainOf(asn);
+  std::uint32_t label_ceiling =
+      domain == nullptr ? netbase::kFirstUnreservedLabel
+                        : domain->LabelCeiling();
 
   // Only this AS's shortest paths can have moved: drop and recompute its
   // members' trees, keep every other AS's.
-  spf_.ApplyTopologyChange(members);
+  const routing::SpfInvalidation dropped =
+      spf_.ApplyTopologyChange(members);
+  delta.stale_spf_sources = dropped.sources;
+  delta.spf_window_lo = dropped.window_lo;
+  delta.spf_window_hi = dropped.window_hi;
   spf_.Prime(members, pool_.get());
 
   // Slot-stable clear: the Engine caches `const Fib*` per router, so the
@@ -123,12 +147,19 @@ void Network::ReconvergeAs(topo::AsNumber asn) {
   if (any_enabled) {
     ldp_.InstallDomain(
         asn, mpls::LdpDomain(*topology_, *configs_, asn, fibs_));
+    label_ceiling = std::max(
+        label_ceiling, ldp_.DomainOf(asn)->LabelCeiling());
+  }
+  if (label_ceiling > netbase::kFirstUnreservedLabel) {
+    delta.label_lo = netbase::kFirstUnreservedLabel;
+    delta.label_hi = label_ceiling - 1;
   }
 
   engine_->RefreshRouters(members);
 }
 
-void Network::ReconvergeInterAs() {
+void Network::ReconvergeInterAs(routing::ConvergenceDelta& delta) {
+  delta.scope = routing::ConvergenceDelta::Scope::kGlobal;
   // No intra-AS shortest path moved: adopt the new topology version with
   // every cached SPF tree intact.
   spf_.ApplyTopologyChange({});

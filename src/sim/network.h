@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "mpls/segment_routing.h"
 #include "netbase/thread_annotations.h"
 #include "routing/bgp.h"
+#include "routing/delta.h"
 #include "routing/fib.h"
 #include "routing/igp.h"
 #include "routing/spf_engine.h"
@@ -61,7 +63,13 @@ class Network {
   /// exclusive write phase of the engine's shared read-only state (the
   /// `convergence_role_` capability below — every rebuild helper
   /// REQUIRES it, so mutation outside the phase fails to compile).
-  void OnLinkStateChange(topo::LinkId link);
+  ///
+  /// Returns the convergence delta — what the reconvergence dropped and
+  /// rebuilt, stamped with the new epoch — so epoch-versioned result
+  /// caches (campaign::TraceCache) can invalidate exactly the entries
+  /// the flip can have dirtied (docs/incremental.md). Callers that keep
+  /// no cache may ignore it.
+  routing::ConvergenceDelta OnLinkStateChange(topo::LinkId link);
 
   [[nodiscard]] Engine& engine() { return *engine_; }
   [[nodiscard]] const std::vector<routing::Fib>& fibs() const { return fibs_; }
@@ -69,15 +77,34 @@ class Network {
   [[nodiscard]] const topo::Topology& topology() const { return *topology_; }
   /// The shared SPF cache (also the per-convergence SPF counting hook).
   [[nodiscard]] routing::SpfEngine& spf() { return spf_; }
+  /// The engine's epoch counter, bumped by the constructor's full
+  /// convergence and by every OnLinkStateChange — the single source of
+  /// truth trace caches stamp entries with.
+  [[nodiscard]] std::uint64_t convergence_epoch() const {
+    return engine_->convergence_epoch();
+  }
+  /// The cached AS-level BGP state / policy, exposed so the AS-path
+  /// oracle (routing::AsPathOracle) can mirror the converged AS-level
+  /// routing when computing dirty sets.
+  [[nodiscard]] const routing::BgpLevel& bgp_level() const {
+    return bgp_level_;
+  }
+  [[nodiscard]] const routing::BgpPolicy& bgp_policy() const {
+    return bgp_policy_;
+  }
 
  private:
   /// Full phased build: prime SPF, install IGP+BGP per router, seal,
   /// build LDP, build the engine.
   void ConvergeFull() REQUIRES(convergence_role_);
-  /// Rebuilds one AS after an internal link flip.
-  void ReconvergeAs(topo::AsNumber asn) REQUIRES(convergence_role_);
-  /// Rebuilds the BGP layer everywhere after an inter-AS link flip.
-  void ReconvergeInterAs() REQUIRES(convergence_role_);
+  /// Rebuilds one AS after an internal link flip, filling `delta` with
+  /// what was dropped (scope kIntraAs).
+  void ReconvergeAs(topo::AsNumber asn, routing::ConvergenceDelta& delta)
+      REQUIRES(convergence_role_);
+  /// Rebuilds the BGP layer everywhere after an inter-AS link flip
+  /// (delta scope kGlobal).
+  void ReconvergeInterAs(routing::ConvergenceDelta& delta)
+      REQUIRES(convergence_role_);
   /// Installs connected+IGP then BGP routes and seals, for each listed
   /// router, in parallel; `plans` must cover every listed router's AS.
   /// The fan-out tasks write disjoint FIB slots and read shared inputs

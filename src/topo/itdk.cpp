@@ -42,15 +42,16 @@ void ItdkDataset::AddAlias(NodeId node, netbase::Ipv4Address address) {
 void ItdkDataset::AddLink(NodeId a, NodeId b) {
   if (a == b) return;
   const auto key = std::minmax(a, b);
-  if (links_.emplace(key.first, key.second).second) {
-    adjacency_[a].insert(b);
-    adjacency_[b].insert(a);
-  }
+  if (!link_index_.insert(LinkKey(key.first, key.second)).second) return;
+  links_.emplace(key.first, key.second);
+  adjacency_[a].insert(b);
+  adjacency_[b].insert(a);
 }
 
 void ItdkDataset::RemoveLink(NodeId a, NodeId b) {
   const auto key = std::minmax(a, b);
-  if (links_.erase({key.first, key.second}) > 0) {
+  if (link_index_.erase(LinkKey(key.first, key.second)) > 0) {
+    links_.erase({key.first, key.second});
     adjacency_[a].erase(b);
     adjacency_[b].erase(a);
   }
@@ -58,7 +59,7 @@ void ItdkDataset::RemoveLink(NodeId a, NodeId b) {
 
 bool ItdkDataset::HasLink(NodeId a, NodeId b) const {
   const auto key = std::minmax(a, b);
-  return links_.contains({key.first, key.second});
+  return link_index_.contains(LinkKey(key.first, key.second));
 }
 
 void ItdkDataset::SetAs(NodeId node, AsNumber asn) {

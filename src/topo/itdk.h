@@ -14,6 +14,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "netbase/ipv4.h"
@@ -83,9 +84,17 @@ class ItdkDataset {
   static ItdkDataset Read(std::istream& is);
 
  private:
+  static std::uint64_t LinkKey(NodeId a, NodeId b) {
+    return (std::uint64_t{a} << 32) | b;
+  }
+
   std::vector<ItdkNode> nodes_;
   std::unordered_map<netbase::Ipv4Address, NodeId> address_to_node_;
   std::set<std::pair<NodeId, NodeId>> links_;
+  /// O(1) mirror of links_ (normalized min<<32|max keys): campaign
+  /// reduces call AddLink once per hop pair and almost always hit a
+  /// duplicate, so the ordered-set lookup dominated dataset building.
+  std::unordered_set<std::uint64_t> link_index_;
   std::unordered_map<NodeId, std::set<NodeId>> adjacency_;
 };
 

@@ -14,8 +14,13 @@
 #include <string>
 #include <vector>
 
+#include "analysis/campaign_report.h"
+#include "campaign/campaign.h"
+#include "campaign/trace_cache.h"
 #include "gen/internet.h"
 #include "mpls/ldp.h"
+#include "routing/as_path.h"
+#include "routing/delta.h"
 #include "routing/fib.h"
 #include "routing/igp.h"
 #include "sim/network.h"
@@ -200,6 +205,224 @@ TEST(ConvergenceParity, OneSpfPerRouterPerConvergence) {
   net.OnLinkStateChange(external);
   EXPECT_EQ(net.spf().computations(),
             topology.router_count() + topology.as(flapped).routers.size());
+}
+
+// ---------------------------------------------------------------------------
+// Delta re-probing (docs/incremental.md): the epoch-versioned TraceCache +
+// dirty-set invalidation must keep every RunDelta byte-identical to a cold
+// campaign against the current routing state. The exhaustive per-link test
+// below is the safety net for the dirty-set over-approximation rule — a
+// single under-approximated pair shows up as a byte diff.
+
+/// A world small enough to flap EVERY link with a campaign parity check
+/// per flap.
+gen::InternetOptions TinyWorld(bool hierarchical) {
+  gen::InternetOptions options;
+  options.seed = 11;
+  options.tier1_count = 2;
+  options.transit_count = 2;
+  options.stub_count = hierarchical ? 4 : 3;
+  options.tier1_routers = 5;
+  options.transit_routers = 4;
+  options.stub_routers = 2;
+  options.vp_count = 2;
+  options.hierarchical = hierarchical;
+  return options;
+}
+
+/// Everything a delta run must reproduce. Engine stats are deliberately
+/// excluded: serving a trace from the cache skips the simulated packets a
+/// cold run would inject, and that saving is the whole point. Probe
+/// accounting IS included — SkipProbes replays cached id budgets, so the
+/// totals must match a cold run exactly.
+std::string CampaignBytes(const campaign::CampaignResult& result,
+                          const topo::Topology& topology) {
+  std::ostringstream out;
+  out << "S probes_sent " << result.probes_sent << "\n";
+  out << "S revelation_traces " << result.revelation_traces << "\n";
+  out << "S revealed_count " << result.revealed_count() << "\n";
+  out << "S trace_count " << result.trace_count << "\n";
+  analysis::WriteCampaignReport(out, result, topology);
+  return out.str();
+}
+
+campaign::CampaignOptions DeltaCampaignOptions(std::size_t jobs) {
+  campaign::CampaignOptions options;
+  options.jobs = jobs;
+  options.stream_shard_size = 16;
+  return options;
+}
+
+/// A cold reference campaign against the engine's CURRENT routing state:
+/// fresh probers, no cache.
+std::string ColdBytes(gen::SyntheticInternet& world,
+                      const std::vector<netbase::Ipv4Address>& targets) {
+  campaign::Campaign cold(world.engine(), world.vantage_points(),
+                          DeltaCampaignOptions(/*jobs=*/1));
+  return CampaignBytes(cold.Run(targets), world.topology());
+}
+
+void ExhaustiveFlapParity(bool hierarchical) {
+  gen::SyntheticInternet world(TinyWorld(hierarchical));
+  topo::Topology& topology = world.mutable_topology();
+  const auto targets = world.AllLoopbacks();
+
+  campaign::Campaign delta_campaign(world.engine(), world.vantage_points(),
+                                    DeltaCampaignOptions(/*jobs=*/2));
+  campaign::TraceCache cache;
+
+  // Cold fill: with an empty cache RunDelta IS a cold run.
+  const std::string baseline = ColdBytes(world, targets);
+  {
+    const auto fill = delta_campaign.RunDelta(targets, cache);
+    EXPECT_EQ(CampaignBytes(fill, topology), baseline);
+    EXPECT_EQ(fill.delta_pairs_reprobed, fill.delta_pairs_total);
+  }
+
+  std::uint64_t pairs_total = 0;
+  std::uint64_t pairs_reprobed = 0;
+  for (topo::LinkId link = 0; link < topology.link_count(); ++link) {
+    for (const bool up : {false, true}) {
+      topology.SetLinkUp(link, up);
+      const routing::ConvergenceDelta delta =
+          world.network().OnLinkStateChange(link);
+      ASSERT_EQ(delta.epoch, world.network().convergence_epoch());
+      const routing::AsPathOracle oracle(topology,
+                                         world.network().bgp_level(),
+                                         world.network().bgp_policy());
+      cache.Invalidate(delta, oracle);
+      const auto result = delta_campaign.RunDelta(targets, cache);
+      pairs_total += result.delta_pairs_total;
+      pairs_reprobed += result.delta_pairs_reprobed;
+      const std::string want = up ? baseline : ColdBytes(world, targets);
+      ExpectSameDump(CampaignBytes(result, topology), want);
+    }
+  }
+  // The dirty sets must actually be subsets somewhere, or the cache is a
+  // no-op: across the sweep a meaningful share of pairs is served cached.
+  ASSERT_GT(pairs_total, 0u);
+  EXPECT_LT(pairs_reprobed, pairs_total);
+}
+
+TEST(DeltaReprobe, ExhaustiveFlapParityFlat) {
+  ExhaustiveFlapParity(/*hierarchical=*/false);
+}
+
+TEST(DeltaReprobe, ExhaustiveFlapParityHierarchical) {
+  ExhaustiveFlapParity(/*hierarchical=*/true);
+}
+
+TEST(DeltaReprobe, FlapStormMatchesColdAtEveryStep) {
+  gen::SyntheticInternet world(SmallWorld());
+  topo::Topology& topology = world.mutable_topology();
+  const auto targets = world.AllLoopbacks();
+  campaign::Campaign delta_campaign(world.engine(), world.vantage_points(),
+                                    DeltaCampaignOptions(/*jobs=*/2));
+  campaign::TraceCache cache;
+  (void)delta_campaign.RunDelta(targets, cache);
+
+  // A deterministic storm: walk a fixed stride over the link table,
+  // toggling each visited link's state (so links go down and later come
+  // back up in an interleaved pattern).
+  std::vector<bool> is_up(topology.link_count(), true);
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (int flap = 0; flap < 6; ++flap) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const topo::LinkId link =
+        static_cast<topo::LinkId>((x >> 33) % topology.link_count());
+    is_up[link] = !is_up[link];
+    topology.SetLinkUp(link, is_up[link]);
+    const routing::ConvergenceDelta delta =
+        world.network().OnLinkStateChange(link);
+    const routing::AsPathOracle oracle(topology,
+                                       world.network().bgp_level(),
+                                       world.network().bgp_policy());
+    cache.Invalidate(delta, oracle);
+    const auto result = delta_campaign.RunDelta(targets, cache);
+    ExpectSameDump(CampaignBytes(result, topology),
+                   ColdBytes(world, targets));
+  }
+}
+
+// Runs in the TSan CI matrix: four worker threads serve cache hits and
+// record re-probes into their own (phase, vp) slots concurrently over a
+// warm cache. Any cross-slot write (or a Begin/Invalidate racing the
+// fan-out) is a TSan report; the byte check pins that concurrency also
+// changed nothing.
+TEST(DeltaReprobe, ConcurrentCacheReadsAndReprobes) {
+  gen::InternetOptions options = TinyWorld(/*hierarchical=*/false);
+  options.vp_count = 4;
+  options.stub_count = 6;
+  gen::SyntheticInternet world(options);
+  topo::Topology& topology = world.mutable_topology();
+  const auto targets = world.AllLoopbacks();
+
+  campaign::Campaign serial(world.engine(), world.vantage_points(),
+                            DeltaCampaignOptions(/*jobs=*/1));
+  campaign::Campaign parallel(world.engine(), world.vantage_points(),
+                              DeltaCampaignOptions(/*jobs=*/4));
+  campaign::TraceCache serial_cache;
+  campaign::TraceCache parallel_cache;
+  (void)serial.RunDelta(targets, serial_cache);
+  (void)parallel.RunDelta(targets, parallel_cache);
+
+  const topo::LinkId link = topo::LinkId{0};
+  topology.SetLinkUp(link, false);
+  const routing::ConvergenceDelta delta =
+      world.network().OnLinkStateChange(link);
+  const routing::AsPathOracle oracle(topology, world.network().bgp_level(),
+                                     world.network().bgp_policy());
+  serial_cache.Invalidate(delta, oracle);
+  parallel_cache.Invalidate(delta, oracle);
+
+  const auto serial_result = serial.RunDelta(targets, serial_cache);
+  const auto parallel_result = parallel.RunDelta(targets, parallel_cache);
+  ExpectSameDump(CampaignBytes(parallel_result, topology),
+                 CampaignBytes(serial_result, topology));
+  EXPECT_EQ(parallel_result.delta_pairs_total,
+            serial_result.delta_pairs_total);
+  EXPECT_EQ(parallel_result.delta_pairs_reprobed,
+            serial_result.delta_pairs_reprobed);
+}
+
+TEST(ConvergenceDelta, ReportsScopeEpochAndDroppedState) {
+  gen::SyntheticInternet world(SmallWorld());
+  topo::Topology& topology = world.mutable_topology();
+  sim::Network& net = world.network();
+  const std::uint64_t epoch0 = net.convergence_epoch();
+  EXPECT_GE(epoch0, 1u);
+
+  const topo::LinkId internal = PickInternalLink(world);
+  ASSERT_NE(internal, topo::kNoLink);
+  const topo::AsNumber asn =
+      topology.router(topology.interface(topology.link(internal).a).router)
+          .asn;
+  topology.SetLinkUp(internal, false);
+  const routing::ConvergenceDelta delta = net.OnLinkStateChange(internal);
+  EXPECT_EQ(delta.scope, routing::ConvergenceDelta::Scope::kIntraAs);
+  EXPECT_EQ(delta.epoch, epoch0 + 1);
+  EXPECT_EQ(delta.epoch, net.convergence_epoch());
+  EXPECT_EQ(delta.touched_as, asn);
+  EXPECT_EQ(delta.stale_spf_sources, topology.as(asn).routers);
+  EXPECT_TRUE(delta.has_spf_window());
+  for (const topo::RouterId rid : topology.as(asn).routers) {
+    EXPECT_GE(rid, delta.spf_window_lo);
+    EXPECT_LE(rid, delta.spf_window_hi);
+  }
+  EXPECT_TRUE(delta.touched_aggregate.Contains(topology.as(asn).block));
+  if (world.profile(asn).mpls) {
+    EXPECT_TRUE(delta.has_label_range());
+    EXPECT_EQ(delta.label_lo, netbase::kFirstUnreservedLabel);
+  }
+  topology.SetLinkUp(internal, true);
+  net.OnLinkStateChange(internal);
+
+  const topo::LinkId external = PickExternalLink(world);
+  ASSERT_NE(external, topo::kNoLink);
+  topology.SetLinkUp(external, false);
+  const routing::ConvergenceDelta global = net.OnLinkStateChange(external);
+  EXPECT_EQ(global.scope, routing::ConvergenceDelta::Scope::kGlobal);
+  EXPECT_EQ(global.epoch, delta.epoch + 2);
 }
 
 }  // namespace

@@ -12,7 +12,10 @@
 #include "campaign/campaign.h"
 #include "campaign/compact_trace.h"
 #include "campaign/targets.h"
+#include "campaign/trace_cache.h"
 #include "gen/internet.h"
+#include "routing/as_path.h"
+#include "sim/network.h"
 
 namespace wormhole {
 namespace {
@@ -79,6 +82,101 @@ TEST(StreamingCampaign, WorkerCountNeverChangesAByte) {
                                   std::size_t{1} << 20}) {
     const std::string streamed = RunCampaign(/*jobs=*/4, shard);
     EXPECT_EQ(streamed, buffered) << "jobs=4 shard=" << shard;
+  }
+}
+
+gen::InternetOptions GoldenWorldOptions() {
+  gen::InternetOptions options;
+  options.seed = 17;
+  options.tier1_count = 2;
+  options.transit_count = 4;
+  options.stub_count = 10;
+  options.vp_count = 3;
+  options.anonymous_router_probability = 0.02;
+  options.icmp_loss = 0.05;
+  return options;
+}
+
+/// The first internal link of an MPLS-enabled AS — same choice at every
+/// (jobs, shard) combination, so all runs flap the same link.
+topo::LinkId PickFlapLink(const gen::SyntheticInternet& world) {
+  const topo::Topology& topology = world.topology();
+  for (topo::LinkId l = 0; l < topology.link_count(); ++l) {
+    if (!topology.IsInternalLink(l)) continue;
+    const topo::AsNumber asn =
+        topology.router(topology.interface(topology.link(l).a).router).asn;
+    if (world.profile(asn).mpls) return l;
+  }
+  return topo::kNoLink;
+}
+
+/// What a delta run must reproduce byte-for-byte. Engine stats are
+/// excluded (cache hits skip simulated packets — that saving is the
+/// point); probe accounting is included (SkipProbes replays cached id
+/// budgets).
+std::string DeltaBytes(const campaign::CampaignResult& result,
+                       const gen::SyntheticInternet& world) {
+  std::ostringstream out;
+  out << "S probes_sent " << result.probes_sent << "\n";
+  out << "S revelation_traces " << result.revelation_traces << "\n";
+  out << "S revealed_count " << result.revealed_count() << "\n";
+  out << "S trace_count " << result.trace_count << "\n";
+  analysis::WriteCampaignReport(out, result, world.topology());
+  return out.str();
+}
+
+// The golden world has icmp_loss > 0, so reply bytes depend on probe-id
+// offsets and the cache must fall back to its strict-offset guard: a hit
+// is only served when the prober sits at exactly the id the trace was
+// recorded at (Engine::RepliesDependOnProbeIds). This pins delta parity
+// on the HARD world — lossy, anonymous routers — at every jobs/shard
+// combination, against a cold buffered reference.
+TEST(DeltaCampaign, LossyWorldParityAtEveryJobsAndShardCombination) {
+  // Cold reference: a buffered (shard=0) run against the flapped world.
+  std::string want;
+  {
+    gen::SyntheticInternet world(GoldenWorldOptions());
+    const topo::LinkId link = PickFlapLink(world);
+    ASSERT_NE(link, topo::kNoLink);
+    world.mutable_topology().SetLinkUp(link, false);
+    world.network().OnLinkStateChange(link);
+    campaign::Campaign cold(world.engine(), world.vantage_points(),
+                            {.jobs = 1});
+    want = DeltaBytes(cold.Run(world.AllLoopbacks()), world);
+    ASSERT_FALSE(want.empty());
+  }
+
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t shard : {std::size_t{1}, std::size_t{64},
+                                    std::size_t{0}}) {
+      gen::SyntheticInternet world(GoldenWorldOptions());
+      const auto targets = world.AllLoopbacks();
+      const topo::LinkId link = PickFlapLink(world);
+      campaign::Campaign campaign(
+          world.engine(), world.vantage_points(),
+          {.jobs = jobs, .stream_shard_size = shard});
+      campaign::TraceCache cache;
+      (void)campaign.RunDelta(targets, cache);
+
+      world.mutable_topology().SetLinkUp(link, false);
+      const routing::ConvergenceDelta delta =
+          world.network().OnLinkStateChange(link);
+      const routing::AsPathOracle oracle(world.topology(),
+                                         world.network().bgp_level(),
+                                         world.network().bgp_policy());
+      cache.Invalidate(delta, oracle);
+
+      const campaign::CampaignResult result =
+          campaign.RunDelta(targets, cache);
+      EXPECT_EQ(DeltaBytes(result, world), want)
+          << "jobs=" << jobs << " shard=" << shard;
+      EXPECT_GT(result.delta_pairs_total, 0u);
+      EXPECT_LE(result.delta_pairs_reprobed, result.delta_pairs_total);
+      // Even under the strict-offset guard each VP serves at least its
+      // clean probing prefix from the cache.
+      EXPECT_LT(result.delta_pairs_reprobed, result.delta_pairs_total)
+          << "jobs=" << jobs << " shard=" << shard;
+    }
   }
 }
 
